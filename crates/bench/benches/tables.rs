@@ -1,0 +1,121 @@
+//! Criterion micro-benches backing the evaluation tables (T1–T4): the
+//! per-run cost of each pipeline on each table's workload, at reduced sizes
+//! so `cargo bench` terminates quickly. The `experiments` binary produces
+//! the actual table rows; these benches time the kernels behind them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsc_core::{
+    classical_spectral_clustering, quantum_spectral_clustering, symmetrized_spectral_clustering,
+    QuantumParams, SpectralConfig,
+};
+use qsc_graph::generators::{dsbm, netlist, DsbmParams, MetaGraph, NetlistParams};
+use std::hint::black_box;
+
+fn flow_params(n: usize) -> DsbmParams {
+    DsbmParams {
+        n,
+        k: 3,
+        p_intra: 0.25,
+        p_inter: 0.25,
+        eta_flow: 0.9,
+        meta: MetaGraph::Cycle,
+        seed: 1,
+        ..DsbmParams::default()
+    }
+}
+
+/// T1: classical vs quantum pipeline cost on the accuracy-table workload.
+fn bench_table1_accuracy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_accuracy");
+    group.sample_size(10);
+    for n in [100usize, 200] {
+        let inst = dsbm(&flow_params(n)).expect("dsbm");
+        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
+            b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+        });
+        let qp = QuantumParams { tomography_shots: 512, ..QuantumParams::default() };
+        group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
+            b.iter(|| {
+                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// T2: Hermitian vs symmetrized cost (identical asymptotics, different
+/// constant from complex vs effectively-real arithmetic).
+fn bench_table2_direction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_direction");
+    group.sample_size(10);
+    let inst = dsbm(&flow_params(150)).expect("dsbm");
+    let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+    group.bench_function("hermitian", |b| {
+        b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+    });
+    group.bench_function("symmetrized", |b| {
+        b.iter(|| symmetrized_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+    });
+    group.finish();
+}
+
+/// T3: how the quantum pipeline cost scales with its precision knobs.
+fn bench_table3_precision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_precision");
+    group.sample_size(10);
+    let inst = dsbm(&flow_params(120)).expect("dsbm");
+    let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+    for shots in [256usize, 2048] {
+        let qp = QuantumParams { tomography_shots: shots, ..QuantumParams::default() };
+        group.bench_with_input(BenchmarkId::new("shots", shots), &shots, |b, _| {
+            b.iter(|| {
+                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
+            })
+        });
+    }
+    for bits in [4usize, 8] {
+        let qp = QuantumParams {
+            qpe_bits: bits,
+            tomography_shots: 512,
+            ..QuantumParams::default()
+        };
+        group.bench_with_input(BenchmarkId::new("qpe_bits", bits), &bits, |b, _| {
+            b.iter(|| {
+                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// T4: the netlist workload end to end.
+fn bench_table4_netlist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_netlist");
+    group.sample_size(10);
+    let inst = netlist(&NetlistParams {
+        num_modules: 4,
+        cells_per_module: 30,
+        seed: 1,
+        ..NetlistParams::default()
+    })
+    .expect("netlist");
+    let cfg = SpectralConfig { k: 4, seed: 1, ..SpectralConfig::default() };
+    group.bench_function("hermitian", |b| {
+        b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+    });
+    let qp = QuantumParams { tomography_shots: 512, ..QuantumParams::default() };
+    group.bench_function("quantum", |b| {
+        b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table1_accuracy,
+    bench_table2_direction,
+    bench_table3_precision,
+    bench_table4_netlist
+);
+criterion_main!(tables);

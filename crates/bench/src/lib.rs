@@ -1,0 +1,16 @@
+//! # qsc-bench — the benchmark and experiment harness
+//!
+//! One function per table/figure of the reconstructed evaluation (DESIGN.md
+//! §5), shared between the `experiments` binary (which prints paper-style
+//! rows and writes CSV series to `results/`) and the Criterion benches.
+//!
+//! ```text
+//! cargo run -p qsc-bench --release --bin experiments            # quick preset
+//! cargo run -p qsc-bench --release --bin experiments -- --full  # paper scale
+//! cargo run -p qsc-bench --release --bin experiments -- table1  # one experiment
+//! cargo bench                                                    # micro-benches
+//! ```
+
+pub mod experiments;
+
+pub use experiments::Scale;

@@ -1,0 +1,57 @@
+//! Error types for clustering.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by clustering routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The dataset is empty or smaller than the number of clusters.
+    TooFewPoints {
+        /// Number of points supplied.
+        points: usize,
+        /// Number of clusters requested.
+        k: usize,
+    },
+    /// Points have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimension of the first point.
+        expected: usize,
+        /// Dimension of the offending point.
+        found: usize,
+    },
+    /// A configuration value is out of range.
+    InvalidConfig {
+        /// Description of the problem.
+        context: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::TooFewPoints { points, k } => {
+                write!(f, "cannot form {k} clusters from {points} points")
+            }
+            ClusterError::DimensionMismatch { expected, found } => {
+                write!(f, "point dimension {found} differs from expected {expected}")
+            }
+            ClusterError::InvalidConfig { context } => {
+                write!(f, "invalid clustering configuration: {context}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = ClusterError::TooFewPoints { points: 2, k: 5 };
+        assert!(e.to_string().contains('2') && e.to_string().contains('5'));
+    }
+}

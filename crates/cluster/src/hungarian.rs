@@ -1,0 +1,205 @@
+//! Hungarian (Kuhn–Munkres) algorithm, O(n³) potentials formulation.
+//!
+//! Used to compute clustering accuracy under the best label permutation:
+//! predicted cluster ids are arbitrary, so accuracy is only meaningful after
+//! optimally matching predicted clusters to ground-truth classes.
+
+/// Solves the assignment problem on a square cost matrix, minimizing total
+/// cost. Returns `assignment[row] = col`.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or not square.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_cluster::hungarian::hungarian_min;
+///
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// let assign = hungarian_min(&cost);
+/// let total: f64 = assign.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+/// assert_eq!(total, 5.0); // 1 + 2 + 2
+/// ```
+pub fn hungarian_min(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "hungarian: empty cost matrix");
+    for row in cost {
+        assert_eq!(row.len(), n, "hungarian: cost matrix must be square");
+    }
+
+    // Potentials formulation (1-based internally).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Solves the assignment problem maximizing total value (negated
+/// [`hungarian_min`]).
+pub fn hungarian_max(value: &[Vec<f64>]) -> Vec<usize> {
+    let negated: Vec<Vec<f64>> = value
+        .iter()
+        .map(|row| row.iter().map(|&x| -x).collect())
+        .collect();
+    hungarian_min(&negated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_optimal() {
+        let cost = vec![
+            vec![0.0, 9.0, 9.0],
+            vec![9.0, 0.0, 9.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        assert_eq!(hungarian_min(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn anti_diagonal_optimal() {
+        let cost = vec![
+            vec![9.0, 9.0, 0.0],
+            vec![9.0, 0.0, 9.0],
+            vec![0.0, 9.0, 9.0],
+        ];
+        assert_eq!(hungarian_min(&cost), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn assignment_is_permutation() {
+        let cost = vec![
+            vec![3.0, 1.0, 2.0, 4.0],
+            vec![2.0, 4.0, 1.0, 3.0],
+            vec![4.0, 2.0, 3.0, 1.0],
+            vec![1.0, 3.0, 4.0, 2.0],
+        ];
+        let mut a = hungarian_min(&cost);
+        a.sort_unstable();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn known_optimum_4x4() {
+        // Classic textbook instance; optimal assignment costs 140.
+        let cost = vec![
+            vec![82.0, 83.0, 69.0, 92.0],
+            vec![77.0, 37.0, 49.0, 92.0],
+            vec![11.0, 69.0, 5.0, 86.0],
+            vec![8.0, 9.0, 98.0, 23.0],
+        ];
+        let a = hungarian_min(&cost);
+        let total: f64 = a.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+        assert_eq!(total, 140.0); // 69 + 37 + 11 + 23
+    }
+
+    #[test]
+    fn max_variant_picks_large_entries() {
+        let value = vec![vec![1.0, 5.0], vec![5.0, 1.0]];
+        let a = hungarian_max(&value);
+        let total: f64 = a.iter().enumerate().map(|(r, &c)| value[r][c]).sum();
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(hungarian_min(&[vec![7.0]]), vec![0]);
+    }
+
+    #[test]
+    fn brute_force_agreement_small_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..5);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let a = hungarian_min(&cost);
+            let got: f64 = a.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+            // Brute force over all permutations.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let best = permutations_min(&cost, &mut perm, 0);
+            assert!(
+                (got - best).abs() < 1e-9,
+                "hungarian {got} vs brute force {best} on {cost:?}"
+            );
+        }
+    }
+
+    fn permutations_min(cost: &[Vec<f64>], perm: &mut Vec<usize>, k: usize) -> f64 {
+        let n = perm.len();
+        if k == n {
+            return perm.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+        }
+        let mut best = f64::INFINITY;
+        for i in k..n {
+            perm.swap(k, i);
+            best = best.min(permutations_min(cost, perm, k + 1));
+            perm.swap(k, i);
+        }
+        best
+    }
+}

@@ -1,0 +1,40 @@
+//! # qsc-cluster — k-means, q-means and clustering validity metrics
+//!
+//! The final stage of the spectral-clustering pipeline and the scoring
+//! machinery of the evaluation:
+//!
+//! * [`kmeans()`] — Lloyd's algorithm with k-means++ seeding and restarts,
+//! * [`qmeans()`] — the quantum analogue: the same iteration through
+//!   δ-bounded noise channels (distance estimation + tomography errors),
+//! * [`metrics`] — ARI, NMI, purity, Hungarian-matched accuracy,
+//! * [`hungarian`] — the O(n³) assignment solver behind matched accuracy.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsc_cluster::{kmeans, KMeansConfig, metrics::matched_accuracy};
+//!
+//! # fn main() -> Result<(), qsc_cluster::ClusterError> {
+//! let data = vec![
+//!     vec![0.0], vec![0.1], vec![0.2],
+//!     vec![9.0], vec![9.1], vec![9.2],
+//! ];
+//! let result = kmeans(&data, &KMeansConfig { k: 2, seed: 0, ..KMeansConfig::default() })?;
+//! let truth = [0, 0, 0, 1, 1, 1];
+//! assert_eq!(matched_accuracy(&truth, &result.labels), 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hungarian;
+pub mod kmeans;
+pub mod metrics;
+pub mod qmeans;
+pub mod scores;
+
+pub use error::ClusterError;
+pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
+pub use qmeans::{qmeans, QMeansConfig};

@@ -1,0 +1,308 @@
+//! External clustering-validity metrics: ARI, NMI, purity and
+//! Hungarian-matched accuracy.
+
+use crate::hungarian::hungarian_max;
+
+/// Contingency table between two labelings: entry `(i, j)` counts points
+/// with true label `i` and predicted label `j`. Labels need not be
+/// contiguous; the table is sized by the max label + 1.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+pub fn contingency_table(truth: &[usize], predicted: &[usize]) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), predicted.len(), "labelings differ in length");
+    let rows = truth.iter().max().map_or(0, |m| m + 1);
+    let cols = predicted.iter().max().map_or(0, |m| m + 1);
+    let mut table = vec![vec![0usize; cols]; rows];
+    for (&t, &p) in truth.iter().zip(predicted) {
+        table[t][p] += 1;
+    }
+    table
+}
+
+fn choose2(x: usize) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Adjusted Rand Index in `[−1, 1]`: `1` for identical partitions (up to
+/// label permutation), `≈0` for independent ones.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_cluster::metrics::adjusted_rand_index;
+///
+/// assert_eq!(adjusted_rand_index(&[0, 0, 1, 1], &[1, 1, 0, 0]), 1.0);
+/// assert!(adjusted_rand_index(&[0, 0, 1, 1], &[0, 1, 0, 1]) < 0.01);
+/// ```
+pub fn adjusted_rand_index(truth: &[usize], predicted: &[usize]) -> f64 {
+    let n = truth.len();
+    if n <= 1 {
+        return 1.0;
+    }
+    let table = contingency_table(truth, predicted);
+    let sum_ij: f64 = table
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|&x| choose2(x))
+        .sum();
+    let row_sums: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_count = table.first().map_or(0, |r| r.len());
+    let col_sums: Vec<usize> = (0..col_count)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
+    let sum_a: f64 = row_sums.iter().map(|&x| choose2(x)).sum();
+    let sum_b: f64 = col_sums.iter().map(|&x| choose2(x)).sum();
+    let total = choose2(n);
+    let expected = sum_a * sum_b / total;
+    let max_index = (sum_a + sum_b) / 2.0;
+    if (max_index - expected).abs() < 1e-15 {
+        // Both partitions are trivial (all-one-cluster or all-singletons).
+        if (sum_ij - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (sum_ij - expected) / (max_index - expected)
+    }
+}
+
+fn entropy(counts: &[usize], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized Mutual Information in `[0, 1]` with arithmetic-mean
+/// normalization (the scikit-learn default).
+///
+/// Returns `1.0` when both partitions are the same trivial partition.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths.
+pub fn normalized_mutual_information(truth: &[usize], predicted: &[usize]) -> f64 {
+    let n = truth.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let table = contingency_table(truth, predicted);
+    let nf = n as f64;
+    let row_sums: Vec<usize> = table.iter().map(|row| row.iter().sum()).collect();
+    let col_count = table.first().map_or(0, |r| r.len());
+    let col_sums: Vec<usize> = (0..col_count)
+        .map(|j| table.iter().map(|row| row[j]).sum())
+        .collect();
+    let h_u = entropy(&row_sums, nf);
+    let h_v = entropy(&col_sums, nf);
+    if h_u == 0.0 && h_v == 0.0 {
+        return 1.0;
+    }
+    let mut mi = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij == 0 {
+                continue;
+            }
+            let pij = nij as f64 / nf;
+            let pi = row_sums[i] as f64 / nf;
+            let pj = col_sums[j] as f64 / nf;
+            mi += pij * (pij / (pi * pj)).ln();
+        }
+    }
+    let denom = (h_u + h_v) / 2.0;
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Purity: fraction of points assigned to the majority true class of their
+/// predicted cluster. In `(0, 1]`, biased toward many clusters.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths or are empty.
+pub fn purity(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert!(!truth.is_empty(), "purity of empty labeling");
+    let table = contingency_table(truth, predicted);
+    let col_count = table.first().map_or(0, |r| r.len());
+    let mut correct = 0usize;
+    for j in 0..col_count {
+        correct += table.iter().map(|row| row[j]).max().unwrap_or(0);
+    }
+    correct as f64 / truth.len() as f64
+}
+
+/// Accuracy under the optimal one-to-one matching of predicted clusters to
+/// true classes (Hungarian algorithm on the contingency table).
+///
+/// This is the "accuracy" number clustering papers report: label ids are
+/// arbitrary, so raw agreement is meaningless without the matching.
+///
+/// # Panics
+///
+/// Panics if the labelings have different lengths or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_cluster::metrics::matched_accuracy;
+///
+/// // Perfect clustering with permuted ids.
+/// assert_eq!(matched_accuracy(&[0, 0, 1, 1, 2, 2], &[2, 2, 0, 0, 1, 1]), 1.0);
+/// ```
+pub fn matched_accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert!(!truth.is_empty(), "accuracy of empty labeling");
+    let table = contingency_table(truth, predicted);
+    let rows = table.len();
+    let cols = table.first().map_or(0, |r| r.len());
+    let size = rows.max(cols);
+    // Pad to square with zeros so the Hungarian algorithm applies.
+    let value: Vec<Vec<f64>> = (0..size)
+        .map(|i| {
+            (0..size)
+                .map(|j| {
+                    if i < rows && j < cols {
+                        table[i][j] as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let assignment = hungarian_max(&value);
+    let matched: f64 = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| value[i][j])
+        .sum();
+    matched / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ari_perfect_and_permuted() {
+        let t = [0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let p = [1, 1, 1, 2, 2, 2, 0, 0, 0];
+        assert!((adjusted_rand_index(&t, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_symmetric() {
+        let a = [0, 0, 1, 1, 2, 2];
+        let b = [0, 1, 1, 2, 2, 2];
+        assert!(
+            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn ari_known_value() {
+        // sklearn: adjusted_rand_score([0,0,1,1], [0,0,1,2]) = 0.5714285714285715
+        let t = [0, 0, 1, 1];
+        let p = [0, 0, 1, 2];
+        assert!((adjusted_rand_index(&t, &p) - 0.571_428_571_428_571_5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_trivial_partitions() {
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 0, 0]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        // All-in-one vs all-singletons: maximally disagreeing trivial cases.
+        assert_eq!(adjusted_rand_index(&[0, 0, 0], &[0, 1, 2]), 0.0);
+    }
+
+    #[test]
+    fn nmi_perfect_and_independent() {
+        let t = [0, 0, 1, 1];
+        assert!((normalized_mutual_information(&t, &[1, 1, 0, 0]) - 1.0).abs() < 1e-12);
+        // Independent-ish: each predicted cluster has one point from each class.
+        let ind = normalized_mutual_information(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert!(ind < 1e-9, "independent partitions should give ≈0, got {ind}");
+    }
+
+    #[test]
+    fn nmi_known_value() {
+        // sklearn: normalized_mutual_info_score([0,0,1,1], [0,0,1,2]) ≈ 0.7611/0.7337?
+        // Compute expected by hand: H(U)=ln2, H(V)=-(0.5 ln 0.5 + 0.25 ln 0.25 ×2)
+        let t = [0usize, 0, 1, 1];
+        let p = [0usize, 0, 1, 2];
+        let h_u = 2.0_f64.ln();
+        let h_v = -(0.5 * 0.5_f64.ln() + 0.5 * 0.25_f64.ln());
+        let mi = 0.5 * (0.5_f64 / (0.5 * 0.5)).ln()
+            + 0.25 * (0.25_f64 / (0.5 * 0.25)).ln()
+            + 0.25 * (0.25_f64 / (0.5 * 0.25)).ln();
+        let expected = mi / ((h_u + h_v) / 2.0);
+        assert!((normalized_mutual_information(&t, &p) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn purity_majority_voting() {
+        let t = [0, 0, 0, 1, 1, 2];
+        let p = [0, 0, 1, 1, 1, 1];
+        // Cluster 0: {0,0} majority 0 → 2 correct. Cluster 1: {0,1,1,2}
+        // majority 1 → 2 correct. Purity = 4/6.
+        assert!((purity(&t, &p) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_accuracy_handles_unequal_cluster_counts() {
+        // 3 true classes, 2 predicted clusters.
+        let t = [0, 0, 1, 1, 2, 2];
+        let p = [0, 0, 1, 1, 1, 1];
+        // Best matching: 0↔0 (2), 1↔1 (2); class 2 unmatched → 4/6.
+        assert!((matched_accuracy(&t, &p) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matched_accuracy_at_least_purity_free() {
+        // Accuracy is ≤ purity by construction (matching is 1-1).
+        let t = [0, 0, 1, 1, 2, 2, 2];
+        let p = [1, 0, 1, 1, 2, 2, 0];
+        assert!(matched_accuracy(&t, &p) <= purity(&t, &p) + 1e-12);
+    }
+
+    #[test]
+    fn contingency_counts() {
+        let table = contingency_table(&[0, 0, 1], &[1, 1, 0]);
+        assert_eq!(table[0][1], 2);
+        assert_eq!(table[1][0], 1);
+        assert_eq!(table[0][0], 0);
+    }
+
+    #[test]
+    fn metrics_invariant_under_label_permutation() {
+        let t = [0, 0, 1, 1, 2, 2, 0, 1];
+        let p = [2, 2, 0, 0, 1, 1, 2, 1];
+        let p_renamed: Vec<usize> = p.iter().map(|&l| (l + 1) % 3).collect();
+        assert!(
+            (adjusted_rand_index(&t, &p) - adjusted_rand_index(&t, &p_renamed)).abs() < 1e-12
+        );
+        assert!(
+            (matched_accuracy(&t, &p) - matched_accuracy(&t, &p_renamed)).abs() < 1e-12
+        );
+        assert!(
+            (normalized_mutual_information(&t, &p)
+                - normalized_mutual_information(&t, &p_renamed))
+            .abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! q-means — the quantum analogue of k-means, simulated classically.
+//!
+//! Following the q-means analysis (Kerenidis, Landman, Luongo, Prakash,
+//! NeurIPS 2019) that the DAC paper's clustering stage builds on, the
+//! quantum algorithm is *exactly* Lloyd's iteration but with two bounded
+//! noise channels:
+//!
+//! * every squared-distance estimate carries an additive error of magnitude
+//!   at most `δ` (quantum distance estimation + amplitude estimation), and
+//! * every centroid read out at the end of an update step carries an ℓ2
+//!   error of at most `δ` (vector-state tomography).
+//!
+//! The simulation injects uniformly distributed errors of those magnitudes,
+//! which is the standard classical stand-in used by this line of work.
+
+use crate::error::ClusterError;
+use crate::kmeans::{lloyd_run, KMeansConfig, KMeansResult, NoiseModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`qmeans`]: the classical configuration plus the
+/// quantum noise magnitude `δ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QMeansConfig {
+    /// The underlying k-means configuration.
+    pub base: KMeansConfig,
+    /// Noise magnitude `δ ≥ 0`: bound on both the squared-distance
+    /// estimation error and the per-centroid tomography error.
+    pub delta: f64,
+}
+
+impl Default for QMeansConfig {
+    fn default() -> Self {
+        Self {
+            base: KMeansConfig::default(),
+            delta: 0.1,
+        }
+    }
+}
+
+/// The δ-bounded noise channel of q-means.
+#[derive(Debug)]
+pub struct QMeansNoise {
+    delta: f64,
+    rng: StdRng,
+}
+
+impl QMeansNoise {
+    /// Creates the noise channel with its own RNG stream.
+    pub fn new(delta: f64, seed: u64) -> Self {
+        Self {
+            delta,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl NoiseModel for QMeansNoise {
+    fn distance_sq(&mut self, exact: f64) -> f64 {
+        if self.delta == 0.0 {
+            return exact;
+        }
+        (exact + self.rng.gen_range(-self.delta..self.delta)).max(0.0)
+    }
+
+    fn centroid(&mut self, centroid: &mut [f64]) {
+        if self.delta == 0.0 || centroid.is_empty() {
+            return;
+        }
+        // An ℓ2 perturbation of magnitude at most δ: sample a uniform
+        // direction (via per-coordinate uniforms, adequate here) and a
+        // uniform radius in [0, δ).
+        let dir: Vec<f64> = centroid
+            .iter()
+            .map(|_| self.rng.gen_range(-1.0..1.0))
+            .collect();
+        let norm: f64 = dir.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return;
+        }
+        let radius = self.rng.gen_range(0.0..self.delta);
+        for (c, d) in centroid.iter_mut().zip(&dir) {
+            *c += d / norm * radius;
+        }
+    }
+}
+
+/// Runs q-means: Lloyd's iteration through the δ-noise channels, best of
+/// `config.base.restarts` runs by (exact) inertia.
+///
+/// With `delta = 0` this is numerically identical to [`crate::kmeans()`]
+/// driven by the same seed.
+///
+/// # Errors
+///
+/// Returns [`ClusterError`] for invalid configurations (including a negative
+/// `delta`), too few points or ragged data.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_cluster::{qmeans, QMeansConfig, KMeansConfig};
+///
+/// # fn main() -> Result<(), qsc_cluster::ClusterError> {
+/// let data = vec![
+///     vec![0.0, 0.0], vec![0.1, 0.0],
+///     vec![5.0, 5.0], vec![5.1, 5.0],
+/// ];
+/// let cfg = QMeansConfig {
+///     base: KMeansConfig { k: 2, seed: 1, ..KMeansConfig::default() },
+///     delta: 0.05,
+/// };
+/// let result = qmeans(&data, &cfg)?;
+/// assert_eq!(result.labels[0], result.labels[1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn qmeans(data: &[Vec<f64>], config: &QMeansConfig) -> Result<KMeansResult, ClusterError> {
+    if config.delta < 0.0 {
+        return Err(ClusterError::InvalidConfig {
+            context: format!("delta = {} must be non-negative", config.delta),
+        });
+    }
+    // Validation is shared with kmeans via a zero-iteration dry call.
+    if config.base.k == 0 || config.base.restarts == 0 {
+        return Err(ClusterError::InvalidConfig {
+            context: "k and restarts must be positive".into(),
+        });
+    }
+    if data.len() < config.base.k {
+        return Err(ClusterError::TooFewPoints {
+            points: data.len(),
+            k: config.base.k,
+        });
+    }
+    let d0 = data[0].len();
+    for p in data {
+        if p.len() != d0 {
+            return Err(ClusterError::DimensionMismatch {
+                expected: d0,
+                found: p.len(),
+            });
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.base.seed);
+    let mut noise = QMeansNoise::new(config.delta, config.base.seed.wrapping_add(0x9e37_79b9));
+    let mut best: Option<KMeansResult> = None;
+    for _ in 0..config.base.restarts {
+        let run = lloyd_run(
+            data,
+            config.base.k,
+            config.base.max_iter,
+            config.base.tol,
+            &mut rng,
+            &mut noise,
+        );
+        if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
+            best = Some(run);
+        }
+    }
+    Ok(best.expect("restarts >= 1"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut data = Vec::new();
+        for center in [[0.0, 0.0], [8.0, 8.0]] {
+            for _ in 0..25 {
+                data.push(vec![
+                    center[0] + rng.gen_range(-0.5..0.5),
+                    center[1] + rng.gen_range(-0.5..0.5),
+                ]);
+            }
+        }
+        data
+    }
+
+    #[test]
+    fn zero_delta_matches_kmeans() {
+        let data = blobs();
+        let base = KMeansConfig { k: 2, seed: 4, ..Default::default() };
+        let classical = kmeans(&data, &base).unwrap();
+        let quantum = qmeans(&data, &QMeansConfig { base, delta: 0.0 }).unwrap();
+        assert_eq!(classical.labels, quantum.labels);
+        assert!((classical.inertia - quantum.inertia).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_delta_still_separates_blobs() {
+        let data = blobs();
+        let cfg = QMeansConfig {
+            base: KMeansConfig { k: 2, seed: 4, ..Default::default() },
+            delta: 0.2,
+        };
+        let result = qmeans(&data, &cfg).unwrap();
+        // First 25 points belong together, last 25 belong together.
+        assert!(result.labels[..25].windows(2).all(|w| w[0] == w[1]));
+        assert!(result.labels[25..].windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(result.labels[0], result.labels[30]);
+    }
+
+    #[test]
+    fn rejects_negative_delta() {
+        let data = blobs();
+        let cfg = QMeansConfig {
+            base: KMeansConfig { k: 2, ..Default::default() },
+            delta: -0.1,
+        };
+        assert!(qmeans(&data, &cfg).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let cfg = QMeansConfig {
+            base: KMeansConfig { k: 2, seed: 9, ..Default::default() },
+            delta: 0.3,
+        };
+        assert_eq!(qmeans(&data, &cfg).unwrap(), qmeans(&data, &cfg).unwrap());
+    }
+
+    #[test]
+    fn noise_channel_bounds_respected() {
+        let mut noise = QMeansNoise::new(0.5, 1);
+        for _ in 0..100 {
+            let est = noise.distance_sq(3.0);
+            assert!((est - 3.0).abs() <= 0.5);
+            assert!(est >= 0.0);
+        }
+        for _ in 0..100 {
+            let mut c = vec![1.0, 2.0, 3.0];
+            let orig = c.clone();
+            noise.centroid(&mut c);
+            let moved: f64 = c
+                .iter()
+                .zip(&orig)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            assert!(moved <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_estimates_never_negative() {
+        let mut noise = QMeansNoise::new(1.0, 2);
+        for _ in 0..200 {
+            assert!(noise.distance_sq(0.01) >= 0.0);
+        }
+    }
+}

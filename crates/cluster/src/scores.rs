@@ -1,0 +1,195 @@
+//! Internal clustering-quality scores (no ground truth required):
+//! silhouette coefficient and Davies–Bouldin index. Used when clustering
+//! real mixed graphs where planted labels do not exist.
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Mean silhouette coefficient over all points, in `[−1, 1]`; higher is
+/// better. Points in singleton clusters contribute 0 (the scikit-learn
+/// convention).
+///
+/// `O(n²·d)` — intended for evaluation, not inner loops.
+///
+/// # Panics
+///
+/// Panics if `data` and `labels` differ in length, or fewer than 2 clusters
+/// are present.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_cluster::scores::silhouette;
+///
+/// let data = vec![vec![0.0], vec![0.1], vec![9.0], vec![9.1]];
+/// let good = silhouette(&data, &[0, 0, 1, 1]);
+/// let bad = silhouette(&data, &[0, 1, 0, 1]);
+/// assert!(good > 0.9);
+/// assert!(bad < 0.0);
+/// ```
+pub fn silhouette(data: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(data.len(), labels.len(), "silhouette: length mismatch");
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    let distinct = {
+        let mut seen = vec![false; k];
+        for &l in labels {
+            seen[l] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    };
+    assert!(distinct >= 2, "silhouette needs at least 2 clusters");
+
+    let n = data.len();
+    let mut cluster_sizes = vec![0usize; k];
+    for &l in labels {
+        cluster_sizes[l] += 1;
+    }
+
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = labels[i];
+        if cluster_sizes[own] <= 1 {
+            continue; // singleton: silhouette 0
+        }
+        // Mean distance to own cluster (a) and to the nearest other (b).
+        let mut sums = vec![0.0; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(&data[i], &data[j]);
+            }
+        }
+        let a = sums[own] / (cluster_sizes[own] - 1) as f64;
+        let mut b = f64::INFINITY;
+        for (c, &size) in cluster_sizes.iter().enumerate() {
+            if c != own && size > 0 {
+                b = b.min(sums[c] / size as f64);
+            }
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / n as f64
+}
+
+/// Davies–Bouldin index: mean over clusters of the worst
+/// `(σ_i + σ_j) / d(c_i, c_j)` ratio. **Lower is better**; 0 is ideal.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than 2 non-empty clusters exist.
+pub fn davies_bouldin(data: &[Vec<f64>], labels: &[usize]) -> f64 {
+    assert_eq!(data.len(), labels.len(), "davies_bouldin: length mismatch");
+    let k = labels.iter().max().map_or(0, |m| m + 1);
+    let d = data[0].len();
+
+    let mut counts = vec![0usize; k];
+    let mut centroids = vec![vec![0.0; d]; k];
+    for (p, &l) in data.iter().zip(labels) {
+        counts[l] += 1;
+        for (c, x) in centroids[l].iter_mut().zip(p) {
+            *c += x;
+        }
+    }
+    let live: Vec<usize> = (0..k).filter(|&c| counts[c] > 0).collect();
+    assert!(live.len() >= 2, "davies_bouldin needs at least 2 clusters");
+    for &c in &live {
+        for x in centroids[c].iter_mut() {
+            *x /= counts[c] as f64;
+        }
+    }
+
+    // Mean intra-cluster scatter.
+    let mut scatter = vec![0.0; k];
+    for (p, &l) in data.iter().zip(labels) {
+        scatter[l] += dist(p, &centroids[l]);
+    }
+    for &c in &live {
+        scatter[c] /= counts[c] as f64;
+    }
+
+    let mut total = 0.0;
+    for &i in &live {
+        let mut worst: f64 = 0.0;
+        for &j in &live {
+            if i != j {
+                let sep = dist(&centroids[i], &centroids[j]);
+                if sep > 0.0 {
+                    worst = worst.max((scatter[i] + scatter[j]) / sep);
+                }
+            }
+        }
+        total += worst;
+    }
+    total / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for (c, center) in [0.0f64, 10.0, 20.0].iter().enumerate() {
+            for i in 0..10 {
+                data.push(vec![center + 0.05 * i as f64]);
+                labels.push(c);
+            }
+        }
+        (data, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (data, labels) = blobs();
+        assert!(silhouette(&data, &labels) > 0.9);
+    }
+
+    #[test]
+    fn silhouette_low_for_shuffled_labels() {
+        let (data, labels) = blobs();
+        let shuffled: Vec<usize> = labels.iter().map(|&l| (l + 1) % 3).collect();
+        // A rotation of labels keeps partition structure → same score...
+        assert!((silhouette(&data, &shuffled) - silhouette(&data, &labels)).abs() < 1e-12);
+        // ...but interleaved labels are bad.
+        let interleaved: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        assert!(silhouette(&data, &interleaved) < 0.0);
+    }
+
+    #[test]
+    fn davies_bouldin_prefers_separated_blobs() {
+        let (data, labels) = blobs();
+        let good = davies_bouldin(&data, &labels);
+        let interleaved: Vec<usize> = (0..data.len()).map(|i| i % 3).collect();
+        let bad = davies_bouldin(&data, &interleaved);
+        assert!(good < bad, "good {good} vs bad {bad}");
+        assert!(good < 0.1);
+    }
+
+    #[test]
+    fn singleton_clusters_tolerated_by_silhouette() {
+        let data = vec![vec![0.0], vec![0.1], vec![5.0]];
+        let labels = [0, 0, 1];
+        let s = silhouette(&data, &labels);
+        assert!(s > 0.5); // the singleton contributes 0, others near 1
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 clusters")]
+    fn silhouette_rejects_single_cluster() {
+        silhouette(&[vec![0.0], vec![1.0]], &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        silhouette(&[vec![0.0]], &[0, 1]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Comparison baselines.
+//!
+//! * [`symmetrized_spectral_clustering`] — the direction-blind classical
+//!   method: arcs become undirected edges, then ordinary (real) normalized
+//!   spectral clustering. Equivalent to running the Hermitian pipeline at
+//!   `q = 0`; implemented through the symmetrized graph so the baseline is
+//!   literally "what a user without Hermitian machinery would run".
+//! * [`adjacency_kmeans`] — the naive baseline: k-means directly on the
+//!   rows of the Hermitian adjacency (no spectral step).
+
+use crate::classical::classical_spectral_clustering;
+use crate::config::SpectralConfig;
+use crate::error::PipelineError;
+use crate::outcome::ClusteringOutcome;
+use qsc_cluster::{kmeans, KMeansConfig};
+use qsc_graph::{hermitian_adjacency, MixedGraph};
+use qsc_linalg::vector::interleave_re_im;
+
+/// Direction-blind spectral clustering: symmetrize, then cluster.
+///
+/// # Errors
+///
+/// Same contract as [`classical_spectral_clustering`].
+///
+/// # Examples
+///
+/// ```
+/// use qsc_core::{symmetrized_spectral_clustering, SpectralConfig};
+/// use qsc_graph::generators::{dsbm, DsbmParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = dsbm(&DsbmParams { n: 30, k: 3, seed: 2, ..DsbmParams::default() })?;
+/// let out = symmetrized_spectral_clustering(&inst.graph, &SpectralConfig::with_k(3))?;
+/// assert_eq!(out.labels.len(), 30);
+/// # Ok(())
+/// # }
+/// ```
+pub fn symmetrized_spectral_clustering(
+    g: &MixedGraph,
+    config: &SpectralConfig,
+) -> Result<ClusteringOutcome, PipelineError> {
+    let sym = g.symmetrized();
+    // q is irrelevant on an undirected graph; force 0 for clarity.
+    let cfg = SpectralConfig { q: 0.0, ..config.clone() };
+    classical_spectral_clustering(&sym, &cfg)
+}
+
+/// Naive baseline: k-means on the raw rows of the Hermitian adjacency
+/// matrix (each row realized in `R^{2n}`). No spectral dimensionality
+/// reduction — this is what the spectral step is supposed to beat.
+///
+/// # Errors
+///
+/// Returns [`PipelineError`] for inconsistent requests or k-means failures.
+pub fn adjacency_kmeans(
+    g: &MixedGraph,
+    config: &SpectralConfig,
+) -> Result<Vec<usize>, PipelineError> {
+    crate::classical::validate_request(g, config.k)?;
+    let h = hermitian_adjacency(g, config.q);
+    let rows: Vec<Vec<f64>> = (0..h.nrows())
+        .map(|i| interleave_re_im(h.row(i)))
+        .collect();
+    let km = kmeans(
+        &rows,
+        &KMeansConfig {
+            k: config.k,
+            max_iter: config.max_iter,
+            tol: 1e-9,
+            restarts: config.restarts,
+            seed: config.seed,
+        },
+    )?;
+    Ok(km.labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_cluster::metrics::matched_accuracy;
+    use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
+
+    #[test]
+    fn symmetrized_equals_q_zero() {
+        let inst = dsbm(&DsbmParams {
+            n: 60,
+            k: 3,
+            eta_flow: 1.0,
+            seed: 4,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let cfg = SpectralConfig { k: 3, seed: 7, ..SpectralConfig::default() };
+        let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let q0 = classical_spectral_clustering(
+            &inst.graph,
+            &SpectralConfig { q: 0.0, ..cfg },
+        )
+        .unwrap();
+        // Identical spectra: the symmetrized Laplacian *is* the q=0
+        // Hermitian Laplacian.
+        for (a, b) in sym.spectrum.iter().zip(&q0.spectrum) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(sym.labels, q0.labels);
+    }
+
+    #[test]
+    fn hermitian_beats_symmetrized_on_flow_clusters() {
+        // The paper's Table II shape in miniature.
+        let inst = dsbm(&DsbmParams {
+            n: 120,
+            k: 3,
+            p_intra: 0.25,
+            p_inter: 0.25,
+            eta_flow: 1.0,
+            meta: MetaGraph::Cycle,
+            seed: 10,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let cfg = SpectralConfig { k: 3, seed: 3, ..SpectralConfig::default() };
+        let herm = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let acc_h = matched_accuracy(&inst.labels, &herm.labels);
+        let acc_s = matched_accuracy(&inst.labels, &sym.labels);
+        assert!(
+            acc_h > acc_s + 0.2,
+            "hermitian {acc_h} should beat symmetrized {acc_s}"
+        );
+    }
+
+    #[test]
+    fn adjacency_kmeans_runs() {
+        let inst = dsbm(&DsbmParams { n: 40, seed: 5, ..DsbmParams::default() }).unwrap();
+        let labels =
+            adjacency_kmeans(&inst.graph, &SpectralConfig { k: 3, ..Default::default() }).unwrap();
+        assert_eq!(labels.len(), 40);
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+}

@@ -1,0 +1,128 @@
+//! Pipeline configuration: the algorithmic knobs and every precision
+//! parameter of the quantum simulation.
+
+use qsc_graph::Q_CLASSICAL;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the classical and quantum pipelines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Hermitian rotation parameter `q` (`0` = direction-blind,
+    /// [`Q_CLASSICAL`] = the `±i` encoding).
+    pub q: f64,
+    /// Row-normalize the spectral embedding (Ng–Jordan–Weiss style) before
+    /// k-means.
+    pub normalize_rows: bool,
+    /// k-means restarts.
+    pub restarts: usize,
+    /// k-means iteration budget.
+    pub max_iter: usize,
+    /// Master seed for all randomness in the run.
+    pub seed: u64,
+}
+
+impl Default for SpectralConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            q: Q_CLASSICAL,
+            normalize_rows: false,
+            restarts: 8,
+            max_iter: 100,
+            seed: 0,
+        }
+    }
+}
+
+impl SpectralConfig {
+    /// Convenience constructor for the common case.
+    pub fn with_k(k: usize) -> Self {
+        Self { k, ..Self::default() }
+    }
+}
+
+/// Precision parameters of the simulated quantum pipeline. Field names
+/// mirror the runtime analysis (DESIGN.md §4.2–4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantumParams {
+    /// Phase-register bits `t` of the QPE; eigenvalue resolution is
+    /// `qpe_scale / 2^t` (this realizes `ε_λ`).
+    pub qpe_bits: usize,
+    /// Eigenvalue-to-phase scale of the QPE unitary `U = e^{i·2π·𝓛/scale}`;
+    /// must exceed the largest eigenvalue (2 for the normalized Laplacian).
+    pub qpe_scale: f64,
+    /// Shots per row for the tomography readout of the spectral embedding.
+    pub tomography_shots: usize,
+    /// Amplitude-estimation iterations for row-norm recovery.
+    pub norm_estimation_iters: usize,
+    /// q-means noise magnitude `δ`.
+    pub delta: f64,
+    /// Precision of the quantum distance estimation building the graph
+    /// (`ε_dist`); enters the cost model. For point-cloud inputs the same
+    /// parameter drives the noisy comparator of
+    /// `qsc_graph::similarity::quantum_similarity_graph`.
+    pub epsilon_dist: f64,
+    /// Zero-substitute in the normalized incidence matrix (`ε_B`); enters
+    /// the cost model.
+    pub epsilon_b: f64,
+    /// Cap on the number of spectral dimensions the QPE thresholding may
+    /// select, as a multiple of `k` (bin collisions can pull in extra
+    /// eigenvectors; this bounds the blow-up).
+    pub max_dims_factor: usize,
+}
+
+impl Default for QuantumParams {
+    fn default() -> Self {
+        Self {
+            qpe_bits: 6,
+            qpe_scale: 4.0,
+            tomography_shots: 4096,
+            norm_estimation_iters: 256,
+            delta: 0.2,
+            epsilon_dist: 0.1,
+            epsilon_b: 0.1,
+            max_dims_factor: 3,
+        }
+    }
+}
+
+impl QuantumParams {
+    /// The eigenvalue resolution `ε_λ = qpe_scale / 2^qpe_bits` this
+    /// parameter set realizes.
+    pub fn epsilon_lambda(&self) -> f64 {
+        self.qpe_scale / (1u64 << self.qpe_bits) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SpectralConfig::default();
+        assert_eq!(c.q, Q_CLASSICAL);
+        assert!(c.restarts > 0);
+        let q = QuantumParams::default();
+        assert!(q.qpe_scale > 2.0, "scale must clear the [0,2] spectrum");
+        assert!(q.epsilon_lambda() > 0.0);
+    }
+
+    #[test]
+    fn epsilon_lambda_halves_per_bit() {
+        let mut q = QuantumParams::default();
+        q.qpe_bits = 3;
+        let e3 = q.epsilon_lambda();
+        q.qpe_bits = 4;
+        assert!((q.epsilon_lambda() - e3 / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_k_sets_only_k() {
+        let c = SpectralConfig::with_k(5);
+        assert_eq!(c.k, 5);
+        assert_eq!(c.seed, SpectralConfig::default().seed);
+    }
+}

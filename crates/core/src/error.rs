@@ -1,0 +1,100 @@
+//! Error type for the pipelines, wrapping the substrate errors.
+
+use qsc_cluster::ClusterError;
+use qsc_graph::GraphError;
+use qsc_linalg::LinalgError;
+use qsc_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the spectral-clustering pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A linear-algebra failure (eigensolver, shapes).
+    Linalg(LinalgError),
+    /// A graph-construction or generator failure.
+    Graph(GraphError),
+    /// A quantum-simulation failure.
+    Sim(SimError),
+    /// A clustering failure.
+    Cluster(ClusterError),
+    /// The request itself is inconsistent (e.g. `k` larger than the graph).
+    InvalidRequest {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Linalg(e) => write!(f, "linear algebra: {e}"),
+            PipelineError::Graph(e) => write!(f, "graph: {e}"),
+            PipelineError::Sim(e) => write!(f, "quantum simulation: {e}"),
+            PipelineError::Cluster(e) => write!(f, "clustering: {e}"),
+            PipelineError::InvalidRequest { context } => {
+                write!(f, "invalid request: {context}")
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Linalg(e) => Some(e),
+            PipelineError::Graph(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::Cluster(e) => Some(e),
+            PipelineError::InvalidRequest { .. } => None,
+        }
+    }
+}
+
+impl From<LinalgError> for PipelineError {
+    fn from(e: LinalgError) -> Self {
+        PipelineError::Linalg(e)
+    }
+}
+
+impl From<GraphError> for PipelineError {
+    fn from(e: GraphError) -> Self {
+        PipelineError::Graph(e)
+    }
+}
+
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+
+impl From<ClusterError> for PipelineError {
+    fn from(e: ClusterError) -> Self {
+        PipelineError::Cluster(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: PipelineError = LinalgError::NoConvergence {
+            algorithm: "tql",
+            iterations: 3,
+        }
+        .into();
+        assert!(e.to_string().contains("tql"));
+        assert!(e.source().is_some());
+        let inv = PipelineError::InvalidRequest { context: "k = 0".into() };
+        assert!(inv.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

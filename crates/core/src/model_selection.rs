@@ -1,0 +1,204 @@
+//! Model selection: choosing `k` from the spectrum (eigengap heuristic)
+//! and the Lanczos-accelerated classical pipeline variant.
+
+use crate::classical::ZERO_EIG_TOL;
+use crate::config::SpectralConfig;
+use crate::cost::incidence_mu;
+use crate::embedding::{eta_of_embedding, normalize_rows};
+use crate::error::PipelineError;
+use crate::outcome::{ClusteringOutcome, Diagnostics};
+use qsc_cluster::{kmeans, KMeansConfig};
+use qsc_graph::{normalized_hermitian_laplacian, MixedGraph};
+use qsc_linalg::lanczos::lanczos_lowest_k;
+use qsc_linalg::params::condition_number_from_eigenvalues;
+use qsc_linalg::vector::interleave_re_im;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Estimates the informative **embedding dimension** from the eigengap of
+/// a spectrum (ascending eigenvalues): returns the `k ∈ [k_min, k_max]`
+/// maximizing `λ_{k+1} − λ_k`.
+///
+/// For ordinary (density-clustered) graphs this coincides with the number
+/// of clusters — the classic eigengap heuristic. For *flow-defined*
+/// clusters under the Hermitian encoding it can be **smaller** than the
+/// cluster count: a single complex eigenvector encodes up to one cluster
+/// per phase (e.g. a 3-cycle meta-flow fits in one eigenvector as phases
+/// `1, ω, ω²`), so treat the result as the embedding dimension and choose
+/// the cluster count separately.
+///
+/// # Panics
+///
+/// Panics if the range is empty or exceeds the spectrum length.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_core::model_selection::eigengap_k;
+/// // Three tiny eigenvalues, then a jump: the gap sits after index 2.
+/// let spectrum = [0.0, 0.01, 0.02, 0.9, 0.95, 1.0];
+/// assert_eq!(eigengap_k(&spectrum, 2, 5), 3);
+/// ```
+pub fn eigengap_k(spectrum: &[f64], k_min: usize, k_max: usize) -> usize {
+    assert!(k_min >= 1 && k_min <= k_max, "empty k range");
+    assert!(k_max < spectrum.len(), "k_max exceeds spectrum length");
+    let mut best_k = k_min;
+    let mut best_gap = f64::NEG_INFINITY;
+    for k in k_min..=k_max {
+        let gap = spectrum[k] - spectrum[k - 1];
+        if gap > best_gap {
+            best_gap = gap;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+/// Classical pipeline using the Lanczos partial eigensolver for the
+/// spectral step (`O(m·n²)` instead of `O(n³)`) — the "alternative
+/// classical algorithm" of the related-work discussion, and ablation A3.
+///
+/// Produces the same embedding as [`crate::classical_spectral_clustering`]
+/// up to eigensolver tolerance; its `spectrum` field only contains the `k`
+/// computed eigenvalues.
+///
+/// # Errors
+///
+/// Same contract as the full classical pipeline, plus Lanczos
+/// non-convergence.
+pub fn lanczos_spectral_clustering(
+    g: &MixedGraph,
+    config: &SpectralConfig,
+) -> Result<ClusteringOutcome, PipelineError> {
+    crate::classical::validate_request(g, config.k)?;
+    let start = Instant::now();
+    let laplacian = normalized_hermitian_laplacian(g, config.q);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1a2b_3c4d_5e6f_7788);
+    let partial = lanczos_lowest_k(&laplacian, config.k, 1e-8, &mut rng)?;
+
+    let mut embedding: Vec<Vec<f64>> = (0..g.num_vertices())
+        .map(|i| interleave_re_im(partial.eigenvectors.row(i)))
+        .collect();
+    if config.normalize_rows {
+        normalize_rows(&mut embedding);
+    }
+    let eta = eta_of_embedding(&embedding);
+
+    let km = kmeans(
+        &embedding,
+        &KMeansConfig {
+            k: config.k,
+            max_iter: config.max_iter,
+            tol: 1e-9,
+            restarts: config.restarts,
+            seed: config.seed,
+        },
+    )?;
+
+    let kappa = condition_number_from_eigenvalues(&partial.eigenvalues, ZERO_EIG_TOL);
+    // Lanczos cost proxy: m iterations of an n² matvec + reorthogonalization.
+    let n = g.num_vertices() as f64;
+    let m = partial.iterations as f64;
+    let cost = m * n * n * 2.0 + n * (config.k as f64).powi(2) * km.iterations as f64;
+
+    Ok(ClusteringOutcome {
+        labels: km.labels,
+        embedding,
+        selected_eigenvalues: partial.eigenvalues.clone(),
+        diagnostics: Diagnostics {
+            kappa,
+            mu_b: incidence_mu(g),
+            eta_embedding: eta,
+            classical_cost: cost,
+            quantum_cost: None,
+            kmeans_iterations: km.iterations,
+            dims_used: config.k,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        },
+        spectrum: partial.eigenvalues,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::classical_spectral_clustering;
+    use qsc_cluster::metrics::matched_accuracy;
+    use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
+
+    fn flow_instance(n: usize, k: usize, seed: u64) -> qsc_graph::generators::PlantedGraph {
+        dsbm(&DsbmParams {
+            n,
+            k,
+            p_intra: 0.25,
+            p_inter: 0.25,
+            eta_flow: 1.0,
+            meta: MetaGraph::Cycle,
+            seed,
+            ..DsbmParams::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn eigengap_finds_planted_k_on_density_clusters() {
+        // Classic regime: dense blocks, sparse in between.
+        let inst = dsbm(&DsbmParams {
+            n: 120,
+            k: 3,
+            p_intra: 0.4,
+            p_inter: 0.05,
+            eta_flow: 0.5,
+            seed: 31,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let l = normalized_hermitian_laplacian(&inst.graph, 0.25);
+        let spectrum = qsc_linalg::eigvalsh(&l).unwrap();
+        assert_eq!(eigengap_k(&spectrum, 2, 8), 3);
+    }
+
+    #[test]
+    fn eigengap_compresses_cyclic_flow_into_one_dimension() {
+        // The Hermitian phenomenon the docs describe: a 3-cycle meta-flow
+        // fits in a single complex eigenvector (phases 1, ω, ω²), so the
+        // dominant gap sits after k = 1.
+        let inst = flow_instance(120, 3, 31);
+        let l = normalized_hermitian_laplacian(&inst.graph, 0.25);
+        let spectrum = qsc_linalg::eigvalsh(&l).unwrap();
+        assert_eq!(eigengap_k(&spectrum, 1, 8), 1);
+    }
+
+    #[test]
+    fn eigengap_respects_bounds() {
+        let spectrum = [0.0, 0.5, 0.51, 0.52, 0.53];
+        // The true gap is at k=1 but k_min forces ≥ 2.
+        assert!(eigengap_k(&spectrum, 2, 4) >= 2);
+    }
+
+    #[test]
+    fn lanczos_pipeline_matches_full_pipeline() {
+        let inst = flow_instance(100, 3, 32);
+        let cfg = SpectralConfig { k: 3, seed: 4, ..SpectralConfig::default() };
+        let full = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let acc_full = matched_accuracy(&inst.labels, &full.labels);
+        let acc_fast = matched_accuracy(&inst.labels, &fast.labels);
+        assert!(acc_fast > 0.9, "lanczos pipeline accuracy {acc_fast}");
+        assert!((acc_full - acc_fast).abs() < 0.1);
+        // Eigenvalues agree with the full decomposition.
+        for (a, b) in fast.selected_eigenvalues.iter().zip(&full.selected_eigenvalues) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn lanczos_cost_proxy_below_cubic() {
+        let inst = flow_instance(100, 3, 33);
+        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let full = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
+        assert!(fast.diagnostics.classical_cost < full.diagnostics.classical_cost);
+    }
+}

@@ -1,0 +1,437 @@
+//! The simulated end-to-end quantum pipeline.
+//!
+//! The quantum algorithm performs the same steps as the classical one while
+//! introducing the noise its quantum subroutines would: QPE bins every
+//! eigenvalue to `t` bits before the threshold decides which eigenvectors
+//! form the projected subspace; amplitude estimation perturbs the projected
+//! row norms; tomography perturbs their directions; q-means perturbs every
+//! distance and centroid. Each channel is driven by the corresponding
+//! `qsc-sim` routine so the injected noise has exactly the magnitude the
+//! theory assigns to it.
+//!
+//! For small systems [`gate_level_projected_row`] runs the *actual circuit*
+//! (QPE → threshold flag → uncompute) and is tested to agree with the exact
+//! eigenprojection the fast path uses.
+
+use crate::config::{QuantumParams, SpectralConfig};
+use crate::cost::{classical_cost, incidence_mu, quantum_cost, QuantumCostInputs};
+use crate::embedding::{eta_of_embedding, normalize_rows};
+use crate::error::PipelineError;
+use crate::outcome::{ClusteringOutcome, Diagnostics};
+use qsc_cluster::{qmeans, KMeansConfig, QMeansConfig};
+use qsc_graph::{normalized_hermitian_laplacian, MixedGraph};
+use qsc_linalg::params::condition_number_from_eigenvalues;
+use qsc_linalg::vector::interleave_re_im;
+use qsc_linalg::{eigh, CMatrix, Complex64};
+use qsc_sim::amplitude::estimate_norm;
+use qsc_sim::tomography::tomography_complex;
+use qsc_sim::PhaseEstimator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs the simulated quantum spectral-clustering pipeline on a mixed
+/// graph.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidRequest`] for inconsistent requests and
+/// propagates substrate failures.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_core::{quantum_spectral_clustering, QuantumParams, SpectralConfig};
+/// use qsc_graph::generators::{dsbm, DsbmParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let inst = dsbm(&DsbmParams { n: 45, k: 3, seed: 2, ..DsbmParams::default() })?;
+/// let out = quantum_spectral_clustering(
+///     &inst.graph,
+///     &SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() },
+///     &QuantumParams::default(),
+/// )?;
+/// assert_eq!(out.labels.len(), 45);
+/// # Ok(())
+/// # }
+/// ```
+pub fn quantum_spectral_clustering(
+    g: &MixedGraph,
+    config: &SpectralConfig,
+    params: &QuantumParams,
+) -> Result<ClusteringOutcome, PipelineError> {
+    crate::classical::validate_request(g, config.k)?;
+    if params.qpe_scale <= 2.0 {
+        return Err(PipelineError::InvalidRequest {
+            context: format!(
+                "qpe_scale = {} must exceed the Laplacian spectral bound 2",
+                params.qpe_scale
+            ),
+        });
+    }
+    let start = Instant::now();
+    // Mix the user seed so the quantum-noise stream differs from the
+    // k-means stream derived from the same seed.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517c_c1b7_2722_0a95);
+
+    let laplacian = normalized_hermitian_laplacian(g, config.q);
+    // The simulator's privilege: the exact spectrum is available; the
+    // algorithmic noise is injected downstream exactly where the quantum
+    // subroutines would introduce it.
+    let eig = eigh(&laplacian)?;
+
+    // --- QPE: every eigenvalue is known only at t-bit resolution. The
+    // threshold ν is placed just above the bin of the k-th smallest rounded
+    // eigenvalue, which is all the algorithm can resolve. ---
+    let estimator = PhaseEstimator::new(params.qpe_scale, params.qpe_bits)?;
+    let mut rounded: Vec<f64> = eig.eigenvalues.iter().map(|&l| estimator.round(l)).collect();
+    rounded.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let nu = rounded[config.k - 1] + estimator.resolution() * 0.5;
+
+    // --- Post-selecting on the thresholded phase register is a *soft*
+    // spectral filter: eigencomponent j survives with amplitude √p_j where
+    // p_j is the QPE outcome mass in bins below ν. Components with exact
+    // bins below ν get p_j ≈ 1; far eigenvalues are suppressed by the
+    // Fejér-kernel tails; only boundary eigenvalues are genuinely fuzzy. ---
+    let bins = 1usize << params.qpe_bits;
+    let survival: Vec<f64> = eig
+        .eigenvalues
+        .iter()
+        .map(|&l| {
+            let dist =
+                qsc_sim::qpe::qpe_phase_distribution(l / params.qpe_scale, params.qpe_bits);
+            (0..bins)
+                .filter(|&m| params.qpe_scale * m as f64 / bins as f64 <= nu)
+                .map(|m| dist[m])
+                .sum::<f64>()
+        })
+        .collect();
+
+    // Dimensions with non-negligible survival form the embedding; bound the
+    // blow-up from bin collisions.
+    const SURVIVAL_FLOOR: f64 = 0.01;
+    let mut selected: Vec<usize> = (0..survival.len())
+        .filter(|&j| survival[j] >= SURVIVAL_FLOOR)
+        .collect();
+    selected.sort_by(|&a, &b| {
+        survival[b]
+            .partial_cmp(&survival[a])
+            .expect("finite")
+            .then(eig.eigenvalues[a].partial_cmp(&eig.eigenvalues[b]).expect("finite"))
+    });
+    let cap = (config.k * params.max_dims_factor).max(config.k);
+    selected.truncate(cap);
+    selected.sort_unstable();
+
+    // --- Project rows through the soft filter, read them out through AE
+    // (norms) + tomography (directions). ---
+    let sub = eig.eigenvectors.select_columns(&selected);
+    let weights: Vec<f64> = selected.iter().map(|&j| survival[j].sqrt()).collect();
+    let n = g.num_vertices();
+    let mut embedding: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<Complex64> = sub
+            .row(i)
+            .iter()
+            .zip(&weights)
+            .map(|(z, &w)| z.scale(w))
+            .collect();
+        let true_norm: f64 = row.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        if true_norm <= f64::EPSILON {
+            embedding.push(vec![0.0; 2 * selected.len()]);
+            continue;
+        }
+        // Row of a unitary submatrix: norm ≤ 1, so AE with scale 1 applies.
+        let est_norm = estimate_norm(
+            true_norm.min(1.0),
+            1.0,
+            params.norm_estimation_iters,
+            &mut rng,
+        )?;
+        let direction = tomography_complex(&row, params.tomography_shots, &mut rng)?;
+        // Tomography preserves the exact input norm; rescale so the norm
+        // carries the AE error instead.
+        let dir_norm: f64 = direction.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+        let scale = if dir_norm > 0.0 { est_norm / dir_norm } else { 0.0 };
+        let noisy: Vec<Complex64> = direction.iter().map(|z| z.scale(scale)).collect();
+        embedding.push(interleave_re_im(&noisy));
+    }
+    if config.normalize_rows {
+        normalize_rows(&mut embedding);
+    } else {
+        // The q-means analysis states δ relative to data whose smallest
+        // non-zero row norm is 1 (Definition 3's convention). Rescale the
+        // embedding to that unit — a pure unit change k-means itself is
+        // invariant to, but which gives the absolute δ noise its intended
+        // relative meaning.
+        let min_norm = embedding
+            .iter()
+            .map(|row| row.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .filter(|&n| n > f64::EPSILON)
+            .fold(f64::INFINITY, f64::min);
+        if min_norm.is_finite() && min_norm > 0.0 {
+            for row in &mut embedding {
+                for x in row.iter_mut() {
+                    *x /= min_norm;
+                }
+            }
+        }
+    }
+    let eta = eta_of_embedding(&embedding);
+
+    // --- q-means in the spectral space. ---
+    let qm = qmeans(
+        &embedding,
+        &QMeansConfig {
+            base: KMeansConfig {
+                k: config.k,
+                max_iter: config.max_iter,
+                tol: 1e-9,
+                restarts: config.restarts,
+                seed: config.seed,
+            },
+            delta: params.delta,
+        },
+    )?;
+
+    let selected_eigenvalues: Vec<f64> =
+        selected.iter().map(|&j| eig.eigenvalues[j]).collect();
+    let kappa =
+        condition_number_from_eigenvalues(&selected_eigenvalues, crate::classical::ZERO_EIG_TOL);
+    let mu_b = incidence_mu(g);
+    let cost = quantum_cost(
+        &QuantumCostInputs {
+            n,
+            k_selected: selected.len(),
+            mu_b,
+            kappa,
+            eta_embedding: eta,
+        },
+        params,
+    );
+
+    Ok(ClusteringOutcome {
+        labels: qm.labels,
+        embedding,
+        selected_eigenvalues,
+        diagnostics: Diagnostics {
+            kappa,
+            mu_b,
+            eta_embedding: eta,
+            classical_cost: classical_cost(n, config.k, qm.iterations),
+            quantum_cost: Some(cost),
+            kmeans_iterations: qm.iterations,
+            dims_used: selected.len(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        },
+        spectrum: eig.eigenvalues,
+    })
+}
+
+/// Runs the *actual* QPE-projection circuit for one vertex of a small
+/// graph: prepare `|i⟩`, QPE with `t` bits on `U = e^{i·2π·𝓛/scale}`, zero
+/// the amplitudes whose phase bin exceeds `ν`, uncompute the QPE, and read
+/// the (unnormalized) system register where the phase register returned to
+/// `|0⟩`.
+///
+/// The result approximates `P_{λ≤ν}·e_i`, the exact eigenprojection — the
+/// agreement is ablation A2 of the evaluation.
+///
+/// # Errors
+///
+/// Propagates simulator errors; the Laplacian dimension must be a power of
+/// two at most `2^8` (pad the graph if needed).
+pub fn gate_level_projected_row(
+    laplacian: &CMatrix,
+    vertex: usize,
+    t: usize,
+    scale: f64,
+    nu: f64,
+) -> Result<Vec<Complex64>, PipelineError> {
+    use qsc_linalg::expm::expi;
+    use qsc_sim::qft::{apply_inverse_qft, apply_qft};
+    use qsc_sim::QuantumState;
+    use std::f64::consts::TAU;
+
+    let n = laplacian.nrows();
+    if !n.is_power_of_two() || n > 256 {
+        return Err(PipelineError::InvalidRequest {
+            context: format!("gate-level path needs a power-of-two dimension ≤ 256, got {n}"),
+        });
+    }
+    if vertex >= n {
+        return Err(PipelineError::InvalidRequest {
+            context: format!("vertex {vertex} out of range"),
+        });
+    }
+    let s = n.trailing_zeros() as usize;
+    let u = expi(laplacian, TAU / scale)?;
+
+    // Forward QPE (same construction as qsc_sim::qpe::qpe_gate_level, but
+    // inlined so the inverse pass can reuse the powers).
+    let mut powers = Vec::with_capacity(t);
+    let mut p = u;
+    for _ in 0..t {
+        powers.push(p.clone());
+        p = p.matmul(&p);
+    }
+
+    let input = QuantumState::basis_state(s, vertex);
+    let mut amps = vec![qsc_linalg::C_ZERO; 1 << (s + t)];
+    amps[..input.dim()].copy_from_slice(input.amplitudes());
+    let mut state = QuantumState::from_amplitudes(amps).expect("valid");
+    for j in 0..t {
+        state.apply_h(s + j)?;
+    }
+    for (j, pw) in powers.iter().enumerate() {
+        state.apply_controlled_block_unitary(pw, Some(s + j))?;
+    }
+    apply_inverse_qft(&mut state, s..s + t)?;
+
+    // Threshold: zero every amplitude whose phase bin maps to λ > ν.
+    let bins = 1usize << t;
+    let mut kept = Vec::from(state.amplitudes());
+    for (idx, amp) in kept.iter_mut().enumerate() {
+        let m = idx >> s;
+        let lambda = scale * m as f64 / bins as f64;
+        if lambda > nu {
+            *amp = qsc_linalg::C_ZERO;
+        }
+    }
+    // The projected joint state is unnormalized; carry it through the
+    // inverse circuit manually (all ops are linear).
+    let norm: f64 = kept.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return Ok(vec![qsc_linalg::C_ZERO; n]);
+    }
+    let mut state = QuantumState::from_amplitudes(kept).expect("non-zero");
+
+    // Uncompute: forward QFT, inverse controlled powers (reverse order),
+    // Hadamards.
+    apply_qft(&mut state, s..s + t)?;
+    for j in (0..t).rev() {
+        state.apply_controlled_block_unitary(&powers[j].adjoint(), Some(s + j))?;
+    }
+    for j in 0..t {
+        state.apply_h(s + j)?;
+    }
+
+    // Read the system register where the phase register is |0⟩, restoring
+    // the pre-normalization scale.
+    let out: Vec<Complex64> = state.amplitudes()[..n]
+        .iter()
+        .map(|z| z.scale(norm))
+        .collect();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_cluster::metrics::matched_accuracy;
+    use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
+
+    fn flow_instance(n: usize, seed: u64) -> qsc_graph::generators::PlantedGraph {
+        dsbm(&DsbmParams {
+            n,
+            k: 3,
+            p_intra: 0.25,
+            p_inter: 0.25,
+            eta_flow: 1.0,
+            meta: MetaGraph::Cycle,
+            seed,
+            ..DsbmParams::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn quantum_matches_classical_closely() {
+        let inst = flow_instance(90, 5);
+        let cfg = SpectralConfig { k: 3, seed: 2, ..SpectralConfig::default() };
+        let qp = QuantumParams::default();
+        let q = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        let acc = matched_accuracy(&inst.labels, &q.labels);
+        assert!(acc > 0.85, "quantum accuracy {acc}");
+        assert!(q.diagnostics.quantum_cost.is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = flow_instance(60, 6);
+        let cfg = SpectralConfig { k: 3, seed: 9, ..SpectralConfig::default() };
+        let qp = QuantumParams::default();
+        let a = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        let b = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn dims_used_at_least_k_and_capped() {
+        let inst = flow_instance(60, 7);
+        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let qp = QuantumParams { qpe_bits: 2, ..QuantumParams::default() };
+        // Coarse bins force collisions.
+        let out = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        assert!(out.diagnostics.dims_used >= 3);
+        assert!(out.diagnostics.dims_used <= 3 * qp.max_dims_factor);
+    }
+
+    #[test]
+    fn rejects_scale_within_spectral_bound() {
+        let inst = flow_instance(30, 8);
+        let cfg = SpectralConfig { k: 3, ..SpectralConfig::default() };
+        let qp = QuantumParams { qpe_scale: 1.5, ..QuantumParams::default() };
+        assert!(quantum_spectral_clustering(&inst.graph, &cfg, &qp).is_err());
+    }
+
+    #[test]
+    fn gate_level_projection_agrees_with_exact() {
+        use qsc_graph::normalized_hermitian_laplacian;
+        // 8-vertex mixed graph (power of two).
+        let inst = dsbm(&DsbmParams {
+            n: 8,
+            k: 2,
+            p_intra: 0.9,
+            p_inter: 0.9,
+            eta_flow: 1.0,
+            seed: 3,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let l = normalized_hermitian_laplacian(&inst.graph, 0.25);
+        let eig = qsc_linalg::eigh(&l).unwrap();
+        // Pick ν safely between eigenvalue 2 and 3 and require the gap to be
+        // resolvable with t bits.
+        let t = 7;
+        let scale = 4.0;
+        let nu = (eig.eigenvalues[1] + eig.eigenvalues[2]) / 2.0;
+        let resolution = scale / (1 << t) as f64;
+        if eig.eigenvalues[2] - eig.eigenvalues[1] < 4.0 * resolution {
+            // Degenerate instance for this seed; the test premise needs a
+            // resolvable gap. (Deterministic seed: this branch is stable.)
+            return;
+        }
+        for vertex in 0..8 {
+            let got = gate_level_projected_row(&l, vertex, t, scale, nu).unwrap();
+            // Exact projection P = Σ_{λ_j ≤ ν} u_j u_j† applied to e_vertex.
+            let mut expected = vec![qsc_linalg::C_ZERO; 8];
+            for j in 0..8 {
+                if eig.eigenvalues[j] <= nu {
+                    let uj = eig.eigenvectors.col(j);
+                    let coeff = uj[vertex].conj();
+                    for (e, u) in expected.iter_mut().zip(&uj) {
+                        *e += *u * coeff;
+                    }
+                }
+            }
+            let err: f64 = got
+                .iter()
+                .zip(&expected)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f64>()
+                .sqrt();
+            assert!(err < 0.05, "vertex {vertex}: circuit vs exact err {err}");
+        }
+    }
+}

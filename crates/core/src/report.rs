@@ -1,0 +1,168 @@
+//! Tiny, dependency-free CSV and table writers used by the experiment
+//! harness to emit paper-style rows and machine-readable series.
+
+use std::fmt::Write as _;
+
+/// A rectangular results table with named columns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(columns: I) -> Self {
+        Self {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the column count.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes fields containing separators).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, fields: &[String]| {
+            let encoded: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    if f.contains(',') || f.contains('"') || f.contains('\n') {
+                        format!("\"{}\"", f.replace('"', "\"\""))
+                    } else {
+                        f.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", encoded.join(","));
+        };
+        write_row(&mut out, &self.columns);
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders an aligned plain-text table (what the experiments binary
+    /// prints as the "paper row" view).
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, fields: &[String]| {
+            let cells: Vec<String> = fields
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        };
+        fmt_row(&mut out, &self.columns);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "|-{}-|", sep.join("-|-"));
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper for rows).
+pub fn fmt(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// Formats a mean ± standard deviation pair.
+pub fn fmt_mean_std(values: &[f64], decimals: usize) -> String {
+    if values.is_empty() {
+        return "n/a".into();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    format!("{mean:.decimals$} ± {:.decimals$}", var.sqrt())
+}
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_shape() {
+        let mut t = Table::new(["n", "accuracy"]);
+        t.push_row(["100", "0.99"]);
+        t.push_row(["200", "0.98"]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("n,accuracy\n"));
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["x,y"]);
+        t.push_row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn aligned_output_has_separator() {
+        let mut t = Table::new(["col"]);
+        t.push_row(["value"]);
+        let text = t.to_aligned();
+        assert!(text.contains("|-"));
+        assert!(text.contains("value"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        let s = fmt_mean_std(&[1.0, 1.0], 1);
+        assert_eq!(s, "1.0 ± 0.0");
+        assert_eq!(fmt_mean_std(&[], 1), "n/a");
+    }
+}

@@ -1,0 +1,303 @@
+//! Edge-local Trotterization of the Hermitian Laplacian evolution.
+//!
+//! The Laplacian of a mixed graph is a sum of **edge terms**,
+//! `L = Σ_e L_e`, where each `L_e` acts only on the two endpoint
+//! coordinates (a 2×2 Hermitian block: weights on the diagonal, the
+//! phase-encoded coupling off it). Each `e^{iτL_e}` is therefore a
+//! *two-level unitary* with a closed form — and the product formula
+//!
+//! ```text
+//! e^{iLt} ≈ ( Π_e e^{i(t/m)L_e} )^m
+//! ```
+//!
+//! is precisely how the evolution would be compiled on hardware without
+//! assuming an oracle for `e^{iLt}`. The first-order Trotter error decays
+//! as `O(t²/m)`; experiment F6 measures it.
+
+use crate::error::PipelineError;
+use qsc_graph::MixedGraph;
+use qsc_linalg::{CMatrix, Complex64, C_ZERO};
+use std::f64::consts::TAU;
+
+/// One edge term of the (unnormalized) Hermitian Laplacian: the 2×2
+/// Hermitian block `[[w, −w·e^{iθ}], [−w·e^{−iθ}, w]]` on endpoints
+/// `(u, v)`, with `θ = 2πq` for arcs and `0` for undirected edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgeTerm {
+    /// First endpoint (row/column index of the block's first coordinate).
+    pub u: usize,
+    /// Second endpoint.
+    pub v: usize,
+    /// Edge weight `w`.
+    pub weight: f64,
+    /// Coupling phase `e^{iθ}` as seen at `(u, v)`.
+    pub phase: Complex64,
+}
+
+impl EdgeTerm {
+    /// The exact two-level unitary `e^{iτ·L_e}`.
+    ///
+    /// `L_e` has eigenvalues `0` (symmetric combination) and `2w`
+    /// (antisymmetric), so
+    /// `e^{iτL_e} = P_0 + e^{2iwτ}·P_{2w}` with rank-1 projectors built
+    /// from the phase.
+    pub fn evolution(&self, tau: f64) -> TwoLevelBlock {
+        // L_e = w·[[1, p], [p̄, 1]] with |p| = 1 has eigenpairs
+        //   λ = 2w : (1, p̄)/√2   with projector P₊ = ½[[1, p], [p̄, 1]],
+        //   λ = 0  : (1, −p̄)/√2  with projector P₀ = ½[[1, −p], [−p̄, 1]],
+        // so e^{iτL_e} = P₀ + e^{2iwτ}·P₊.
+        let e = Complex64::cis(2.0 * self.weight * tau);
+        let p = self.phase;
+        let half = 0.5;
+        TwoLevelBlock {
+            u: self.u,
+            v: self.v,
+            m00: (Complex64::real(1.0) + e).scale(half),
+            m01: (p * e - p).scale(half),
+            m10: (p.conj() * e - p.conj()).scale(half),
+            m11: (Complex64::real(1.0) + e).scale(half),
+        }
+    }
+}
+
+/// A two-level unitary block ready to be applied to vectors/matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoLevelBlock {
+    /// First coordinate.
+    pub u: usize,
+    /// Second coordinate.
+    pub v: usize,
+    /// Block entries (row-major on coordinates `(u, v)`).
+    pub m00: Complex64,
+    /// Entry `(u, v)`.
+    pub m01: Complex64,
+    /// Entry `(v, u)`.
+    pub m10: Complex64,
+    /// Entry `(v, v)`.
+    pub m11: Complex64,
+}
+
+impl TwoLevelBlock {
+    /// Applies the block to a vector in place.
+    pub fn apply(&self, x: &mut [Complex64]) {
+        let a = x[self.u];
+        let b = x[self.v];
+        x[self.u] = self.m00 * a + self.m01 * b;
+        x[self.v] = self.m10 * a + self.m11 * b;
+    }
+}
+
+/// Extracts the edge terms of the unnormalized Hermitian Laplacian
+/// `L(q) = Σ_e L_e` of a mixed graph.
+pub fn edge_terms(g: &MixedGraph, q: f64) -> Vec<EdgeTerm> {
+    let mut terms = Vec::with_capacity(g.num_connections());
+    for e in g.edges() {
+        terms.push(EdgeTerm {
+            u: e.u,
+            v: e.v,
+            weight: e.weight,
+            phase: Complex64::real(-1.0),
+        });
+    }
+    let phase = Complex64::cis(TAU * q);
+    for a in g.arcs() {
+        terms.push(EdgeTerm {
+            u: a.from,
+            v: a.to,
+            weight: a.weight,
+            phase: -phase,
+        });
+    }
+    terms
+}
+
+/// First-order Trotter approximation of `e^{i·t·L(q)}` applied to a vector:
+/// `m` repetitions of the ordered edge-term product.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::InvalidRequest`] if `steps == 0` or the vector
+/// length differs from the vertex count.
+pub fn trotter_apply(
+    g: &MixedGraph,
+    q: f64,
+    t: f64,
+    steps: usize,
+    x: &[Complex64],
+) -> Result<Vec<Complex64>, PipelineError> {
+    if steps == 0 {
+        return Err(PipelineError::InvalidRequest {
+            context: "trotter: steps must be positive".into(),
+        });
+    }
+    if x.len() != g.num_vertices() {
+        return Err(PipelineError::InvalidRequest {
+            context: format!(
+                "trotter: vector length {} != {} vertices",
+                x.len(),
+                g.num_vertices()
+            ),
+        });
+    }
+    let tau = t / steps as f64;
+    let blocks: Vec<TwoLevelBlock> = edge_terms(g, q)
+        .iter()
+        .map(|term| term.evolution(tau))
+        .collect();
+    let mut y = x.to_vec();
+    for _ in 0..steps {
+        for b in &blocks {
+            b.apply(&mut y);
+        }
+    }
+    Ok(y)
+}
+
+/// Builds the full Trotterized unitary matrix (columns = Trotter applied to
+/// basis vectors). `O(m·|E|·n)` — for validation and the F6 measurement.
+///
+/// # Errors
+///
+/// Same contract as [`trotter_apply`].
+pub fn trotter_unitary(
+    g: &MixedGraph,
+    q: f64,
+    t: f64,
+    steps: usize,
+) -> Result<CMatrix, PipelineError> {
+    let n = g.num_vertices();
+    let mut u = CMatrix::zeros(n, n);
+    for col in 0..n {
+        let mut e = vec![C_ZERO; n];
+        e[col] = Complex64::real(1.0);
+        let y = trotter_apply(g, q, t, steps, &e)?;
+        for (row, &val) in y.iter().enumerate() {
+            u[(row, col)] = val;
+        }
+    }
+    Ok(u)
+}
+
+/// Spectral-norm-ish error `‖U_trotter − e^{iLt}‖_max` against the exact
+/// evolution, for the F6 series.
+///
+/// # Errors
+///
+/// Propagates eigensolver and Trotter errors.
+pub fn trotter_error(
+    g: &MixedGraph,
+    q: f64,
+    t: f64,
+    steps: usize,
+) -> Result<f64, PipelineError> {
+    use qsc_graph::hermitian_laplacian;
+    use qsc_linalg::expm::expi;
+    let exact = expi(&hermitian_laplacian(g, q), t)?;
+    let approx = trotter_unitary(g, q, t, steps)?;
+    Ok((&approx - &exact).max_norm())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_graph::generators::{random_mixed, RandomMixedParams};
+    use qsc_graph::hermitian_laplacian;
+
+    fn sample_graph(seed: u64) -> MixedGraph {
+        random_mixed(&RandomMixedParams {
+            n: 8,
+            p_undirected: 0.3,
+            p_directed: 0.3,
+            weight_range: (0.5, 1.5),
+            seed,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn edge_terms_sum_to_laplacian() {
+        let g = sample_graph(1);
+        for &q in &[0.0, 0.25, 0.4] {
+            let l = hermitian_laplacian(&g, q);
+            let mut sum = CMatrix::zeros(8, 8);
+            for term in edge_terms(&g, q) {
+                sum[(term.u, term.u)] += Complex64::real(term.weight);
+                sum[(term.v, term.v)] += Complex64::real(term.weight);
+                sum[(term.u, term.v)] += term.phase.scale(term.weight);
+                sum[(term.v, term.u)] += term.phase.conj().scale(term.weight);
+            }
+            assert!(
+                (&sum - &l).max_norm() < 1e-12,
+                "edge terms must sum to L at q={q}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_edge_evolution_is_exact() {
+        // One edge: Trotter with 1 step is exact.
+        let mut g = MixedGraph::new(2);
+        g.add_arc(0, 1, 1.3).unwrap();
+        let err = trotter_error(&g, 0.25, 0.8, 1).unwrap();
+        assert!(err < 1e-10, "single-term Trotter must be exact, err {err}");
+    }
+
+    #[test]
+    fn trotter_unitary_is_unitary() {
+        let g = sample_graph(2);
+        let u = trotter_unitary(&g, 0.25, 0.5, 4).unwrap();
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn error_decays_linearly_in_steps() {
+        let g = sample_graph(3);
+        let e4 = trotter_error(&g, 0.25, 1.0, 4).unwrap();
+        let e16 = trotter_error(&g, 0.25, 1.0, 16).unwrap();
+        let e64 = trotter_error(&g, 0.25, 1.0, 64).unwrap();
+        assert!(e16 < e4 / 2.0, "e4={e4} e16={e16}");
+        assert!(e64 < e16 / 2.0, "e16={e16} e64={e64}");
+        // First-order: quadrupling steps should ≈ quarter the error.
+        let ratio = e16 / e64;
+        assert!((2.0..8.0).contains(&ratio), "decay ratio {ratio}");
+    }
+
+    #[test]
+    fn trotter_converges_to_exact_evolution() {
+        let g = sample_graph(4);
+        let err = trotter_error(&g, 0.25, 0.5, 512).unwrap();
+        assert!(err < 5e-3, "512 steps should be accurate, err {err}");
+    }
+
+    #[test]
+    fn evolution_block_matches_matrix_exponential() {
+        use qsc_linalg::expm::expi;
+        let term = EdgeTerm {
+            u: 0,
+            v: 1,
+            weight: 0.9,
+            phase: Complex64::cis(1.1),
+        };
+        let tau = 0.37;
+        let block = term.evolution(tau);
+        // Build L_e and exponentiate exactly.
+        let mut le = CMatrix::zeros(2, 2);
+        le[(0, 0)] = Complex64::real(term.weight);
+        le[(1, 1)] = Complex64::real(term.weight);
+        le[(0, 1)] = term.phase.scale(term.weight);
+        le[(1, 0)] = term.phase.conj().scale(term.weight);
+        let exact = expi(&le, tau).unwrap();
+        assert!((block.m00 - exact[(0, 0)]).abs() < 1e-10);
+        assert!((block.m01 - exact[(0, 1)]).abs() < 1e-10);
+        assert!((block.m10 - exact[(1, 0)]).abs() < 1e-10);
+        assert!((block.m11 - exact[(1, 1)]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = sample_graph(5);
+        let x = vec![C_ZERO; 8];
+        assert!(trotter_apply(&g, 0.25, 1.0, 0, &x).is_err());
+        assert!(trotter_apply(&g, 0.25, 1.0, 2, &x[..3]).is_err());
+    }
+}

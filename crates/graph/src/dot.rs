@@ -1,0 +1,117 @@
+//! Graphviz DOT export for mixed graphs, with optional cluster coloring —
+//! the visualization path for figures and debugging.
+
+use crate::mixed::MixedGraph;
+use std::fmt::Write as _;
+
+/// Palette used for cluster fills (cycled when clusters exceed it).
+const PALETTE: [&str; 8] = [
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f", "#e5c494", "#b3b3b3",
+];
+
+/// Renders a mixed graph in Graphviz DOT: undirected edges as `--` inside
+/// an `edge [dir=none]` scope, arcs as `->`. If `labels` is provided (one
+/// per vertex), vertices are colored by cluster.
+///
+/// # Panics
+///
+/// Panics if `labels` is `Some` with a length different from the vertex
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_graph::{dot::to_dot, MixedGraph};
+///
+/// # fn main() -> Result<(), qsc_graph::GraphError> {
+/// let mut g = MixedGraph::new(2);
+/// g.add_arc(0, 1, 1.0)?;
+/// let dot = to_dot(&g, Some(&[0, 1]));
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("0 -> 1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(g: &MixedGraph, labels: Option<&[usize]>) -> String {
+    if let Some(l) = labels {
+        assert_eq!(l.len(), g.num_vertices(), "to_dot: label length mismatch");
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph mixed {{");
+    let _ = writeln!(out, "  node [shape=circle, style=filled];");
+    for v in 0..g.num_vertices() {
+        match labels {
+            Some(l) => {
+                let color = PALETTE[l[v] % PALETTE.len()];
+                let _ = writeln!(out, "  {v} [fillcolor=\"{color}\", label=\"{v}\"];");
+            }
+            None => {
+                let _ = writeln!(out, "  {v} [fillcolor=\"#dddddd\", label=\"{v}\"];");
+            }
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [dir=none, penwidth={:.2}];",
+            e.u,
+            e.v,
+            e.weight.min(4.0)
+        );
+    }
+    for a in g.arcs() {
+        let _ = writeln!(
+            out,
+            "  {} -> {} [penwidth={:.2}];",
+            a.from,
+            a.to,
+            a.weight.min(4.0)
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MixedGraph {
+        let mut g = MixedGraph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_arc(1, 2, 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn contains_both_edge_kinds() {
+        let dot = to_dot(&sample(), None);
+        assert!(dot.contains("0 -> 1 [dir=none"));
+        assert!(dot.contains("1 -> 2 [penwidth"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_color_vertices() {
+        let dot = to_dot(&sample(), Some(&[0, 1, 0]));
+        assert!(dot.contains(PALETTE[0]));
+        assert!(dot.contains(PALETTE[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "label length mismatch")]
+    fn mismatched_labels_panic() {
+        to_dot(&sample(), Some(&[0, 1]));
+    }
+
+    #[test]
+    fn palette_cycles() {
+        let mut g = MixedGraph::new(10);
+        g.add_edge(0, 9, 1.0).unwrap();
+        let labels: Vec<usize> = (0..10).collect();
+        let dot = to_dot(&g, Some(&labels));
+        // Cluster 8 wraps to palette slot 0.
+        assert!(dot.matches(PALETTE[0]).count() >= 2);
+    }
+}

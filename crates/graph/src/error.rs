@@ -1,0 +1,88 @@
+//! Error types for mixed-graph construction and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing mixed graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A vertex index is outside `0..n`.
+    VertexOutOfBounds {
+        /// The offending index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// Self-loops are not representable in the Hermitian adjacency used here.
+    SelfLoop {
+        /// The vertex with the attempted self-loop.
+        vertex: usize,
+    },
+    /// The vertex pair is already connected (by an edge or an arc).
+    DuplicateEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// Edge weights must be strictly positive.
+    NonPositiveWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+    /// A parse failure in the edge-list format.
+    ParseEdgeList {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// A generator was given inconsistent parameters.
+    InvalidParams {
+        /// Description of the inconsistency.
+        context: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, n } => {
+                write!(f, "vertex {vertex} out of bounds for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "vertices {u} and {v} are already connected")
+            }
+            GraphError::NonPositiveWeight { weight } => {
+                write!(f, "edge weight {weight} is not strictly positive")
+            }
+            GraphError::ParseEdgeList { line, message } => {
+                write!(f, "edge-list parse error at line {line}: {message}")
+            }
+            GraphError::InvalidParams { context } => {
+                write!(f, "invalid generator parameters: {context}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = GraphError::VertexOutOfBounds { vertex: 9, n: 5 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

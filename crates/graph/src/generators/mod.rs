@@ -1,0 +1,20 @@
+//! Synthetic workload generators.
+//!
+//! * [`dsbm`] — mixed directed stochastic block model with meta-graph flow
+//!   (the accuracy-table workload),
+//! * [`circles`] — two concentric circles with a threshold similarity graph
+//!   (the classic spectral-clustering showcase, Fig. 1),
+//! * [`netlist`] — synthetic pipelined-datapath netlists (the EDA workload,
+//!   Table IV),
+//! * [`random_mixed`] — unstructured random mixed graphs for tests and
+//!   benchmarks.
+
+mod circles;
+mod dsbm;
+mod netlist;
+mod random;
+
+pub use circles::{circles, CirclesInstance, CirclesParams};
+pub use dsbm::{dsbm, DsbmParams, MetaGraph, PlantedGraph};
+pub use netlist::{netlist, NetlistParams};
+pub use random::{random_mixed, RandomMixedParams};

@@ -1,0 +1,172 @@
+//! Plain-text edge-list serialization of mixed graphs.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! # anything
+//! n 5
+//! u 0 1 1.0       # undirected edge {0,1} with weight 1.0
+//! d 1 2 0.5       # directed arc 1 → 2 with weight 0.5
+//! ```
+
+use crate::error::GraphError;
+use crate::mixed::MixedGraph;
+use std::fmt::Write as _;
+
+/// Serializes a mixed graph to the edge-list format.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_graph::{io::{to_edge_list, from_edge_list}, MixedGraph};
+///
+/// # fn main() -> Result<(), qsc_graph::GraphError> {
+/// let mut g = MixedGraph::new(3);
+/// g.add_edge(0, 1, 1.0)?;
+/// g.add_arc(1, 2, 0.5)?;
+/// let text = to_edge_list(&g);
+/// assert_eq!(from_edge_list(&text)?, g);
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_edge_list(g: &MixedGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "n {}", g.num_vertices());
+    for e in g.edges() {
+        let _ = writeln!(out, "u {} {} {}", e.u, e.v, e.weight);
+    }
+    for a in g.arcs() {
+        let _ = writeln!(out, "d {} {} {}", a.from, a.to, a.weight);
+    }
+    out
+}
+
+/// Parses a mixed graph from the edge-list format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::ParseEdgeList`] with a 1-based line number on any
+/// malformed record, and propagates graph-construction errors (duplicate
+/// pairs, bad weights, out-of-bounds vertices).
+pub fn from_edge_list(text: &str) -> Result<MixedGraph, GraphError> {
+    let mut graph: Option<MixedGraph> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        let parse_err = |message: String| GraphError::ParseEdgeList {
+            line: line_no,
+            message,
+        };
+        match tag {
+            "n" => {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| parse_err("missing vertex count".into()))?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad vertex count: {e}")))?;
+                if graph.is_some() {
+                    return Err(parse_err("duplicate 'n' record".into()));
+                }
+                graph = Some(MixedGraph::new(n));
+            }
+            "u" | "d" => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| parse_err("edge before 'n' record".into()))?;
+                let mut next_field = |name: &str| {
+                    parts
+                        .next()
+                        .ok_or_else(|| GraphError::ParseEdgeList {
+                            line: line_no,
+                            message: format!("missing {name}"),
+                        })
+                        .map(str::to_owned)
+                };
+                let a: usize = next_field("source")?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad source: {e}")))?;
+                let b: usize = next_field("target")?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad target: {e}")))?;
+                let w: f64 = next_field("weight")?
+                    .parse()
+                    .map_err(|e| parse_err(format!("bad weight: {e}")))?;
+                if tag == "u" {
+                    g.add_edge(a, b, w)?;
+                } else {
+                    g.add_arc(a, b, w)?;
+                }
+            }
+            other => {
+                return Err(parse_err(format!("unknown record tag '{other}'")));
+            }
+        }
+    }
+    graph.ok_or(GraphError::ParseEdgeList {
+        line: 0,
+        message: "no 'n' record found".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut g = MixedGraph::new(4);
+        g.add_edge(0, 1, 1.5).unwrap();
+        g.add_arc(1, 2, 0.25).unwrap();
+        g.add_arc(3, 0, 2.0).unwrap();
+        let text = to_edge_list(&g);
+        let parsed = from_edge_list(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nn 2\nu 0 1 1.0 # trailing comment\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "n 2\nu 0 oops 1.0\n";
+        match from_edge_list(text) {
+            Err(GraphError::ParseEdgeList { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn edge_before_header_rejected() {
+        assert!(from_edge_list("u 0 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(from_edge_list("n 2\nx 0 1 1.0\n").is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(from_edge_list("").is_err());
+        assert!(from_edge_list("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_pair_surfaces_graph_error() {
+        let text = "n 2\nu 0 1 1.0\nd 1 0 1.0\n";
+        assert!(matches!(
+            from_edge_list(text),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+}

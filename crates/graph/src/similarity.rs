@@ -1,0 +1,212 @@
+//! Similarity graphs from point clouds, with the quantum distance
+//! comparator's noise model.
+//!
+//! The original quantum-spectral-clustering line builds the graph itself
+//! quantumly: the edge bit `a_pq = [d²(s_p, s_q) ≤ d_min²]` comes from a
+//! quantum distance estimation with additive error `ε_dist`. The faithful
+//! classical simulation is therefore a *noisy threshold comparator*: pairs
+//! whose squared distance lies within `ε_dist` of the threshold can be
+//! misclassified, with probability proportional to their margin.
+
+use crate::error::GraphError;
+use crate::mixed::MixedGraph;
+use rand::Rng;
+
+/// Squared Euclidean distance between two points.
+fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Exact threshold similarity graph: an undirected edge wherever
+/// `d(p, q) ≤ d_min`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParams`] for an empty cloud, ragged
+/// dimensions or a non-positive threshold.
+pub fn similarity_graph(points: &[Vec<f64>], d_min: f64) -> Result<MixedGraph, GraphError> {
+    validate(points, d_min)?;
+    let n = points.len();
+    let d2 = d_min * d_min;
+    let mut g = MixedGraph::new(n);
+    for p in 0..n {
+        for q in p + 1..n {
+            if dist_sq(&points[p], &points[q]) <= d2 {
+                g.add_edge(p, q, 1.0).expect("fresh pair");
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Quantum-built threshold similarity graph: each pairwise comparison uses
+/// a squared-distance estimate carrying additive noise uniform in
+/// `[−ε_dist, ε_dist]` (Theorem-4.1-style comparator). Pairs far from the
+/// threshold are always classified correctly; pairs within the noise band
+/// flip with margin-proportional probability.
+///
+/// With `epsilon_dist = 0` this equals [`similarity_graph`] exactly.
+///
+/// # Errors
+///
+/// Same contract as [`similarity_graph`], plus a negative `epsilon_dist`
+/// is rejected.
+pub fn quantum_similarity_graph<R: Rng>(
+    points: &[Vec<f64>],
+    d_min: f64,
+    epsilon_dist: f64,
+    rng: &mut R,
+) -> Result<MixedGraph, GraphError> {
+    validate(points, d_min)?;
+    if epsilon_dist < 0.0 {
+        return Err(GraphError::InvalidParams {
+            context: format!("epsilon_dist = {epsilon_dist} must be non-negative"),
+        });
+    }
+    let n = points.len();
+    let d2 = d_min * d_min;
+    let mut g = MixedGraph::new(n);
+    for p in 0..n {
+        for q in p + 1..n {
+            let exact = dist_sq(&points[p], &points[q]);
+            let estimate = if epsilon_dist > 0.0 {
+                exact + rng.gen_range(-epsilon_dist..epsilon_dist)
+            } else {
+                exact
+            };
+            if estimate <= d2 {
+                g.add_edge(p, q, 1.0).expect("fresh pair");
+            }
+        }
+    }
+    Ok(g)
+}
+
+fn validate(points: &[Vec<f64>], d_min: f64) -> Result<(), GraphError> {
+    if points.is_empty() {
+        return Err(GraphError::InvalidParams {
+            context: "empty point cloud".into(),
+        });
+    }
+    let dim = points[0].len();
+    if points.iter().any(|p| p.len() != dim) {
+        return Err(GraphError::InvalidParams {
+            context: "points have inconsistent dimensions".into(),
+        });
+    }
+    if !(d_min > 0.0) {
+        return Err(GraphError::InvalidParams {
+            context: format!("d_min = {d_min} must be positive"),
+        });
+    }
+    Ok(())
+}
+
+/// Fraction of vertex pairs whose connectivity differs between two graphs
+/// on the same vertex set — the "edge disagreement" the ε_dist sweep
+/// reports.
+///
+/// # Panics
+///
+/// Panics if the graphs have different vertex counts.
+pub fn edge_disagreement(a: &MixedGraph, b: &MixedGraph) -> f64 {
+    assert_eq!(a.num_vertices(), b.num_vertices(), "vertex count mismatch");
+    let n = a.num_vertices();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut diff = 0usize;
+    for u in 0..n {
+        for v in u + 1..n {
+            if a.are_connected(u, v) != b.are_connected(u, v) {
+                diff += 1;
+            }
+        }
+    }
+    diff as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        // Two tight clusters far apart.
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ]
+    }
+
+    #[test]
+    fn exact_graph_connects_within_threshold() {
+        let g = similarity_graph(&grid_points(), 0.2).unwrap();
+        assert!(g.are_connected(0, 1));
+        assert!(g.are_connected(0, 2));
+        assert!(g.are_connected(3, 4));
+        assert!(!g.are_connected(0, 3));
+    }
+
+    #[test]
+    fn zero_noise_equals_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = grid_points();
+        let exact = similarity_graph(&pts, 0.2).unwrap();
+        let quantum = quantum_similarity_graph(&pts, 0.2, 0.0, &mut rng).unwrap();
+        assert_eq!(exact, quantum);
+    }
+
+    #[test]
+    fn far_pairs_never_flip() {
+        // ε_dist = 0.5 cannot bridge a squared distance of 50.
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let g = quantum_similarity_graph(&grid_points(), 0.2, 0.5, &mut rng).unwrap();
+            assert!(!g.are_connected(0, 3));
+            assert!(!g.are_connected(2, 4));
+        }
+    }
+
+    #[test]
+    fn disagreement_grows_with_noise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Points spread so that many pairs sit near the threshold.
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![0.13 * i as f64, 0.0])
+            .collect();
+        let exact = similarity_graph(&pts, 0.2).unwrap();
+        let mut last = 0.0;
+        for &eps in &[0.005, 0.05] {
+            let dis: f64 = (0..10)
+                .map(|_| {
+                    let g = quantum_similarity_graph(&pts, 0.2, eps, &mut rng).unwrap();
+                    edge_disagreement(&exact, &g)
+                })
+                .sum::<f64>()
+                / 10.0;
+            assert!(dis >= last, "disagreement must not shrink with noise");
+            last = dis;
+        }
+        assert!(last > 0.0, "large noise must flip something");
+    }
+
+    #[test]
+    fn disagreement_of_identical_graphs_is_zero() {
+        let g = similarity_graph(&grid_points(), 0.2).unwrap();
+        assert_eq!(edge_disagreement(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(similarity_graph(&[], 0.2).is_err());
+        assert!(similarity_graph(&[vec![0.0], vec![0.0, 1.0]], 0.2).is_err());
+        assert!(similarity_graph(&grid_points(), 0.0).is_err());
+        assert!(quantum_similarity_graph(&grid_points(), 0.2, -0.1, &mut rng).is_err());
+    }
+}

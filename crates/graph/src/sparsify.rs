@@ -1,0 +1,205 @@
+//! Spectral sparsification of mixed graphs by importance sampling.
+//!
+//! The related-work line the paper builds on (Apers–de Wolf) speeds up
+//! Laplacian processing by sparsifying the graph first; the classical
+//! counterpart is importance sampling with leverage-score proxies. Each
+//! connection is kept with probability proportional to
+//! `w_e·(1/d_u + 1/d_v)` (the standard effective-resistance upper bound)
+//! and reweighted by `1/p_e`, which preserves the Laplacian in expectation
+//! while cutting the edge count — and with it `μ(B)` and every
+//! edge-proportional cost downstream.
+
+use crate::error::GraphError;
+use crate::mixed::MixedGraph;
+use rand::Rng;
+
+/// Sparsifies a mixed graph to approximately `target_connections` kept
+/// connections, preserving `E[L_sparse] = L` through inverse-probability
+/// reweighting. Arc direction is preserved on kept arcs.
+///
+/// Probabilities are clipped to 1, so very important connections are always
+/// kept and the realized count can exceed the target slightly.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParams`] if `target_connections == 0` or
+/// the graph has no connections.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_graph::generators::{random_mixed, RandomMixedParams};
+/// use qsc_graph::sparsify::sparsify;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), qsc_graph::GraphError> {
+/// let g = random_mixed(&RandomMixedParams {
+///     n: 60, p_undirected: 0.3, p_directed: 0.3,
+///     weight_range: (1.0, 1.0), seed: 1,
+/// })?;
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let sparse = sparsify(&g, g.num_connections() / 3, &mut rng)?;
+/// assert!(sparse.num_connections() < g.num_connections());
+/// # Ok(())
+/// # }
+/// ```
+pub fn sparsify<R: Rng>(
+    g: &MixedGraph,
+    target_connections: usize,
+    rng: &mut R,
+) -> Result<MixedGraph, GraphError> {
+    let m = g.num_connections();
+    if target_connections == 0 {
+        return Err(GraphError::InvalidParams {
+            context: "target_connections must be positive".into(),
+        });
+    }
+    if m == 0 {
+        return Err(GraphError::InvalidParams {
+            context: "cannot sparsify a graph with no connections".into(),
+        });
+    }
+    if target_connections >= m {
+        return Ok(g.clone());
+    }
+
+    let degrees = g.degrees();
+    // Leverage proxy per connection: w·(1/d_u + 1/d_v); normalize so the
+    // expected kept count equals the target.
+    let scores: Vec<f64> = g
+        .edges()
+        .iter()
+        .map(|e| e.weight * (1.0 / degrees[e.u] + 1.0 / degrees[e.v]))
+        .chain(
+            g.arcs()
+                .iter()
+                .map(|a| a.weight * (1.0 / degrees[a.from] + 1.0 / degrees[a.to])),
+        )
+        .collect();
+    let total: f64 = scores.iter().sum();
+    let scale = target_connections as f64 / total;
+
+    let mut sparse = MixedGraph::new(g.num_vertices());
+    let mut idx = 0usize;
+    for e in g.edges() {
+        let p = (scores[idx] * scale).min(1.0);
+        if rng.gen::<f64>() < p {
+            sparse
+                .add_edge(e.u, e.v, e.weight / p)
+                .expect("copy of valid edge");
+        }
+        idx += 1;
+    }
+    for a in g.arcs() {
+        let p = (scores[idx] * scale).min(1.0);
+        if rng.gen::<f64>() < p {
+            sparse
+                .add_arc(a.from, a.to, a.weight / p)
+                .expect("copy of valid arc");
+        }
+        idx += 1;
+    }
+    Ok(sparse)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_mixed, RandomMixedParams};
+    use crate::hermitian_laplacian;
+    use qsc_linalg::CMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dense_graph(seed: u64) -> MixedGraph {
+        random_mixed(&RandomMixedParams {
+            n: 40,
+            p_undirected: 0.4,
+            p_directed: 0.3,
+            weight_range: (1.0, 1.0),
+            seed,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn reduces_edge_count_near_target() {
+        let g = dense_graph(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let target = g.num_connections() / 4;
+        let sparse = sparsify(&g, target, &mut rng).unwrap();
+        let kept = sparse.num_connections();
+        assert!(kept < g.num_connections() / 2, "kept {kept}");
+        assert!(kept > target / 3, "kept {kept} vs target {target}");
+    }
+
+    #[test]
+    fn laplacian_preserved_in_expectation() {
+        let g = dense_graph(3);
+        let l = hermitian_laplacian(&g, 0.25);
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 200;
+        let n = g.num_vertices();
+        let mut mean = CMatrix::zeros(n, n);
+        for _ in 0..trials {
+            let sparse = sparsify(&g, g.num_connections() / 2, &mut rng).unwrap();
+            let ls = hermitian_laplacian(&sparse, 0.25);
+            mean = &mean + &ls;
+        }
+        let mean = mean.scaled(qsc_linalg::Complex64::real(1.0 / trials as f64));
+        let rel = (&mean - &l).frobenius_norm() / l.frobenius_norm();
+        assert!(rel < 0.1, "E[L_sparse] deviates by {rel}");
+    }
+
+    #[test]
+    fn target_at_or_above_m_is_identity() {
+        let g = dense_graph(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let same = sparsify(&g, g.num_connections(), &mut rng).unwrap();
+        assert_eq!(same, g);
+    }
+
+    #[test]
+    fn direction_preserved() {
+        let mut g = MixedGraph::new(3);
+        g.add_arc(0, 1, 1.0).unwrap();
+        g.add_arc(1, 2, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        // Keep everything (target = m): structure identical.
+        let s = sparsify(&g, 3, &mut rng).unwrap();
+        assert_eq!(s.num_arcs(), 2);
+        assert_eq!(s.num_edges(), 1);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let g = dense_graph(8);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(sparsify(&g, 0, &mut rng).is_err());
+        let empty = MixedGraph::new(4);
+        assert!(sparsify(&empty, 2, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sparsified_graph_still_clusters() {
+        use crate::generators::{dsbm, DsbmParams, MetaGraph};
+        let inst = dsbm(&DsbmParams {
+            n: 90,
+            k: 3,
+            p_intra: 0.4,
+            p_inter: 0.4,
+            eta_flow: 1.0,
+            meta: MetaGraph::Cycle,
+            seed: 10,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let sparse = sparsify(&inst.graph, inst.graph.num_connections() / 2, &mut rng).unwrap();
+        // The sparsified instance keeps ≥ 40% of connections and stays
+        // connected enough for the Laplacian to be meaningful.
+        assert!(sparse.num_connections() * 2 >= inst.graph.num_connections() / 2);
+        assert!(crate::stats::num_components(&sparse) <= 3);
+    }
+}

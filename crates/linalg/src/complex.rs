@@ -1,0 +1,400 @@
+//! Double-precision complex numbers.
+//!
+//! The workspace forbids external linear-algebra / num crates, so the complex
+//! scalar type lives here. [`Complex64`] is a plain `Copy` pair of `f64`s with
+//! the full arithmetic surface needed by the Hermitian eigensolvers and the
+//! quantum state-vector simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_linalg::Complex64;
+///
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), Complex64::new(25.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// The additive identity `0 + 0i`.
+pub const C_ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+/// The multiplicative identity `1 + 0i`.
+pub const C_ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+/// The imaginary unit `i`.
+pub const C_I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+impl Complex64 {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a purely imaginary complex number.
+    #[inline]
+    pub const fn imag(im: f64) -> Self {
+        Self { re: 0.0, im }
+    }
+
+    /// Creates the complex number `r·e^{iθ}` from polar coordinates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsc_linalg::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-12);
+    /// assert!((z.im - 2.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re − i·im`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z| = sqrt(re² + im²)`, computed without intermediate overflow.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²`. Cheaper than [`abs`](Self::abs) when the square
+    /// is what is needed (probabilities, norms).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns a non-finite value if `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// `true` if both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `true` if the imaginary part is within `tol` of zero.
+    #[inline]
+    pub fn is_real(self, tol: f64) -> bool {
+        self.im.abs() <= tol
+    }
+
+    /// Fused multiply-add: `self * b + c` (no hardware fusion is implied;
+    /// this exists to keep inner loops compact).
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        self * b + c
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::real(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        Self::new(re, im)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: f64) -> Self {
+        Self::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: f64) -> Self {
+        Self::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl MulAssign<f64> for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(C_ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Self {
+        iter.fold(C_ZERO, |a, b| a + *b)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < TOL
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert!(close(a / b * b, a));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!(close(z * z.conj(), Complex64::real(25.0)));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::new(-1.5, 2.5);
+        let w = Complex64::from_polar(z.abs(), z.arg());
+        assert!(close(z, w));
+    }
+
+    #[test]
+    fn imaginary_unit_squares_to_minus_one() {
+        assert!(close(C_I * C_I, -C_ONE));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.39;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn exponential_of_i_pi() {
+        let z = Complex64::imag(std::f64::consts::PI).exp();
+        assert!(close(z, -C_ONE));
+    }
+
+    #[test]
+    fn reciprocal_inverts() {
+        let z = Complex64::new(0.4, -1.7);
+        assert!(close(z * z.recip(), C_ONE));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = Complex64::new(-2.0, 0.5);
+        let s = z.sqrt();
+        assert!(close(s * s, z));
+    }
+
+    #[test]
+    fn real_scalar_ops() {
+        let z = Complex64::new(2.0, -3.0);
+        assert_eq!(z * 2.0, Complex64::new(4.0, -6.0));
+        assert_eq!(2.0 * z, z * 2.0);
+        assert_eq!(z / 2.0, Complex64::new(1.0, -1.5));
+        assert_eq!(z + 1.0, Complex64::new(3.0, -3.0));
+    }
+
+    #[test]
+    fn sum_of_iterator() {
+        let v = [C_ONE, C_I, Complex64::new(1.0, 1.0)];
+        let s: Complex64 = v.iter().sum();
+        assert_eq!(s, Complex64::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn is_real_tolerance() {
+        assert!(Complex64::new(5.0, 1e-14).is_real(1e-12));
+        assert!(!Complex64::new(5.0, 1e-3).is_real(1e-12));
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the linear-algebra substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input violates a precondition (e.g. a non-Hermitian matrix passed
+    /// to a Hermitian eigensolver).
+    InvalidInput {
+        /// Human-readable description of the violation.
+        context: String,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => {
+                write!(f, "shape mismatch: {context}")
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinalgError::InvalidInput { context } => write!(f, "invalid input: {context}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::NoConvergence {
+            algorithm: "jacobi",
+            iterations: 100,
+        };
+        assert_eq!(e.to_string(), "jacobi did not converge after 100 iterations");
+        let e = LinalgError::ShapeMismatch {
+            context: "3×4 vs 5×5".into(),
+        };
+        assert!(e.to_string().contains("3×4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,115 @@
+//! Unitary evolution operators `e^{iHt}` for Hermitian `H`.
+//!
+//! The quantum simulator needs the exact unitary implementing Hamiltonian
+//! evolution; for a simulated backend the spectral formula
+//! `e^{iHt} = V·diag(e^{iλ_j t})·V†` is both exact and cheap once the
+//! eigendecomposition is available.
+
+use crate::complex::Complex64;
+use crate::eig::{eigh, HermitianEigen};
+use crate::error::LinalgError;
+use crate::matrix::CMatrix;
+
+/// Computes the unitary `U = e^{i·t·H}` for a Hermitian matrix `H`.
+///
+/// # Errors
+///
+/// Propagates the eigendecomposition errors of [`eigh`].
+///
+/// # Examples
+///
+/// ```
+/// use qsc_linalg::{expm::expi, CMatrix};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), qsc_linalg::LinalgError> {
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let h = CMatrix::random_hermitian(4, &mut rng);
+/// let u = expi(&h, 0.7)?;
+/// assert!(u.is_unitary(1e-9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn expi(h: &CMatrix, t: f64) -> Result<CMatrix, LinalgError> {
+    let eig = eigh(h)?;
+    Ok(expi_from_eigen(&eig, t))
+}
+
+/// Same as [`expi`] but reuses an existing eigendecomposition — the QPE
+/// simulation needs `U^{2^j}` for many `j`, which all share one `eigh` call.
+pub fn expi_from_eigen(eig: &HermitianEigen, t: f64) -> CMatrix {
+    let phases: Vec<Complex64> = eig
+        .eigenvalues
+        .iter()
+        .map(|&lam| Complex64::cis(lam * t))
+        .collect();
+    unitary_from_phases(&eig.eigenvectors, &phases)
+}
+
+/// Assembles `V·diag(phases)·V†` without forming the intermediate diagonal
+/// matrix product explicitly.
+pub fn unitary_from_phases(v: &CMatrix, phases: &[Complex64]) -> CMatrix {
+    let n = v.nrows();
+    assert_eq!(phases.len(), v.ncols(), "unitary_from_phases: dim mismatch");
+    // scaled = V·diag(phases)
+    let scaled = CMatrix::from_fn(n, v.ncols(), |i, j| v[(i, j)] * phases[j]);
+    scaled.matmul(&v.adjoint())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::{C_ONE, C_ZERO};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let h = CMatrix::zeros(3, 3);
+        let u = expi(&h, 1.0).unwrap();
+        assert!((&u - &CMatrix::identity(3)).max_norm() < 1e-12);
+    }
+
+    #[test]
+    fn exp_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let h = CMatrix::random_hermitian(6, &mut rng);
+        for &t in &[0.1, 1.0, 3.7] {
+            assert!(expi(&h, t).unwrap().is_unitary(1e-9));
+        }
+    }
+
+    #[test]
+    fn group_property_u_t1_t2() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let h = CMatrix::random_hermitian(5, &mut rng);
+        let u1 = expi(&h, 0.4).unwrap();
+        let u2 = expi(&h, 0.9).unwrap();
+        let u12 = expi(&h, 1.3).unwrap();
+        assert!((&u1.matmul(&u2) - &u12).max_norm() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_hamiltonian_gives_pure_phases() {
+        let h = CMatrix::from_diag(&[Complex64::real(0.0), Complex64::real(std::f64::consts::PI)]);
+        let u = expi(&h, 1.0).unwrap();
+        assert!((u[(0, 0)] - C_ONE).abs() < 1e-12);
+        assert!((u[(1, 1)] + C_ONE).abs() < 1e-12);
+        assert!(u[(0, 1)].abs() < 1e-12 && u[(1, 0)].abs() < 1e-12);
+        let _ = C_ZERO;
+    }
+
+    #[test]
+    fn eigenvector_picks_up_eigenphase() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let h = CMatrix::random_hermitian(4, &mut rng);
+        let eig = eigh(&h).unwrap();
+        let u = expi_from_eigen(&eig, 2.0);
+        let v = eig.eigenvectors.col(1);
+        let uv = u.matvec(&v);
+        let expected_phase = Complex64::cis(eig.eigenvalues[1] * 2.0);
+        for (a, b) in uv.iter().zip(&v) {
+            assert!((*a - *b * expected_phase).abs() < 1e-9);
+        }
+    }
+}

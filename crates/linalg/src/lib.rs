@@ -1,0 +1,50 @@
+//! # qsc-linalg — dense complex linear algebra substrate
+//!
+//! Everything the *Quantum Spectral Clustering of Mixed Graphs* reproduction
+//! needs from linear algebra, implemented from scratch:
+//!
+//! * [`Complex64`] — the complex scalar type,
+//! * [`CMatrix`] — dense row-major complex matrices,
+//! * [`eig`] — Hermitian eigendecomposition (two independent algorithms),
+//! * [`lanczos`] — partial (lowest-`k`) eigensolver, the Krylov baseline,
+//! * [`lu`] — LU solves, determinants, inverses,
+//! * [`expm`] — unitary evolution operators `e^{iHt}`,
+//! * [`qr`] — QR decomposition / orthonormalization,
+//! * [`params`] — the `μ`, `η`, `κ` data parameters of quantum runtime
+//!   analyses,
+//! * [`vector`] — slice-level vector kernels.
+//!
+//! # Examples
+//!
+//! Diagonalize a Hermitian matrix and verify the reconstruction:
+//!
+//! ```
+//! use qsc_linalg::{eig::eigh, CMatrix};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), qsc_linalg::LinalgError> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let h = CMatrix::random_hermitian(8, &mut rng);
+//! let eig = eigh(&h)?;
+//! assert!((&eig.reconstruct() - &h).max_norm() < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod eig;
+pub mod error;
+pub mod expm;
+pub mod lanczos;
+pub mod lu;
+pub mod matrix;
+pub mod params;
+pub mod qr;
+pub mod vector;
+
+pub use complex::{Complex64, C_I, C_ONE, C_ZERO};
+pub use eig::{eigh, eigh_jacobi, eigvalsh, HermitianEigen};
+pub use error::LinalgError;
+pub use matrix::CMatrix;

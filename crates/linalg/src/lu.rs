@@ -1,0 +1,243 @@
+//! LU decomposition with partial pivoting for complex matrices: linear
+//! solves, determinants and inverses.
+//!
+//! Used by downstream analyses that need `𝓛⁻¹`-style quantities (effective
+//! resistances, regularized solves) and by tests as an independent check on
+//! the eigensolvers (`det(A) = Π λ_i`).
+
+use crate::complex::{Complex64, C_ONE, C_ZERO};
+use crate::error::LinalgError;
+use crate::matrix::CMatrix;
+
+/// LU decomposition `P·A = L·U` with partial pivoting, stored compactly.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined `L` (below diagonal, unit diagonal implicit) and `U` (upper
+    /// triangle).
+    lu: CMatrix,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (±1) for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] for non-square input and
+    /// [`LinalgError::ShapeMismatch`] never; singularity is detected lazily
+    /// by [`solve`](Self::solve) / [`inverse`](Self::inverse).
+    pub fn new(a: &CMatrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::InvalidInput {
+                context: format!("lu: matrix is {}×{}", a.nrows(), a.ncols()),
+            });
+        }
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for col in 0..n {
+            // Pivot: largest modulus in the column at or below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_mag = lu[(col, col)].abs();
+            for row in col + 1..n {
+                let mag = lu[(row, col)].abs();
+                if mag > pivot_mag {
+                    pivot_mag = mag;
+                    pivot_row = row;
+                }
+            }
+            if pivot_row != col {
+                for j in 0..n {
+                    let tmp = lu[(col, j)];
+                    lu[(col, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(col, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[(col, col)];
+            if pivot.abs() == 0.0 {
+                continue; // singular column; recorded as a zero pivot
+            }
+            let inv = pivot.recip();
+            for row in col + 1..n {
+                let factor = lu[(row, col)] * inv;
+                lu[(row, col)] = factor;
+                for j in col + 1..n {
+                    let delta = factor * lu[(col, j)];
+                    lu[(row, j)] -= delta;
+                }
+            }
+        }
+
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Dimension of the factorized matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Determinant `det(A) = sign(P)·Π U_ii`.
+    pub fn det(&self) -> Complex64 {
+        let mut d = Complex64::real(self.sign);
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// `true` if any pivot is (numerically) zero.
+    pub fn is_singular(&self, tol: f64) -> bool {
+        (0..self.dim()).any(|i| self.lu[(i, i)].abs() <= tol)
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidInput`] if the matrix is singular or
+    /// `b` has the wrong length.
+    pub fn solve(&self, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::InvalidInput {
+                context: format!("lu solve: rhs length {} != {}", b.len(), n),
+            });
+        }
+        if self.is_singular(1e-300) {
+            return Err(LinalgError::InvalidInput {
+                context: "lu solve: matrix is singular".into(),
+            });
+        }
+        // Forward substitution on P·b with unit-diagonal L.
+        let mut y = vec![C_ZERO; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution with U.
+        let mut x = vec![C_ZERO; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in i + 1..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Matrix inverse via `n` solves against the identity columns.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`solve`](Self::solve).
+    pub fn inverse(&self) -> Result<CMatrix, LinalgError> {
+        let n = self.dim();
+        let mut inv = CMatrix::zeros(n, n);
+        for col in 0..n {
+            let mut e = vec![C_ZERO; n];
+            e[col] = C_ONE;
+            let x = self.solve(&e)?;
+            for (row, &val) in x.iter().enumerate() {
+                inv[(row, col)] = val;
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience: solve `A·x = b` in one call.
+///
+/// # Errors
+///
+/// Propagates [`Lu`] errors.
+pub fn solve(a: &CMatrix, b: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+    Lu::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn solve_round_trip() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for n in [1usize, 3, 8, 15] {
+            let a = CMatrix::random(n, n, &mut rng);
+            let x_true: Vec<Complex64> = CMatrix::random(n, 1, &mut rng).col(0);
+            let b = a.matvec(&x_true);
+            let x = solve(&a, &b).unwrap();
+            for (got, want) in x.iter().zip(&x_true) {
+                assert!((*got - *want).abs() < 1e-8, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_multiplies_to_identity() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let a = CMatrix::random(6, 6, &mut rng);
+        let inv = Lu::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv);
+        assert!((&prod - &CMatrix::identity(6)).max_norm() < 1e-8);
+    }
+
+    #[test]
+    fn det_matches_eigenvalue_product_for_hermitian() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let a = CMatrix::random_hermitian(7, &mut rng);
+        let det = Lu::new(&a).unwrap().det();
+        let evals = crate::eig::eigvalsh(&a).unwrap();
+        let prod: f64 = evals.iter().product();
+        assert!((det.re - prod).abs() < 1e-6 * prod.abs().max(1.0));
+        assert!(det.im.abs() < 1e-8);
+    }
+
+    #[test]
+    fn det_of_identity_and_permutation() {
+        let id = CMatrix::identity(4);
+        assert!((Lu::new(&id).unwrap().det() - C_ONE).abs() < 1e-12);
+        // Swap two rows of the identity: det = −1.
+        let mut p = CMatrix::identity(3);
+        p[(0, 0)] = C_ZERO;
+        p[(1, 1)] = C_ZERO;
+        p[(0, 1)] = C_ONE;
+        p[(1, 0)] = C_ONE;
+        assert!((Lu::new(&p).unwrap().det() + C_ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut a = CMatrix::zeros(3, 3);
+        a[(0, 0)] = C_ONE;
+        a[(1, 1)] = C_ONE; // rank 2
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.is_singular(1e-12));
+        assert!(lu.solve(&[C_ONE, C_ONE, C_ONE]).is_err());
+        assert!(lu.det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(Lu::new(&CMatrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = CMatrix::identity(3);
+        let lu = Lu::new(&a).unwrap();
+        assert!(lu.solve(&[C_ONE]).is_err());
+    }
+}

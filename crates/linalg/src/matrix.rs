@@ -1,0 +1,524 @@
+//! Dense complex matrices in row-major storage.
+
+use crate::complex::{Complex64, C_ONE, C_ZERO};
+use crate::error::LinalgError;
+use crate::vector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// A dense complex matrix with row-major storage.
+///
+/// Indexing is `m[(row, col)]`. The type is the workhorse of the Hermitian
+/// Laplacian pipeline and the quantum simulator's matrix-level execution
+/// path.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_linalg::{CMatrix, Complex64};
+///
+/// let id = CMatrix::identity(3);
+/// let m = CMatrix::from_fn(3, 3, |i, j| Complex64::real((i * 3 + j) as f64));
+/// assert_eq!(&id * &m, m);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CMatrix {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates an `nrows × ncols` matrix of zeros.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![C_ZERO; nrows * ncols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C_ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn<F: FnMut(usize, usize) -> Complex64>(
+        nrows: usize,
+        ncols: usize,
+        mut f: F,
+    ) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Self { nrows, ncols, data }
+    }
+
+    /// Builds a matrix from rows of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if rows have differing lengths
+    /// or the input is empty.
+    pub fn from_rows(rows: &[Vec<Complex64>]) -> Result<Self, LinalgError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(LinalgError::ShapeMismatch {
+                context: "from_rows: no rows".into(),
+            });
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(LinalgError::ShapeMismatch {
+                    context: format!("from_rows: row length {} != {}", r.len(), ncols),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { nrows, ncols, data })
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[Complex64]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds a real-valued matrix (zero imaginary parts) from `f(i, j)`.
+    pub fn from_real_fn<F: FnMut(usize, usize) -> f64>(
+        nrows: usize,
+        ncols: usize,
+        mut f: F,
+    ) -> Self {
+        Self::from_fn(nrows, ncols, |i, j| Complex64::real(f(i, j)))
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// `true` if the matrix is square.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.nrows == self.ncols
+    }
+
+    /// Borrows the `i`-th row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Complex64] {
+        assert!(i < self.nrows, "row index {} out of bounds", i);
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Mutably borrows the `i`-th row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nrows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Complex64] {
+        assert!(i < self.nrows, "row index {} out of bounds", i);
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Copies the `j`-th column into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= ncols`.
+    pub fn col(&self, j: usize) -> Vec<Complex64> {
+        assert!(j < self.ncols, "column index {} out of bounds", j);
+        (0..self.nrows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Borrows the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose `Aᵀ` (no conjugation).
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    /// Elementwise complex conjugate.
+    pub fn conj(&self) -> Self {
+        Self::from_fn(self.nrows, self.ncols, |i, j| self[(i, j)].conj())
+    }
+
+    /// Scales every entry by a complex factor, returning a new matrix.
+    pub fn scaled(&self, alpha: Complex64) -> Self {
+        Self::from_fn(self.nrows, self.ncols, |i, j| self[(i, j)] * alpha)
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
+        let mut y = vec![C_ZERO; self.nrows];
+        for i in 0..self.nrows {
+            let row = self.row(i);
+            let mut acc = C_ZERO;
+            for (a, b) in row.iter().zip(x) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix–matrix product `A·B` with a cache-friendlier ikj loop order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.ncols, rhs.nrows,
+            "matmul: {}×{} times {}×{}",
+            self.nrows, self.ncols, rhs.nrows, rhs.ncols
+        );
+        let mut out = Self::zeros(self.nrows, rhs.ncols);
+        for i in 0..self.nrows {
+            for k in 0..self.ncols {
+                let a = self[(i, k)];
+                if a == C_ZERO {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = out.row_mut(i);
+                for (o, b) in orow.iter_mut().zip(rrow) {
+                    *o += a * *b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace `Σ A_ii`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace: matrix must be square");
+        (0..self.nrows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `‖A‖_F = sqrt(Σ |a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Largest entry modulus (max norm).
+    pub fn max_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+    }
+
+    /// `true` if `‖A − A†‖_max ≤ tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.nrows {
+            for j in i..self.ncols {
+                if (self[(i, j)] - self[(j, i)].conj()).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// `true` if `‖A†A − I‖_max ≤ tol`, i.e. the matrix is unitary.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = self.adjoint().matmul(self);
+        let id = Self::identity(self.nrows);
+        (&prod - &id).max_norm() <= tol
+    }
+
+    /// Kronecker (tensor) product `A ⊗ B`.
+    pub fn kron(&self, rhs: &Self) -> Self {
+        let (ar, ac) = (self.nrows, self.ncols);
+        let (br, bc) = (rhs.nrows, rhs.ncols);
+        Self::from_fn(ar * br, ac * bc, |i, j| {
+            self[(i / br, j / bc)] * rhs[(i % br, j % bc)]
+        })
+    }
+
+    /// Extracts the submatrix of the given rows and columns.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Self {
+        Self::from_fn(rows.len(), cols.len(), |i, j| self[(rows[i], cols[j])])
+    }
+
+    /// Stacks selected columns (in order) into a new `nrows × cols.len()`
+    /// matrix. Used to assemble spectral embeddings from eigenvector columns.
+    pub fn select_columns(&self, cols: &[usize]) -> Self {
+        Self::from_fn(self.nrows, cols.len(), |i, j| self[(i, cols[j])])
+    }
+
+    /// Random matrix with entries uniform in the complex unit square,
+    /// deterministic given the RNG state.
+    pub fn random<R: Rng>(nrows: usize, ncols: usize, rng: &mut R) -> Self {
+        Self::from_fn(nrows, ncols, |_, _| {
+            Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+        })
+    }
+
+    /// Random Hermitian matrix: `(M + M†)/2` of a [`random`](Self::random)
+    /// matrix. Useful for eigensolver tests and benchmarks.
+    pub fn random_hermitian<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let m = Self::random(n, n, rng);
+        let mh = m.adjoint();
+        Self::from_fn(n, n, |i, j| (m[(i, j)] + mh[(i, j)]).scale(0.5))
+    }
+
+    /// Random unitary matrix via QR of a random matrix (Haar-ish; exact
+    /// distribution is irrelevant for the tests that use it).
+    pub fn random_unitary<R: Rng>(n: usize, rng: &mut R) -> Self {
+        let m = Self::random(n, n, rng);
+        let (q, _r) = crate::qr::qr_decompose(&m);
+        q
+    }
+
+    /// Residual `‖A·v − λ·v‖₂` measuring eigenpair quality.
+    pub fn eigen_residual(&self, lambda: f64, v: &[Complex64]) -> f64 {
+        let av = self.matvec(v);
+        let diff: Vec<Complex64> = av
+            .iter()
+            .zip(v)
+            .map(|(a, b)| *a - b.scale(lambda))
+            .collect();
+        vector::norm2(&diff)
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[i * self.ncols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[i * self.ncols + j]
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (rhs.nrows, rhs.ncols),
+            "matrix add: shape mismatch"
+        );
+        CMatrix::from_fn(self.nrows, self.ncols, |i, j| self[(i, j)] + rhs[(i, j)])
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            (self.nrows, self.ncols),
+            (rhs.nrows, rhs.ncols),
+            "matrix sub: shape mismatch"
+        );
+        CMatrix::from_fn(self.nrows, self.ncols, |i, j| self[(i, j)] - rhs[(i, j)])
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &CMatrix {
+    type Output = CMatrix;
+    fn neg(self) -> CMatrix {
+        CMatrix::from_fn(self.nrows, self.ncols, |i, j| -self[(i, j)])
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.nrows {
+            for j in 0..self.ncols {
+                write!(f, "{:>20}", self[(i, j)].to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C_I;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = CMatrix::random(4, 4, &mut rng);
+        let id = CMatrix::identity(4);
+        assert_eq!(id.matmul(&m), m);
+        assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn adjoint_involution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = CMatrix::random(3, 5, &mut rng);
+        assert_eq!(m.adjoint().adjoint(), m);
+    }
+
+    #[test]
+    fn adjoint_reverses_products() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = CMatrix::random(3, 4, &mut rng);
+        let b = CMatrix::random(4, 2, &mut rng);
+        let lhs = a.matmul(&b).adjoint();
+        let rhs = b.adjoint().matmul(&a.adjoint());
+        assert!((&lhs - &rhs).max_norm() < 1e-12);
+    }
+
+    #[test]
+    fn hermitian_detection() {
+        let m = CMatrix::from_rows(&[
+            vec![Complex64::real(2.0), C_I],
+            vec![-C_I, Complex64::real(3.0)],
+        ])
+        .unwrap();
+        assert!(m.is_hermitian(1e-12));
+        let bad = CMatrix::from_rows(&[
+            vec![Complex64::real(2.0), C_I],
+            vec![C_I, Complex64::real(3.0)],
+        ])
+        .unwrap();
+        assert!(!bad.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn random_hermitian_is_hermitian() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = CMatrix::random_hermitian(8, &mut rng);
+        assert!(m.is_hermitian(1e-12));
+    }
+
+    #[test]
+    fn random_unitary_is_unitary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = CMatrix::random_unitary(6, &mut rng);
+        assert!(u.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = CMatrix::random(4, 4, &mut rng);
+        let x = CMatrix::random(4, 1, &mut rng);
+        let y = a.matmul(&x);
+        let xv: Vec<Complex64> = (0..4).map(|i| x[(i, 0)]).collect();
+        let yv = a.matvec(&xv);
+        for i in 0..4 {
+            assert!((y[(i, 0)] - yv[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CMatrix::from_rows(&[vec![C_ONE, C_I]]).unwrap(); // 1×2
+        let b = CMatrix::identity(2);
+        let k = a.kron(&b);
+        assert_eq!((k.nrows(), k.ncols()), (2, 4));
+        assert_eq!(k[(0, 0)], C_ONE);
+        assert_eq!(k[(0, 2)], C_I);
+        assert_eq!(k[(1, 3)], C_I);
+        assert_eq!(k[(1, 2)], C_ZERO);
+    }
+
+    #[test]
+    fn trace_of_identity() {
+        assert_eq!(CMatrix::identity(5).trace(), Complex64::real(5.0));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = CMatrix::from_rows(&[vec![C_ONE], vec![C_ONE, C_I]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn select_columns_assembles_embedding() {
+        let m = CMatrix::from_fn(3, 3, |i, j| Complex64::real((i * 3 + j) as f64));
+        let s = m.select_columns(&[2, 0]);
+        assert_eq!(s[(0, 0)], Complex64::real(2.0));
+        assert_eq!(s[(0, 1)], Complex64::real(0.0));
+        assert_eq!(s[(2, 0)], Complex64::real(8.0));
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = CMatrix::from_rows(&[vec![Complex64::new(3.0, 4.0)]]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_residual_zero_for_exact_pair() {
+        let m = CMatrix::from_diag(&[Complex64::real(2.0), Complex64::real(5.0)]);
+        let v = [C_ONE, C_ZERO];
+        assert!(m.eigen_residual(2.0, &v) < 1e-12);
+        assert!(m.eigen_residual(5.0, &v) > 1.0);
+    }
+}

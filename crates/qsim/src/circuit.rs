@@ -1,0 +1,360 @@
+//! A small circuit IR: an ordered gate list that can be executed on a
+//! [`QuantumState`], inspected for gate counts / depth, and dumped in an
+//! OpenQASM-flavoured text form.
+//!
+//! The pipeline's fast paths act on matrices directly; the IR exists for
+//! the gate-level validation circuits and the hardware-forecast tooling,
+//! where *what would run on a device* is the object of interest.
+
+use crate::error::SimError;
+use crate::gates;
+use crate::state::QuantumState;
+use std::fmt;
+
+/// One gate application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Hadamard on a qubit.
+    H(usize),
+    /// Pauli-X on a qubit.
+    X(usize),
+    /// Pauli-Y on a qubit.
+    Y(usize),
+    /// Pauli-Z on a qubit.
+    Z(usize),
+    /// S gate on a qubit.
+    S(usize),
+    /// T gate on a qubit.
+    T(usize),
+    /// Phase gate `diag(1, e^{iθ})`.
+    Phase {
+        /// Target qubit.
+        target: usize,
+        /// Phase angle.
+        theta: f64,
+    },
+    /// Rotation about Z.
+    Rz {
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// Rotation about Y.
+    Ry {
+        /// Target qubit.
+        target: usize,
+        /// Rotation angle.
+        theta: f64,
+    },
+    /// CNOT.
+    Cnot {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+    },
+    /// Controlled phase.
+    CPhase {
+        /// Control qubit.
+        control: usize,
+        /// Target qubit.
+        target: usize,
+        /// Phase angle.
+        theta: f64,
+    },
+    /// SWAP of two qubits.
+    Swap(usize, usize),
+}
+
+impl Op {
+    /// Qubits this op touches.
+    pub fn qubits(&self) -> Vec<usize> {
+        match *self {
+            Op::H(q) | Op::X(q) | Op::Y(q) | Op::Z(q) | Op::S(q) | Op::T(q) => vec![q],
+            Op::Phase { target, .. } | Op::Rz { target, .. } | Op::Ry { target, .. } => {
+                vec![target]
+            }
+            Op::Cnot { control, target } | Op::CPhase { control, target, .. } => {
+                vec![control, target]
+            }
+            Op::Swap(a, b) => vec![a, b],
+        }
+    }
+
+    /// `true` for two-qubit ops.
+    pub fn is_two_qubit(&self) -> bool {
+        matches!(self, Op::Cnot { .. } | Op::CPhase { .. } | Op::Swap(..))
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::H(q) => write!(f, "h q[{q}];"),
+            Op::X(q) => write!(f, "x q[{q}];"),
+            Op::Y(q) => write!(f, "y q[{q}];"),
+            Op::Z(q) => write!(f, "z q[{q}];"),
+            Op::S(q) => write!(f, "s q[{q}];"),
+            Op::T(q) => write!(f, "t q[{q}];"),
+            Op::Phase { target, theta } => write!(f, "p({theta}) q[{target}];"),
+            Op::Rz { target, theta } => write!(f, "rz({theta}) q[{target}];"),
+            Op::Ry { target, theta } => write!(f, "ry({theta}) q[{target}];"),
+            Op::Cnot { control, target } => write!(f, "cx q[{control}],q[{target}];"),
+            Op::CPhase { control, target, theta } => {
+                write!(f, "cp({theta}) q[{control}],q[{target}];")
+            }
+            Op::Swap(a, b) => write!(f, "swap q[{a}],q[{b}];"),
+        }
+    }
+}
+
+/// An ordered list of gates on a fixed-width register.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_sim::circuit::{Circuit, Op};
+/// use qsc_sim::QuantumState;
+///
+/// # fn main() -> Result<(), qsc_sim::SimError> {
+/// let mut bell = Circuit::new(2);
+/// bell.push(Op::H(0))?;
+/// bell.push(Op::Cnot { control: 0, target: 1 })?;
+/// let mut state = QuantumState::zero_state(2);
+/// bell.run(&mut state)?;
+/// assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+/// assert_eq!(bell.depth(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Op>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            num_qubits,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] if the op touches a qubit
+    /// outside the register, or [`SimError::InvalidParameter`] if a
+    /// two-qubit op uses the same qubit twice.
+    pub fn push(&mut self, op: Op) -> Result<(), SimError> {
+        let qs = op.qubits();
+        for &q in &qs {
+            if q >= self.num_qubits {
+                return Err(SimError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        if qs.len() == 2 && qs[0] == qs[1] {
+            return Err(SimError::InvalidParameter {
+                context: "two-qubit op with identical qubits".into(),
+            });
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The gate list.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total gate count.
+    pub fn gate_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Two-qubit gate count (the hardware-relevant one).
+    pub fn two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.is_two_qubit()).count()
+    }
+
+    /// Circuit depth: the length of the longest qubit-disjoint layering
+    /// (greedy ASAP scheduling).
+    pub fn depth(&self) -> usize {
+        let mut ready = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let start = op.qubits().iter().map(|&q| ready[q]).max().unwrap_or(0);
+            let end = start + 1;
+            for q in op.qubits() {
+                ready[q] = end;
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Executes the circuit on a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the state width differs
+    /// from the circuit's, and propagates gate errors.
+    pub fn run(&self, state: &mut QuantumState) -> Result<(), SimError> {
+        if state.num_qubits() != self.num_qubits {
+            return Err(SimError::DimensionMismatch {
+                context: format!(
+                    "circuit on {} qubits, state on {}",
+                    self.num_qubits,
+                    state.num_qubits()
+                ),
+            });
+        }
+        for op in &self.ops {
+            match *op {
+                Op::H(q) => state.apply_single(&gates::h(), q)?,
+                Op::X(q) => state.apply_single(&gates::x(), q)?,
+                Op::Y(q) => state.apply_single(&gates::y(), q)?,
+                Op::Z(q) => state.apply_single(&gates::z(), q)?,
+                Op::S(q) => state.apply_single(&gates::s(), q)?,
+                Op::T(q) => state.apply_single(&gates::t(), q)?,
+                Op::Phase { target, theta } => {
+                    state.apply_single(&gates::phase(theta), target)?
+                }
+                Op::Rz { target, theta } => state.apply_single(&gates::rz(theta), target)?,
+                Op::Ry { target, theta } => state.apply_single(&gates::ry(theta), target)?,
+                Op::Cnot { control, target } => state.apply_cnot(control, target)?,
+                Op::CPhase { control, target, theta } => {
+                    state.apply_controlled_phase(control, target, theta)?
+                }
+                Op::Swap(a, b) => state.apply_swap(a, b)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the textbook QFT circuit on the whole register (H + controlled
+    /// phases + bit-reversal swaps), matching `qsc_sim::qft::apply_qft`.
+    pub fn qft(num_qubits: usize) -> Self {
+        let mut c = Self::new(num_qubits);
+        for i in (0..num_qubits).rev() {
+            c.push(Op::H(i)).expect("in range");
+            for j in (0..i).rev() {
+                let theta = std::f64::consts::PI / (1 << (i - j)) as f64;
+                c.push(Op::CPhase { control: j, target: i, theta }).expect("in range");
+            }
+        }
+        for i in 0..num_qubits / 2 {
+            c.push(Op::Swap(i, num_qubits - 1 - i)).expect("in range");
+        }
+        c
+    }
+
+    /// Dumps an OpenQASM-2-flavoured listing.
+    pub fn to_qasm(&self) -> String {
+        let mut out = String::new();
+        out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+        out.push_str(&format!("qreg q[{}];\n", self.num_qubits));
+        for op in &self.ops {
+            out.push_str(&format!("{op}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qft::apply_qft;
+
+    #[test]
+    fn bell_circuit_runs() {
+        let mut c = Circuit::new(2);
+        c.push(Op::H(0)).unwrap();
+        c.push(Op::Cnot { control: 0, target: 1 }).unwrap();
+        let mut s = QuantumState::zero_state(2);
+        c.run(&mut s).unwrap();
+        assert!((s.probability(0) - 0.5).abs() < 1e-12);
+        assert!((s.probability(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qft_circuit_matches_direct_qft() {
+        for m in 1..=4usize {
+            let c = Circuit::qft(m);
+            for j in 0..(1 << m) {
+                let mut via_circuit = QuantumState::basis_state(m, j);
+                c.run(&mut via_circuit).unwrap();
+                let mut direct = QuantumState::basis_state(m, j);
+                apply_qft(&mut direct, 0..m).unwrap();
+                assert!(
+                    via_circuit.fidelity(&direct) > 1.0 - 1e-10,
+                    "m={m} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_of_parallel_gates() {
+        let mut c = Circuit::new(3);
+        c.push(Op::H(0)).unwrap();
+        c.push(Op::H(1)).unwrap();
+        c.push(Op::H(2)).unwrap();
+        assert_eq!(c.depth(), 1);
+        c.push(Op::Cnot { control: 0, target: 1 }).unwrap();
+        assert_eq!(c.depth(), 2);
+        c.push(Op::H(2)).unwrap(); // fits in layer 2
+        assert_eq!(c.depth(), 2);
+    }
+
+    #[test]
+    fn counts() {
+        let c = Circuit::qft(4);
+        assert_eq!(c.gate_count(), 4 + 6 + 2); // H's, cphases, swaps
+        assert_eq!(c.two_qubit_count(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_ops() {
+        let mut c = Circuit::new(2);
+        assert!(c.push(Op::H(5)).is_err());
+        assert!(c.push(Op::Cnot { control: 1, target: 1 }).is_err());
+    }
+
+    #[test]
+    fn run_checks_width() {
+        let c = Circuit::new(2);
+        let mut s = QuantumState::zero_state(3);
+        assert!(c.run(&mut s).is_err());
+    }
+
+    #[test]
+    fn qasm_dump_contains_header_and_gates() {
+        let mut c = Circuit::new(1);
+        c.push(Op::H(0)).unwrap();
+        c.push(Op::T(0)).unwrap();
+        let qasm = c.to_qasm();
+        assert!(qasm.starts_with("OPENQASM 2.0;"));
+        assert!(qasm.contains("qreg q[1];"));
+        assert!(qasm.contains("h q[0];"));
+        assert!(qasm.contains("t q[0];"));
+    }
+
+    #[test]
+    fn display_of_parametric_ops() {
+        let op = Op::CPhase { control: 0, target: 1, theta: 0.5 };
+        assert_eq!(op.to_string(), "cp(0.5) q[0],q[1];");
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the quantum simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the state-vector simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An amplitude vector's length is not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// The state vector is (numerically) unnormalizable.
+    ZeroNorm,
+    /// A qubit index is outside the register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The register size.
+        num_qubits: usize,
+    },
+    /// A supplied matrix has the wrong dimensions for its targets.
+    DimensionMismatch {
+        /// Human-readable description.
+        context: String,
+    },
+    /// The operator failed a unitarity check.
+    NotUnitary {
+        /// Measured deviation `‖U†U − I‖_max`.
+        deviation: f64,
+    },
+    /// Invalid algorithm parameter (e.g. zero precision bits).
+    InvalidParameter {
+        /// Human-readable description.
+        context: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NotPowerOfTwo { len } => {
+                write!(f, "state length {len} is not a power of two")
+            }
+            SimError::ZeroNorm => write!(f, "state vector has zero norm"),
+            SimError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit register")
+            }
+            SimError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            SimError::NotUnitary { deviation } => {
+                write!(f, "operator is not unitary (deviation {deviation:e})")
+            }
+            SimError::InvalidParameter { context } => {
+                write!(f, "invalid parameter: {context}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_works() {
+        assert!(SimError::NotPowerOfTwo { len: 3 }.to_string().contains('3'));
+        assert!(SimError::ZeroNorm.to_string().contains("zero norm"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,727 @@
+//! Quantum state vectors and the primitive operations on them.
+
+use crate::error::SimError;
+use qsc_linalg::vector::{cdot, norm2};
+use qsc_linalg::{CMatrix, Complex64, C_ONE, C_ZERO};
+use rand::Rng;
+
+/// A pure quantum state on `num_qubits` qubits, stored as a dense
+/// state vector of `2^num_qubits` complex amplitudes.
+///
+/// Qubit 0 is the **least significant bit** of the basis-state index.
+///
+/// # Examples
+///
+/// ```
+/// use qsc_sim::QuantumState;
+///
+/// # fn main() -> Result<(), qsc_sim::SimError> {
+/// let mut state = QuantumState::zero_state(2);
+/// state.apply_h(0)?;
+/// state.apply_cnot(0, 1)?;          // Bell pair
+/// assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantumState {
+    num_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl QuantumState {
+    /// The all-zeros computational basis state `|0…0⟩`.
+    pub fn zero_state(num_qubits: usize) -> Self {
+        let mut amps = vec![C_ZERO; 1 << num_qubits];
+        amps[0] = C_ONE;
+        Self { num_qubits, amps }
+    }
+
+    /// A computational basis state `|index⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 2^num_qubits`.
+    pub fn basis_state(num_qubits: usize, index: usize) -> Self {
+        assert!(index < (1 << num_qubits), "basis index out of range");
+        let mut amps = vec![C_ZERO; 1 << num_qubits];
+        amps[index] = C_ONE;
+        Self { num_qubits, amps }
+    }
+
+    /// Builds a state from raw amplitudes, normalizing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NotPowerOfTwo`] if the length is not a power of
+    /// two, or [`SimError::ZeroNorm`] for an all-zero vector.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Result<Self, SimError> {
+        let len = amps.len();
+        if len == 0 || !len.is_power_of_two() {
+            return Err(SimError::NotPowerOfTwo { len });
+        }
+        let mut amps = amps;
+        let n = norm2(&amps);
+        if n == 0.0 {
+            return Err(SimError::ZeroNorm);
+        }
+        for a in &mut amps {
+            *a = a.scale(1.0 / n);
+        }
+        Ok(Self {
+            num_qubits: len.trailing_zeros() as usize,
+            amps,
+        })
+    }
+
+    /// Amplitude-encodes a (possibly unnormalized) vector, zero-padding to
+    /// the next power of two — the `|x⟩ = Σ x_j|j⟩/‖x‖` data-loading step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ZeroNorm`] for an all-zero vector.
+    pub fn amplitude_encode(data: &[Complex64]) -> Result<Self, SimError> {
+        if data.is_empty() {
+            return Err(SimError::ZeroNorm);
+        }
+        let dim = data.len().next_power_of_two();
+        let mut amps = vec![C_ZERO; dim];
+        amps[..data.len()].copy_from_slice(data);
+        Self::from_amplitudes(amps)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Dimension of the state vector (`2^num_qubits`).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Borrows the amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Probability of measuring the basis state `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn probability(&self, index: usize) -> f64 {
+        self.amps[index].norm_sqr()
+    }
+
+    /// ℓ2 norm of the state (should be 1 up to numerical drift).
+    pub fn norm(&self) -> f64 {
+        norm2(&self.amps)
+    }
+
+    /// Renormalizes in place; returns the pre-normalization norm.
+    pub fn renormalize(&mut self) -> f64 {
+        let n = self.norm();
+        if n > 0.0 {
+            for a in &mut self.amps {
+                *a = a.scale(1.0 / n);
+            }
+        }
+        n
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn inner(&self, other: &Self) -> Complex64 {
+        cdot(&self.amps, &other.amps)
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &Self) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    fn check_qubit(&self, qubit: usize) -> Result<(), SimError> {
+        if qubit >= self.num_qubits {
+            Err(SimError::QubitOutOfRange {
+                qubit,
+                num_qubits: self.num_qubits,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Applies an arbitrary single-qubit gate `[[a, b], [c, d]]` to `qubit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for a bad target.
+    pub fn apply_single(&mut self, gate: &[[Complex64; 2]; 2], qubit: usize) -> Result<(), SimError> {
+        self.check_qubit(qubit)?;
+        let bit = 1usize << qubit;
+        let dim = self.amps.len();
+        let mut i = 0usize;
+        while i < dim {
+            if i & bit == 0 {
+                let j = i | bit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = gate[0][0] * a0 + gate[0][1] * a1;
+                self.amps[j] = gate[1][0] * a0 + gate[1][1] * a1;
+            }
+            i += 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a single-qubit gate conditioned on `control` being `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for bad indices or
+    /// [`SimError::InvalidParameter`] if control equals target.
+    pub fn apply_controlled_single(
+        &mut self,
+        gate: &[[Complex64; 2]; 2],
+        control: usize,
+        target: usize,
+    ) -> Result<(), SimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(SimError::InvalidParameter {
+                context: "control equals target".into(),
+            });
+        }
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        let dim = self.amps.len();
+        for i in 0..dim {
+            if i & cbit != 0 && i & tbit == 0 {
+                let j = i | tbit;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = gate[0][0] * a0 + gate[0][1] * a1;
+                self.amps[j] = gate[1][0] * a0 + gate[1][1] * a1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Hadamard on `qubit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for a bad target.
+    pub fn apply_h(&mut self, qubit: usize) -> Result<(), SimError> {
+        self.apply_single(&crate::gates::h(), qubit)
+    }
+
+    /// CNOT with the given control and target.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`apply_controlled_single`](Self::apply_controlled_single).
+    pub fn apply_cnot(&mut self, control: usize, target: usize) -> Result<(), SimError> {
+        self.apply_controlled_single(&crate::gates::x(), control, target)
+    }
+
+    /// Controlled phase gate: multiplies the amplitude by `e^{iθ}` when both
+    /// qubits are `|1⟩`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`apply_controlled_single`](Self::apply_controlled_single).
+    pub fn apply_controlled_phase(
+        &mut self,
+        control: usize,
+        target: usize,
+        theta: f64,
+    ) -> Result<(), SimError> {
+        self.check_qubit(control)?;
+        self.check_qubit(target)?;
+        if control == target {
+            return Err(SimError::InvalidParameter {
+                context: "control equals target".into(),
+            });
+        }
+        let mask = (1usize << control) | (1usize << target);
+        let phase = Complex64::cis(theta);
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *a *= phase;
+            }
+        }
+        Ok(())
+    }
+
+    /// Swaps two qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::QubitOutOfRange`] for bad indices.
+    pub fn apply_swap(&mut self, a: usize, b: usize) -> Result<(), SimError> {
+        self.check_qubit(a)?;
+        self.check_qubit(b)?;
+        if a == b {
+            return Ok(());
+        }
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            let has_a = i & abit != 0;
+            let has_b = i & bbit != 0;
+            if has_a && !has_b {
+                let j = (i & !abit) | bbit;
+                self.amps.swap(i, j);
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a unitary matrix to the **low block** of qubits
+    /// `0..log2(u.nrows())`, i.e. `U ⊗ I` on the remaining high qubits.
+    ///
+    /// This is the workhorse of matrix-level QPE, where the "system"
+    /// register lives in the low qubits and the phase register above it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if `u` is not square with a
+    /// power-of-two dimension dividing the state dimension.
+    pub fn apply_block_unitary(&mut self, u: &CMatrix) -> Result<(), SimError> {
+        self.apply_controlled_block_unitary(u, None)
+    }
+
+    /// Like [`apply_block_unitary`](Self::apply_block_unitary) but applied
+    /// only where the `control` qubit (which must lie above the block) is
+    /// `|1⟩`. `None` applies unconditionally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] for a bad block size or
+    /// [`SimError::QubitOutOfRange`] / [`SimError::InvalidParameter`] for a
+    /// bad control.
+    pub fn apply_controlled_block_unitary(
+        &mut self,
+        u: &CMatrix,
+        control: Option<usize>,
+    ) -> Result<(), SimError> {
+        let block = u.nrows();
+        if !u.is_square() || !block.is_power_of_two() || self.amps.len() % block != 0 {
+            return Err(SimError::DimensionMismatch {
+                context: format!(
+                    "block unitary {}×{} on state of dim {}",
+                    u.nrows(),
+                    u.ncols(),
+                    self.amps.len()
+                ),
+            });
+        }
+        let block_qubits = block.trailing_zeros() as usize;
+        if let Some(c) = control {
+            self.check_qubit(c)?;
+            if c < block_qubits {
+                return Err(SimError::InvalidParameter {
+                    context: format!("control {c} lies inside the {block_qubits}-qubit block"),
+                });
+            }
+        }
+        let num_blocks = self.amps.len() / block;
+        let mut scratch = vec![C_ZERO; block];
+        for b in 0..num_blocks {
+            if let Some(c) = control {
+                // The block index occupies the high bits; the control bit,
+                // expressed in block coordinates, is at position c − block_qubits.
+                if b & (1usize << (c - block_qubits)) == 0 {
+                    continue;
+                }
+            }
+            let offset = b * block;
+            let slice = &self.amps[offset..offset + block];
+            for (i, s) in scratch.iter_mut().enumerate() {
+                let mut acc = C_ZERO;
+                let row = u.row(i);
+                for (x, y) in row.iter().zip(slice) {
+                    acc += *x * *y;
+                }
+                *s = acc;
+            }
+            self.amps[offset..offset + block].copy_from_slice(&scratch);
+        }
+        Ok(())
+    }
+
+    /// Marginal probability distribution over the **high** `t` qubits
+    /// (qubits `num_qubits − t ..`), tracing out the rest. Returned as a
+    /// vector of length `2^t` indexed by the high-bit pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > num_qubits`.
+    pub fn marginal_high(&self, t: usize) -> Vec<f64> {
+        assert!(t <= self.num_qubits, "marginal over too many qubits");
+        let low = self.num_qubits - t;
+        let block = 1usize << low;
+        let mut probs = vec![0.0; 1 << t];
+        for (i, a) in self.amps.iter().enumerate() {
+            probs[i / block] += a.norm_sqr();
+        }
+        probs
+    }
+
+    /// Probability of measuring `|1⟩` on a single qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn probability_of_one(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.num_qubits, "qubit out of range");
+        let bit = 1usize << qubit;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Measures a single qubit, collapsing the state, and returns the
+    /// outcome (`false` = 0, `true` = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn measure_qubit<R: Rng>(&mut self, qubit: usize, rng: &mut R) -> bool {
+        let p1 = self.probability_of_one(qubit);
+        let outcome = rng.gen::<f64>() < p1;
+        let bit = 1usize << qubit;
+        let keep_prob = if outcome { p1 } else { 1.0 - p1 };
+        if keep_prob <= 0.0 {
+            return outcome; // numerically impossible branch; leave state
+        }
+        let scale = 1.0 / keep_prob.sqrt();
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let is_one = i & bit != 0;
+            if is_one == outcome {
+                *a = a.scale(scale);
+            } else {
+                *a = C_ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Expectation value `⟨ψ|A|ψ⟩` of a Hermitian observable on the full
+    /// register (returned as the real part; the imaginary part vanishes for
+    /// Hermitian `A` up to rounding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] if the observable does not
+    /// match the state dimension.
+    pub fn expectation(&self, observable: &CMatrix) -> Result<f64, SimError> {
+        if observable.nrows() != self.dim() || observable.ncols() != self.dim() {
+            return Err(SimError::DimensionMismatch {
+                context: format!(
+                    "observable {}×{} on state of dim {}",
+                    observable.nrows(),
+                    observable.ncols(),
+                    self.dim()
+                ),
+            });
+        }
+        let av = observable.matvec(&self.amps);
+        Ok(cdot(&self.amps, &av).re)
+    }
+
+    /// Samples one measurement of the full register in the computational
+    /// basis; the state is *not* collapsed.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let mut target = rng.gen::<f64>();
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if target < p {
+                return i;
+            }
+            target -= p;
+        }
+        self.amps.len() - 1
+    }
+
+    /// Samples `shots` measurements, returning counts per basis state
+    /// (sparse: only observed outcomes appear).
+    pub fn sample_counts<R: Rng>(&self, shots: usize, rng: &mut R) -> Vec<(usize, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            *counts.entry(self.sample(rng)).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Projects onto the subspace where the high `t` qubits equal `value`,
+    /// renormalizing. Returns the pre-projection probability of that
+    /// outcome, or 0.0 (leaving an unspecified state) if impossible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > num_qubits` or `value >= 2^t`.
+    pub fn collapse_high(&mut self, t: usize, value: usize) -> f64 {
+        assert!(t <= self.num_qubits && value < (1 << t), "bad collapse");
+        let low = self.num_qubits - t;
+        let block = 1usize << low;
+        let mut kept = 0.0;
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            if i / block == value {
+                kept += a.norm_sqr();
+            } else {
+                *a = C_ZERO;
+            }
+        }
+        if kept > 0.0 {
+            let inv = 1.0 / kept.sqrt();
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_is_normalized_basis() {
+        let s = QuantumState::zero_state(3);
+        assert_eq!(s.dim(), 8);
+        assert_eq!(s.probability(0), 1.0);
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_amplitudes_normalizes() {
+        let s = QuantumState::from_amplitudes(vec![
+            Complex64::real(3.0),
+            Complex64::real(4.0),
+        ])
+        .unwrap();
+        assert!((s.probability(0) - 0.36).abs() < 1e-12);
+        assert!((s.probability(1) - 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_and_zero() {
+        assert!(QuantumState::from_amplitudes(vec![C_ONE; 3]).is_err());
+        assert!(QuantumState::from_amplitudes(vec![C_ZERO; 4]).is_err());
+    }
+
+    #[test]
+    fn amplitude_encode_pads() {
+        let s = QuantumState::amplitude_encode(&[C_ONE, C_ONE, C_ONE]).unwrap();
+        assert_eq!(s.dim(), 4);
+        assert!(s.probability(3) < 1e-12);
+        assert!((s.probability(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_makes_uniform() {
+        let mut s = QuantumState::zero_state(3);
+        for q in 0..3 {
+            s.apply_h(q).unwrap();
+        }
+        for i in 0..8 {
+            assert!((s.probability(i) - 0.125).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn h_squared_is_identity() {
+        let mut s = QuantumState::zero_state(1);
+        s.apply_h(0).unwrap();
+        s.apply_h(0).unwrap();
+        assert!((s.probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut s = QuantumState::zero_state(2);
+        s.apply_h(0).unwrap();
+        s.apply_cnot(0, 1).unwrap();
+        assert!((s.probability(0b00) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+        assert!(s.probability(0b01) < 1e-12);
+        assert!(s.probability(0b10) < 1e-12);
+    }
+
+    #[test]
+    fn controlled_phase_only_on_11() {
+        let mut s = QuantumState::from_amplitudes(vec![C_ONE; 4]).unwrap();
+        s.apply_controlled_phase(0, 1, std::f64::consts::PI).unwrap();
+        let amps = s.amplitudes();
+        assert!((amps[3] + Complex64::real(0.5)).abs() < 1e-12); // flipped sign
+        assert!((amps[0] - Complex64::real(0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut s = QuantumState::basis_state(2, 0b01);
+        s.apply_swap(0, 1).unwrap();
+        assert_eq!(s.probability(0b10), 1.0);
+    }
+
+    #[test]
+    fn block_unitary_applies_to_low_qubits() {
+        // X on the 1-qubit low block of a 2-qubit register = X ⊗ I (on high).
+        let xm = CMatrix::from_rows(&[vec![C_ZERO, C_ONE], vec![C_ONE, C_ZERO]]).unwrap();
+        let mut s = QuantumState::basis_state(2, 0b10);
+        s.apply_block_unitary(&xm).unwrap();
+        assert_eq!(s.probability(0b11), 1.0);
+    }
+
+    #[test]
+    fn controlled_block_unitary_respects_control() {
+        let xm = CMatrix::from_rows(&[vec![C_ZERO, C_ONE], vec![C_ONE, C_ZERO]]).unwrap();
+        // Control qubit 1 (high), block = qubit 0.
+        let mut s0 = QuantumState::basis_state(2, 0b00);
+        s0.apply_controlled_block_unitary(&xm, Some(1)).unwrap();
+        assert_eq!(s0.probability(0b00), 1.0); // control off: no-op
+
+        let mut s1 = QuantumState::basis_state(2, 0b10);
+        s1.apply_controlled_block_unitary(&xm, Some(1)).unwrap();
+        assert_eq!(s1.probability(0b11), 1.0); // control on: X applied
+    }
+
+    #[test]
+    fn control_inside_block_rejected() {
+        let id = CMatrix::identity(4);
+        let mut s = QuantumState::zero_state(3);
+        assert!(s.apply_controlled_block_unitary(&id, Some(1)).is_err());
+    }
+
+    #[test]
+    fn marginal_high_sums_blocks() {
+        let mut s = QuantumState::zero_state(3);
+        s.apply_h(2).unwrap(); // high qubit in superposition
+        let probs = s.marginal_high(1);
+        assert!((probs[0] - 0.5).abs() < 1e-12);
+        assert!((probs[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapse_high_renormalizes() {
+        let mut s = QuantumState::zero_state(2);
+        s.apply_h(1).unwrap();
+        let p = s.collapse_high(1, 1);
+        assert!((p - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_distribution_roughly_matches() {
+        let mut s = QuantumState::zero_state(1);
+        s.apply_h(0).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = s.sample_counts(10_000, &mut rng);
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 10_000);
+        for (_, c) in counts {
+            assert!((c as f64 / 10_000.0 - 0.5).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn gates_preserve_norm() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let amps: Vec<Complex64> = (0..8)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut s = QuantumState::from_amplitudes(amps).unwrap();
+        s.apply_h(1).unwrap();
+        s.apply_single(&gates::t(), 2).unwrap();
+        s.apply_cnot(0, 2).unwrap();
+        s.apply_controlled_phase(1, 2, 0.3).unwrap();
+        assert!((s.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_qubits_error() {
+        let mut s = QuantumState::zero_state(2);
+        assert!(s.apply_h(2).is_err());
+        assert!(s.apply_cnot(0, 5).is_err());
+        assert!(s.apply_controlled_phase(0, 0, 1.0).is_err());
+    }
+
+    #[test]
+    fn probability_of_one_on_plus_state() {
+        let mut s = QuantumState::zero_state(2);
+        s.apply_h(1).unwrap();
+        assert!((s.probability_of_one(1) - 0.5).abs() < 1e-12);
+        assert!(s.probability_of_one(0) < 1e-12);
+    }
+
+    #[test]
+    fn measure_collapses_and_renormalizes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..20 {
+            let mut s = QuantumState::zero_state(2);
+            s.apply_h(0).unwrap();
+            s.apply_cnot(0, 1).unwrap(); // Bell pair
+            let first = s.measure_qubit(0, &mut rng);
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+            // Bell correlation: the second qubit must agree deterministically.
+            let second = s.measure_qubit(1, &mut rng);
+            assert_eq!(first, second);
+        }
+    }
+
+    #[test]
+    fn measurement_statistics_match_amplitudes() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let mut ones = 0usize;
+        let trials = 4000;
+        for _ in 0..trials {
+            let mut s = QuantumState::from_amplitudes(vec![
+                Complex64::real(0.6),
+                Complex64::real(0.8),
+            ])
+            .unwrap();
+            if s.measure_qubit(0, &mut rng) {
+                ones += 1;
+            }
+        }
+        let freq = ones as f64 / trials as f64;
+        assert!((freq - 0.64).abs() < 0.03, "frequency {freq}");
+    }
+
+    #[test]
+    fn expectation_of_pauli_z() {
+        let zm = CMatrix::from_diag(&[C_ONE, -C_ONE]);
+        let zero = QuantumState::zero_state(1);
+        assert!((zero.expectation(&zm).unwrap() - 1.0).abs() < 1e-12);
+        let mut plus = QuantumState::zero_state(1);
+        plus.apply_h(0).unwrap();
+        assert!(plus.expectation(&zm).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_checks_dimensions() {
+        let s = QuantumState::zero_state(2);
+        assert!(s.expectation(&CMatrix::identity(2)).is_err());
+    }
+
+    use rand::Rng;
+}

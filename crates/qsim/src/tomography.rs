@@ -1,0 +1,201 @@
+//! Vector-state tomography with finite shots.
+//!
+//! The quantum pipeline can hold the spectral embedding as amplitudes, but a
+//! classical description requires measurement. Following the ℓ2
+//! vector-state tomography of Kerenidis–Prakash (`N = O(d·log d/δ²)` shots
+//! for ℓ2 error δ), the simulation draws real multinomial counts for the
+//! magnitudes and resolves signs/phases through a second (noiseless in
+//! simulation, as in the reference analyses) interference round.
+
+use crate::error::SimError;
+use qsc_linalg::vector::{interleave_re_im, norm2};
+use qsc_linalg::Complex64;
+use rand::Rng;
+
+/// Estimates a real unit vector from `shots` computational-basis
+/// measurements: `|v̂_i| = sqrt(n_i/N)` with the sign taken from the
+/// interference round.
+///
+/// # Errors
+///
+/// Returns [`SimError::ZeroNorm`] for a zero vector and
+/// [`SimError::InvalidParameter`] for zero shots.
+pub fn tomography_real<R: Rng>(
+    v: &[f64],
+    shots: usize,
+    rng: &mut R,
+) -> Result<Vec<f64>, SimError> {
+    if shots == 0 {
+        return Err(SimError::InvalidParameter {
+            context: "tomography needs at least one shot".into(),
+        });
+    }
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm == 0.0 {
+        return Err(SimError::ZeroNorm);
+    }
+    let probs: Vec<f64> = v.iter().map(|x| (x / norm) * (x / norm)).collect();
+
+    // Multinomial sampling of `shots` outcomes.
+    let mut counts = vec![0usize; v.len()];
+    for _ in 0..shots {
+        let mut target = rng.gen::<f64>();
+        let mut chosen = v.len() - 1;
+        for (i, &p) in probs.iter().enumerate() {
+            if target < p {
+                chosen = i;
+                break;
+            }
+            target -= p;
+        }
+        counts[chosen] += 1;
+    }
+
+    Ok(v.iter()
+        .zip(&counts)
+        .map(|(&x, &c)| (c as f64 / shots as f64).sqrt().copysign(x) * norm)
+        .collect())
+}
+
+/// Estimates a complex vector by running [`tomography_real`] on its
+/// interleaved real/imaginary representation (an isometry, so the ℓ2
+/// guarantee carries over).
+///
+/// # Errors
+///
+/// Same contract as [`tomography_real`].
+///
+/// # Examples
+///
+/// ```
+/// use qsc_sim::tomography::tomography_complex;
+/// use qsc_linalg::Complex64;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), qsc_sim::SimError> {
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let v = vec![Complex64::new(0.6, 0.0), Complex64::new(0.0, 0.8)];
+/// let est = tomography_complex(&v, 100_000, &mut rng)?;
+/// assert!((est[0].re - 0.6).abs() < 0.05);
+/// assert!((est[1].im - 0.8).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+pub fn tomography_complex<R: Rng>(
+    v: &[Complex64],
+    shots: usize,
+    rng: &mut R,
+) -> Result<Vec<Complex64>, SimError> {
+    let real = interleave_re_im(v);
+    let est = tomography_real(&real, shots, rng)?;
+    Ok(est
+        .chunks_exact(2)
+        .map(|pair| Complex64::new(pair[0], pair[1]))
+        .collect())
+}
+
+/// The ℓ2-error scale `√(d/N)` the tomography analysis predicts; used by
+/// tests and the cost model to pick shot counts for a target error.
+pub fn expected_l2_error(dim: usize, shots: usize) -> f64 {
+    (dim as f64 / shots as f64).sqrt()
+}
+
+/// Shots needed for an expected ℓ2 error of `delta` on dimension `dim`.
+pub fn shots_for_error(dim: usize, delta: f64) -> usize {
+    ((dim as f64 / (delta * delta)).ceil() as usize).max(1)
+}
+
+/// ℓ2 error between an estimate and the true complex vector.
+pub fn l2_error(estimate: &[Complex64], truth: &[Complex64]) -> f64 {
+    let diff: Vec<Complex64> = estimate
+        .iter()
+        .zip(truth)
+        .map(|(a, b)| *a - *b)
+        .collect();
+    norm2(&diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_basis_vector_exactly() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let v = vec![0.0, 1.0, 0.0, 0.0];
+        let est = tomography_real(&v, 100, &mut rng).unwrap();
+        assert_eq!(est, v);
+    }
+
+    #[test]
+    fn error_shrinks_with_shots() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let v: Vec<f64> = vec![0.5, -0.5, 0.5, -0.5];
+        let mut errors = Vec::new();
+        for shots in [100usize, 10_000, 1_000_000] {
+            let avg: f64 = (0..10)
+                .map(|_| {
+                    let est = tomography_real(&v, shots, &mut rng).unwrap();
+                    est.iter()
+                        .zip(&v)
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .sum::<f64>()
+                / 10.0;
+            errors.push(avg);
+        }
+        assert!(errors[0] > errors[1] && errors[1] > errors[2], "{errors:?}");
+    }
+
+    #[test]
+    fn preserves_input_norm_scale() {
+        // Tomography of an unnormalized vector returns the same scale.
+        let mut rng = StdRng::seed_from_u64(33);
+        let v = vec![3.0, 4.0];
+        let est = tomography_real(&v, 1_000_000, &mut rng).unwrap();
+        let est_norm: f64 = est.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((est_norm - 5.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn signs_preserved() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let v = vec![0.7, -0.7, 0.1, -0.1];
+        let est = tomography_real(&v, 100_000, &mut rng).unwrap();
+        for (e, t) in est.iter().zip(&v) {
+            if *e != 0.0 {
+                assert_eq!(e.signum(), t.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn complex_round_trip_accuracy() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let v = vec![
+            Complex64::new(0.5, 0.5),
+            Complex64::new(-0.5, 0.0),
+            Complex64::new(0.0, -0.5),
+        ];
+        let est = tomography_complex(&v, 1_000_000, &mut rng).unwrap();
+        assert!(l2_error(&est, &v) < 0.01);
+    }
+
+    #[test]
+    fn error_scale_helpers_consistent() {
+        let shots = shots_for_error(16, 0.1);
+        assert!(expected_l2_error(16, shots) <= 0.1 + 1e-12);
+        assert!(shots_for_error(4, 0.5) >= 1);
+    }
+
+    #[test]
+    fn rejects_zero_vector_and_zero_shots() {
+        let mut rng = StdRng::seed_from_u64(36);
+        assert!(tomography_real(&[0.0, 0.0], 10, &mut rng).is_err());
+        assert!(tomography_real(&[1.0], 0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! EDA scenario: recover the module structure of a synthetic pipelined
+//! datapath netlist, where signal direction is the load-bearing clue.
+//!
+//! ```text
+//! cargo run --release --example netlist_partitioning
+//! ```
+
+use qsc_suite::cluster::metrics::matched_accuracy;
+use qsc_suite::core::{
+    classical_spectral_clustering, quantum_spectral_clustering, symmetrized_spectral_clustering,
+    QuantumParams, SpectralConfig,
+};
+use qsc_suite::graph::generators::{netlist, NetlistParams};
+use qsc_suite::graph::stats::{cut_weight, flow_matrix, mean_flow_imbalance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = NetlistParams {
+        num_modules: 5,
+        cells_per_module: 40,
+        p_intra: 0.12,
+        p_signal: 0.05,
+        p_feedback: 0.01,
+        p_skip: 0.01,
+        seed: 2024,
+    };
+    let inst = netlist(&params)?;
+    let k = params.num_modules;
+    println!(
+        "netlist: {} cells in {} modules, {} coupling edges, {} signal arcs",
+        inst.graph.num_vertices(),
+        k,
+        inst.graph.num_edges(),
+        inst.graph.num_arcs()
+    );
+
+    let config = SpectralConfig { k, seed: 11, ..SpectralConfig::default() };
+
+    let hermitian = classical_spectral_clustering(&inst.graph, &config)?;
+    let blind = symmetrized_spectral_clustering(&inst.graph, &config)?;
+    let quantum = quantum_spectral_clustering(&inst.graph, &config, &QuantumParams::default())?;
+
+    for (name, labels) in [
+        ("hermitian (classical)", &hermitian.labels),
+        ("symmetrized baseline ", &blind.labels),
+        ("hermitian (quantum)  ", &quantum.labels),
+    ] {
+        let acc = matched_accuracy(&inst.labels, labels);
+        let cut = cut_weight(&inst.graph, labels);
+        let imbalance = mean_flow_imbalance(&inst.graph, labels, k);
+        println!(
+            "{name}: module accuracy {acc:.3}, cut weight {cut:.0}, mean |flow imbalance| {imbalance:.3}"
+        );
+    }
+
+    // Show the recovered stage-to-stage flow of the quantum partition: a
+    // good module recovery shows strong super-diagonal flow.
+    let flow = flow_matrix(&inst.graph, &quantum.labels, k);
+    println!("\nsignal flow between recovered modules (rows → cols):");
+    for row in &flow {
+        let cells: Vec<String> = row.iter().map(|w| format!("{w:>6.0}")).collect();
+        println!("  [{}]", cells.join(" "));
+    }
+    Ok(())
+}

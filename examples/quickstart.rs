@@ -1,0 +1,73 @@
+//! Quickstart: cluster a mixed graph classically and with the simulated
+//! quantum pipeline, and compare them.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qsc_suite::cluster::metrics::{adjusted_rand_index, matched_accuracy};
+use qsc_suite::core::{
+    classical_spectral_clustering, quantum_spectral_clustering, QuantumParams, SpectralConfig,
+};
+use qsc_suite::graph::generators::{dsbm, DsbmParams, MetaGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mixed graph with three flow-defined clusters: identical edge
+    // densities everywhere; only the *direction* of inter-cluster arcs
+    // (cluster 0 → 1 → 2 → 0) tells the clusters apart.
+    let inst = dsbm(&DsbmParams {
+        n: 150,
+        k: 3,
+        p_intra: 0.20,
+        p_inter: 0.20,
+        eta_flow: 0.95,
+        meta: MetaGraph::Cycle,
+        seed: 42,
+        ..DsbmParams::default()
+    })?;
+    println!(
+        "graph: {} vertices, {} undirected edges, {} directed arcs",
+        inst.graph.num_vertices(),
+        inst.graph.num_edges(),
+        inst.graph.num_arcs()
+    );
+
+    let config = SpectralConfig { k: 3, seed: 7, ..SpectralConfig::default() };
+
+    // Classical Hermitian spectral clustering (exact eigendecomposition).
+    let classical = classical_spectral_clustering(&inst.graph, &config)?;
+    println!(
+        "classical : accuracy {:.3}, ARI {:.3}, cost proxy {:.2e} flops",
+        matched_accuracy(&inst.labels, &classical.labels),
+        adjusted_rand_index(&inst.labels, &classical.labels),
+        classical.diagnostics.classical_cost,
+    );
+
+    // Simulated quantum pipeline: QPE-binned projection, tomography
+    // readout, q-means — all noise channels at their default precisions.
+    let qparams = QuantumParams::default();
+    let quantum = quantum_spectral_clustering(&inst.graph, &config, &qparams)?;
+    println!(
+        "quantum   : accuracy {:.3}, ARI {:.3}, cost proxy {:.2e} queries",
+        matched_accuracy(&inst.labels, &quantum.labels),
+        adjusted_rand_index(&inst.labels, &quantum.labels),
+        quantum.diagnostics.quantum_cost.expect("quantum run"),
+    );
+    println!(
+        "quantum diagnostics: {} spectral dims (k = 3), κ = {:.2}, μ(B) = {:.2}, η = {:.2}",
+        quantum.diagnostics.dims_used,
+        quantum.diagnostics.kappa,
+        quantum.diagnostics.mu_b,
+        quantum.diagnostics.eta_embedding,
+    );
+
+    // The smallest eigenvalues carry the flow structure.
+    println!(
+        "lowest eigenvalues of the Hermitian Laplacian: {:?}",
+        &classical.spectrum[..6.min(classical.spectrum.len())]
+            .iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! # qsc-suite — Quantum Spectral Clustering of Mixed Graphs
+//!
+//! Umbrella crate for the reproduction of *"Quantum Spectral Clustering of
+//! Mixed Graphs"* (DAC 2021). It re-exports the workspace crates so the
+//! examples and integration tests at the repository root can use a single
+//! dependency:
+//!
+//! * [`linalg`] — dense complex linear algebra and Hermitian eigensolvers,
+//! * [`graph`] — mixed graphs, Hermitian Laplacians, workload generators,
+//! * [`sim`] — quantum state-vector simulator (QPE, tomography, AE),
+//! * [`cluster`] — k-means / q-means and validity metrics,
+//! * [`core`] — the classical and simulated-quantum clustering pipelines.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsc_suite::core::{classical_spectral_clustering, SpectralConfig};
+//! use qsc_suite::graph::generators::{dsbm, DsbmParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let inst = dsbm(&DsbmParams { n: 30, k: 3, seed: 1, ..DsbmParams::default() })?;
+//! let out = classical_spectral_clustering(&inst.graph, &SpectralConfig::with_k(3))?;
+//! assert_eq!(out.labels.len(), 30);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use qsc_cluster as cluster;
+pub use qsc_core as core;
+pub use qsc_graph as graph;
+pub use qsc_linalg as linalg;
+pub use qsc_sim as sim;

@@ -1,0 +1,197 @@
+//! Boundary and failure-injection tests across the stack: tiny graphs,
+//! isolated vertices, degenerate requests, weighted graphs, and the
+//! error-path contracts a downstream user will hit first.
+
+use qsc_suite::cluster::{kmeans, KMeansConfig};
+use qsc_suite::core::{
+    classical_spectral_clustering, lanczos_spectral_clustering, quantum_spectral_clustering,
+    PipelineError, QuantumParams, SpectralConfig,
+};
+use qsc_suite::graph::{
+    hermitian_adjacency, normalized_hermitian_laplacian, GraphError, MixedGraph,
+};
+use qsc_suite::linalg::{eigh, eigvalsh, CMatrix};
+
+#[test]
+fn smallest_legal_graph_clusters() {
+    // Two vertices, one arc, k = 2.
+    let mut g = MixedGraph::new(2);
+    g.add_arc(0, 1, 1.0).expect("arc");
+    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let out = classical_spectral_clustering(&g, &cfg).expect("pipeline");
+    assert_eq!(out.labels.len(), 2);
+    assert_ne!(out.labels[0], out.labels[1]);
+}
+
+#[test]
+fn graph_with_isolated_vertices_survives_both_pipelines() {
+    // A triangle plus two isolated vertices; k = 2 groups the isolateds by
+    // their identical (zero-ish) embedding rows.
+    let mut g = MixedGraph::new(5);
+    g.add_edge(0, 1, 1.0).expect("edge");
+    g.add_edge(1, 2, 1.0).expect("edge");
+    g.add_edge(0, 2, 1.0).expect("edge");
+    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let classical = classical_spectral_clustering(&g, &cfg).expect("classical");
+    assert_eq!(classical.labels.len(), 5);
+    let quantum = quantum_spectral_clustering(&g, &cfg, &QuantumParams::default())
+        .expect("quantum with isolated vertices");
+    assert_eq!(quantum.labels.len(), 5);
+}
+
+#[test]
+fn empty_graph_pipelines_do_not_panic() {
+    // No connections at all: the Laplacian is the identity, every vertex
+    // identical. The pipelines must return *something* labeled, not panic.
+    let g = MixedGraph::new(6);
+    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let out = classical_spectral_clustering(&g, &cfg).expect("empty graph");
+    assert_eq!(out.labels.len(), 6);
+}
+
+#[test]
+fn k_equals_n_assigns_every_vertex_its_own_cluster_capacity() {
+    let mut g = MixedGraph::new(4);
+    g.add_edge(0, 1, 1.0).expect("edge");
+    g.add_arc(2, 3, 1.0).expect("arc");
+    let cfg = SpectralConfig { k: 4, seed: 1, ..SpectralConfig::default() };
+    let out = classical_spectral_clustering(&g, &cfg).expect("k = n");
+    assert!(out.labels.iter().all(|&l| l < 4));
+}
+
+#[test]
+fn invalid_requests_surface_typed_errors() {
+    let g = MixedGraph::new(3);
+    let err = classical_spectral_clustering(&g, &SpectralConfig { k: 0, ..Default::default() })
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::InvalidRequest { .. }));
+    let err = lanczos_spectral_clustering(&g, &SpectralConfig { k: 9, ..Default::default() })
+        .unwrap_err();
+    assert!(matches!(err, PipelineError::InvalidRequest { .. }));
+}
+
+#[test]
+fn weighted_graphs_scale_degrees_not_normalized_spectrum() {
+    // Uniformly scaling all weights leaves the *normalized* Laplacian (and
+    // hence the clustering) invariant.
+    let build = |w: f64| {
+        let mut g = MixedGraph::new(4);
+        g.add_edge(0, 1, w).expect("edge");
+        g.add_arc(1, 2, w).expect("arc");
+        g.add_edge(2, 3, w).expect("edge");
+        g.add_arc(3, 0, w).expect("arc");
+        g
+    };
+    let l1 = normalized_hermitian_laplacian(&build(1.0), 0.25);
+    let l5 = normalized_hermitian_laplacian(&build(5.0), 0.25);
+    assert!((&l1 - &l5).max_norm() < 1e-12);
+
+    // But the adjacency itself scales.
+    let a1 = hermitian_adjacency(&build(1.0), 0.25);
+    let a5 = hermitian_adjacency(&build(5.0), 0.25);
+    assert!((&a5 - &a1.scaled(qsc_suite::linalg::Complex64::real(5.0))).max_norm() < 1e-12);
+}
+
+#[test]
+fn heterogeneous_weights_shift_spectrum_sensibly() {
+    // Fun fact encoded as a test: a weighted *path* of 3 vertices has the
+    // weight-independent normalized spectrum {0, 1, 2} — so the weight
+    // sensitivity must be checked on a triangle, where it is real.
+    let mut p_weak = MixedGraph::new(3);
+    p_weak.add_edge(0, 1, 1.0).expect("edge");
+    p_weak.add_edge(1, 2, 1.0).expect("edge");
+    let mut p_strong = MixedGraph::new(3);
+    p_strong.add_edge(0, 1, 10.0).expect("edge");
+    p_strong.add_edge(1, 2, 1.0).expect("edge");
+    let pw = eigvalsh(&normalized_hermitian_laplacian(&p_weak, 0.25)).expect("eigh");
+    let ps = eigvalsh(&normalized_hermitian_laplacian(&p_strong, 0.25)).expect("eigh");
+    for (a, b) in pw.iter().zip(&ps) {
+        assert!((a - b).abs() < 1e-9, "3-path spectrum must be weight-free");
+    }
+
+    let triangle = |w01: f64| {
+        let mut g = MixedGraph::new(3);
+        g.add_edge(0, 1, w01).expect("edge");
+        g.add_edge(1, 2, 1.0).expect("edge");
+        g.add_edge(0, 2, 1.0).expect("edge");
+        g
+    };
+    let tw = eigvalsh(&normalized_hermitian_laplacian(&triangle(1.0), 0.25)).expect("eigh");
+    let ts = eigvalsh(&normalized_hermitian_laplacian(&triangle(10.0), 0.25)).expect("eigh");
+    assert!(tw[0].abs() < 1e-9 && ts[0].abs() < 1e-9); // connected: λ₀ = 0
+    assert!((tw[1] - ts[1]).abs() > 1e-3, "triangle spectrum must move");
+}
+
+#[test]
+fn graph_error_variants_reachable() {
+    let mut g = MixedGraph::new(2);
+    assert!(matches!(g.add_edge(0, 0, 1.0), Err(GraphError::SelfLoop { .. })));
+    assert!(matches!(
+        g.add_edge(0, 7, 1.0),
+        Err(GraphError::VertexOutOfBounds { .. })
+    ));
+    assert!(matches!(
+        g.add_edge(0, 1, -2.0),
+        Err(GraphError::NonPositiveWeight { .. })
+    ));
+    g.add_edge(0, 1, 1.0).expect("first");
+    assert!(matches!(g.add_arc(1, 0, 1.0), Err(GraphError::DuplicateEdge { .. })));
+}
+
+#[test]
+fn kmeans_handles_duplicate_points() {
+    // More clusters than *distinct* points: empty-cluster reseeding must
+    // not loop or panic.
+    let data = vec![vec![1.0, 1.0]; 8];
+    let result = kmeans(
+        &data,
+        &KMeansConfig { k: 3, seed: 1, restarts: 2, ..KMeansConfig::default() },
+    )
+    .expect("duplicate points");
+    assert_eq!(result.labels.len(), 8);
+    assert!(result.inertia < 1e-12);
+}
+
+#[test]
+fn eigensolver_handles_scaled_matrices() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    // Very large and very small scales must not break convergence.
+    let mut rng = StdRng::seed_from_u64(5);
+    let base = CMatrix::random_hermitian(10, &mut rng);
+    for &scale in &[1e-8, 1.0, 1e8] {
+        let a = base.scaled(qsc_suite::linalg::Complex64::real(scale));
+        let eig = eigh(&a).expect("scaled eigh");
+        let err = (&eig.reconstruct() - &a).max_norm();
+        assert!(err < 1e-7 * scale.max(1.0), "scale {scale}: err {err}");
+    }
+}
+
+#[test]
+fn quantum_pipeline_with_extreme_precision_settings() {
+    let mut g = MixedGraph::new(12);
+    for i in 0..11 {
+        g.add_arc(i, i + 1, 1.0).expect("arc");
+    }
+    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    // One QPE bit and one shot: maximally noisy but must not panic.
+    let brutal = QuantumParams {
+        qpe_bits: 1,
+        tomography_shots: 1,
+        norm_estimation_iters: 1,
+        delta: 1.0,
+        ..QuantumParams::default()
+    };
+    let out = quantum_spectral_clustering(&g, &cfg, &brutal).expect("noisy run");
+    assert_eq!(out.labels.len(), 12);
+    // And very fine settings still work.
+    let fine = QuantumParams {
+        qpe_bits: 12,
+        tomography_shots: 100_000,
+        norm_estimation_iters: 4096,
+        delta: 0.001,
+        ..QuantumParams::default()
+    };
+    let out = quantum_spectral_clustering(&g, &cfg, &fine).expect("fine run");
+    assert_eq!(out.labels.len(), 12);
+}

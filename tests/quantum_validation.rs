@@ -1,0 +1,153 @@
+//! Cross-validation of the quantum simulation layers: the gate-level
+//! circuits must agree with the analytic fast paths the pipeline uses, and
+//! the injected noise must match the theory's magnitudes.
+
+use qsc_suite::core::gate_level_projected_row;
+use qsc_suite::graph::generators::{dsbm, DsbmParams};
+use qsc_suite::graph::normalized_hermitian_laplacian;
+use qsc_suite::linalg::expm::expi;
+use qsc_suite::linalg::{eigh, CMatrix, C_ZERO};
+use qsc_suite::sim::qpe::{qpe_gate_level, qpe_phase_distribution};
+use qsc_suite::sim::tomography::{expected_l2_error, l2_error, tomography_complex};
+use qsc_suite::sim::QuantumState;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f64::consts::TAU;
+
+/// An 8-vertex mixed graph whose Laplacian drives the circuit tests.
+fn small_laplacian() -> CMatrix {
+    let inst = dsbm(&DsbmParams {
+        n: 8,
+        k: 2,
+        p_intra: 0.9,
+        p_inter: 0.9,
+        eta_flow: 1.0,
+        seed: 21,
+        ..DsbmParams::default()
+    })
+    .expect("dsbm");
+    normalized_hermitian_laplacian(&inst.graph, 0.25)
+}
+
+#[test]
+fn gate_level_qpe_matches_analytic_on_laplacian_eigenstates() {
+    let l = small_laplacian();
+    let eig = eigh(&l).expect("eigh");
+    let scale = 4.0;
+    let u = expi(&l, TAU / scale).expect("expi");
+    let t = 5;
+    for j in [0usize, 3, 7] {
+        let input = QuantumState::from_amplitudes(eig.eigenvectors.col(j)).expect("state");
+        let out = qpe_gate_level(&u, &input, t).expect("qpe");
+        let got = out.marginal_high(t);
+        let expected = qpe_phase_distribution(eig.eigenvalues[j] / scale, t);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!((g - e).abs() < 1e-8, "eigenstate {j}: {g} vs {e}");
+        }
+    }
+}
+
+#[test]
+fn gate_level_projection_matches_exact_subspace_projection() {
+    let l = small_laplacian();
+    let eig = eigh(&l).expect("eigh");
+    let t = 7;
+    let scale = 4.0;
+    // Threshold between the 2nd and 3rd eigenvalue, requiring a resolvable
+    // gap (the seed is fixed, so this is deterministic).
+    let gap = eig.eigenvalues[2] - eig.eigenvalues[1];
+    let resolution = scale / (1 << t) as f64;
+    assert!(
+        gap > 4.0 * resolution,
+        "test premise: resolvable gap (gap {gap}, resolution {resolution})"
+    );
+    let nu = (eig.eigenvalues[1] + eig.eigenvalues[2]) / 2.0;
+
+    for vertex in 0..8 {
+        let circuit = gate_level_projected_row(&l, vertex, t, scale, nu).expect("circuit");
+        let mut exact = vec![C_ZERO; 8];
+        for j in 0..8 {
+            if eig.eigenvalues[j] <= nu {
+                let uj = eig.eigenvectors.col(j);
+                let coeff = uj[vertex].conj();
+                for (e, u) in exact.iter_mut().zip(&uj) {
+                    *e += *u * coeff;
+                }
+            }
+        }
+        let err: f64 = circuit
+            .iter()
+            .zip(&exact)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!(err < 0.05, "vertex {vertex}: err {err}");
+    }
+}
+
+#[test]
+fn tomography_error_matches_theory_scale() {
+    // Measured ℓ2 error should track √(d/N) within a small constant.
+    let mut rng = StdRng::seed_from_u64(5);
+    let l = small_laplacian();
+    let eig = eigh(&l).expect("eigh");
+    let v = eig.eigenvectors.col(1);
+    for &shots in &[1_000usize, 100_000] {
+        let trials = 20;
+        let mean_err: f64 = (0..trials)
+            .map(|_| {
+                let est = tomography_complex(&v, shots, &mut rng).expect("tomography");
+                l2_error(&est, &v)
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let theory = expected_l2_error(2 * v.len(), shots);
+        assert!(
+            mean_err < 3.0 * theory,
+            "shots {shots}: measured {mean_err} vs theory scale {theory}"
+        );
+        // √(d/N) is the worst-case scale; concentrated vectors do better,
+        // but *some* noise must be present.
+        assert!(
+            mean_err > 0.0,
+            "shots {shots}: no noise injected at all"
+        );
+    }
+}
+
+#[test]
+fn laplacian_unitary_preserves_eigenvectors() {
+    // e^{i·2π·𝓛/4} must act as a pure phase on each eigenvector.
+    let l = small_laplacian();
+    let eig = eigh(&l).expect("eigh");
+    let u = expi(&l, TAU / 4.0).expect("expi");
+    for j in 0..8 {
+        let v = eig.eigenvectors.col(j);
+        let uv = u.matvec(&v);
+        let phase = qsc_suite::linalg::Complex64::cis(eig.eigenvalues[j] * TAU / 4.0);
+        for (a, b) in uv.iter().zip(&v) {
+            assert!((*a - *b * phase).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn qpe_bits_improve_eigenvalue_estimates_monotonically() {
+    // The F3 shape in miniature: mean |λ̂ − λ| halves per added bit.
+    use qsc_suite::sim::PhaseEstimator;
+    let l = small_laplacian();
+    let eig = eigh(&l).expect("eigh");
+    let mut prev = f64::INFINITY;
+    for t in [2usize, 4, 6, 8] {
+        let est = PhaseEstimator::new(4.0, t).expect("estimator");
+        let err: f64 = eig
+            .eigenvalues
+            .iter()
+            .map(|&lam| (est.round(lam) - lam).abs())
+            .sum::<f64>()
+            / 8.0;
+        assert!(err <= prev + 1e-12, "t={t}: {err} vs prev {prev}");
+        assert!(err <= est.resolution() / 2.0 + 1e-12);
+        prev = err;
+    }
+}
