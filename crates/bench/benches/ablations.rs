@@ -73,7 +73,11 @@ fn bench_a3_lanczos_pipeline(c: &mut Criterion) {
             ..DsbmParams::default()
         })
         .expect("dsbm");
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("full_eigh", n), &n, |b, _| {
             b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
         });

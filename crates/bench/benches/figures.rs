@@ -31,15 +31,20 @@ fn bench_fig2_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for n in [100usize, 200, 300] {
         let inst = dsbm(&flow_params(n)).expect("dsbm");
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
             b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
         });
-        let qp = QuantumParams { tomography_shots: 256, ..QuantumParams::default() };
+        let qp = QuantumParams {
+            tomography_shots: 256,
+            ..QuantumParams::default()
+        };
         group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
-            b.iter(|| {
-                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
-            })
+            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
         });
     }
     group.finish();
@@ -86,5 +91,10 @@ fn bench_fig4_ablation_q(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(figures, bench_fig2_scaling, bench_fig3_qpe, bench_fig4_ablation_q);
+criterion_group!(
+    figures,
+    bench_fig2_scaling,
+    bench_fig3_qpe,
+    bench_fig4_ablation_q
+);
 criterion_main!(figures);

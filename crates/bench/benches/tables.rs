@@ -30,15 +30,20 @@ fn bench_table1_accuracy(c: &mut Criterion) {
     group.sample_size(10);
     for n in [100usize, 200] {
         let inst = dsbm(&flow_params(n)).expect("dsbm");
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
         group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
             b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
         });
-        let qp = QuantumParams { tomography_shots: 512, ..QuantumParams::default() };
+        let qp = QuantumParams {
+            tomography_shots: 512,
+            ..QuantumParams::default()
+        };
         group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
-            b.iter(|| {
-                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
-            })
+            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
         });
     }
     group.finish();
@@ -50,7 +55,11 @@ fn bench_table2_direction(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_direction");
     group.sample_size(10);
     let inst = dsbm(&flow_params(150)).expect("dsbm");
-    let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     group.bench_function("hermitian", |b| {
         b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
     });
@@ -65,13 +74,18 @@ fn bench_table3_precision(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_precision");
     group.sample_size(10);
     let inst = dsbm(&flow_params(120)).expect("dsbm");
-    let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     for shots in [256usize, 2048] {
-        let qp = QuantumParams { tomography_shots: shots, ..QuantumParams::default() };
+        let qp = QuantumParams {
+            tomography_shots: shots,
+            ..QuantumParams::default()
+        };
         group.bench_with_input(BenchmarkId::new("shots", shots), &shots, |b, _| {
-            b.iter(|| {
-                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
-            })
+            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
         });
     }
     for bits in [4usize, 8] {
@@ -81,9 +95,7 @@ fn bench_table3_precision(c: &mut Criterion) {
             ..QuantumParams::default()
         };
         group.bench_with_input(BenchmarkId::new("qpe_bits", bits), &bits, |b, _| {
-            b.iter(|| {
-                quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run")
-            })
+            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
         });
     }
     group.finish();
@@ -100,11 +112,18 @@ fn bench_table4_netlist(c: &mut Criterion) {
         ..NetlistParams::default()
     })
     .expect("netlist");
-    let cfg = SpectralConfig { k: 4, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 4,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     group.bench_function("hermitian", |b| {
         b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
     });
-    let qp = QuantumParams { tomography_shots: 512, ..QuantumParams::default() };
+    let qp = QuantumParams {
+        tomography_shots: 512,
+        ..QuantumParams::default()
+    };
     group.bench_function("quantum", |b| {
         b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
     });

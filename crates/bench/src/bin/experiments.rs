@@ -38,7 +38,10 @@ fn main() {
     let run_all = wanted.is_empty() || wanted.contains(&"all");
     let selected = |name: &str| run_all || wanted.contains(&name);
     let preset = if full { "full (paper-scale)" } else { "quick" };
-    println!("experiment preset: {preset}; reps = {}, sizes = {:?}", scale.reps, scale.sizes);
+    println!(
+        "experiment preset: {preset}; reps = {}, sizes = {:?}",
+        scale.reps, scale.sizes
+    );
 
     let t0 = Instant::now();
 
@@ -94,7 +97,11 @@ fn main() {
     }
     if selected("fig2") {
         let table = fig2_scaling(&scale);
-        emit("fig2", "runtime scaling — classical vs quantum cost models", &table);
+        emit(
+            "fig2",
+            "runtime scaling — classical vs quantum cost models",
+            &table,
+        );
         // Summarize the growth exponents from the CSV we just produced.
         let csv = table.to_csv();
         let mut ns = Vec::new();
@@ -110,7 +117,11 @@ fn main() {
         println!("fitted log–log growth: classical n^{ce:.2}, quantum n^{qe:.2}");
     }
     if selected("fig3") {
-        emit("fig3", "QPE bits vs eigenvalue estimation error", &fig3_qpe(&scale));
+        emit(
+            "fig3",
+            "QPE bits vs eigenvalue estimation error",
+            &fig3_qpe(&scale),
+        );
     }
     if selected("fig4") {
         emit(

@@ -12,9 +12,9 @@ use qsc_core::{
 use qsc_graph::generators::{
     circles, dsbm, netlist, CirclesParams, DsbmParams, MetaGraph, NetlistParams,
 };
+use qsc_graph::normalized_hermitian_laplacian;
 use qsc_graph::similarity::{edge_disagreement, quantum_similarity_graph, similarity_graph};
 use qsc_graph::stats::{cut_weight, mean_flow_imbalance};
-use qsc_graph::normalized_hermitian_laplacian;
 use qsc_linalg::eigh;
 use qsc_sim::resources::{pipeline_resources, qpe_resources, qubits_for_dimension};
 use qsc_sim::PhaseEstimator;
@@ -85,7 +85,11 @@ pub fn table1_accuracy(scale: &Scale) -> Table {
         let mut dims = Vec::new();
         for rep in 0..scale.reps {
             let inst = dsbm(&flow_params(n, rep as u64)).expect("valid params");
-            let cfg = SpectralConfig { k: 3, seed: rep as u64, ..SpectralConfig::default() };
+            let cfg = SpectralConfig {
+                k: 3,
+                seed: rep as u64,
+                ..SpectralConfig::default()
+            };
             let c = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
             let q = quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
                 .expect("quantum");
@@ -114,7 +118,12 @@ pub fn table1_accuracy(scale: &Scale) -> Table {
 /// shape is a phase transition: chance at 0.5, near-perfect by ≈0.8.
 pub fn table2_direction(scale: &Scale) -> Table {
     let n = *scale.sizes.last().expect("non-empty sizes");
-    let mut table = Table::new(["eta_flow", "hermitian_acc", "symmetrized_acc", "hermitian_ari"]);
+    let mut table = Table::new([
+        "eta_flow",
+        "hermitian_acc",
+        "symmetrized_acc",
+        "hermitian_ari",
+    ]);
     for &eta in &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let mut acc_h = Vec::new();
         let mut acc_s = Vec::new();
@@ -126,7 +135,11 @@ pub fn table2_direction(scale: &Scale) -> Table {
                 ..flow_params(n, 100 + rep as u64)
             })
             .expect("valid params");
-            let cfg = SpectralConfig { k: 3, seed: rep as u64, ..SpectralConfig::default() };
+            let cfg = SpectralConfig {
+                k: 3,
+                seed: rep as u64,
+                ..SpectralConfig::default()
+            };
             let h = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
             let s = symmetrized_spectral_clustering(&inst.graph, &cfg).expect("baseline");
             acc_h.push(matched_accuracy(&inst.labels, &h.labels));
@@ -156,7 +169,11 @@ pub fn table3_precision(scale: &Scale) -> Table {
         let mut dims = Vec::new();
         for rep in 0..scale.reps {
             let inst = dsbm(&flow_params(n, 200 + rep as u64)).expect("valid params");
-            let cfg = SpectralConfig { k: 3, seed: rep as u64, ..SpectralConfig::default() };
+            let cfg = SpectralConfig {
+                k: 3,
+                seed: rep as u64,
+                ..SpectralConfig::default()
+            };
             let q = quantum_spectral_clustering(&inst.graph, &cfg, &params).expect("quantum");
             accs.push(matched_accuracy(&inst.labels, &q.labels));
             dims.push(q.diagnostics.dims_used as f64);
@@ -173,7 +190,10 @@ pub fn table3_precision(scale: &Scale) -> Table {
         run(
             "qpe_bits",
             t.to_string(),
-            QuantumParams { qpe_bits: t, ..defaults.clone() },
+            QuantumParams {
+                qpe_bits: t,
+                ..defaults.clone()
+            },
             &mut table,
         );
     }
@@ -181,7 +201,10 @@ pub fn table3_precision(scale: &Scale) -> Table {
         run(
             "tomography_shots",
             shots.to_string(),
-            QuantumParams { tomography_shots: shots, ..defaults.clone() },
+            QuantumParams {
+                tomography_shots: shots,
+                ..defaults.clone()
+            },
             &mut table,
         );
     }
@@ -189,7 +212,10 @@ pub fn table3_precision(scale: &Scale) -> Table {
         run(
             "delta",
             fmt(delta, 2),
-            QuantumParams { delta, ..defaults.clone() },
+            QuantumParams {
+                delta,
+                ..defaults.clone()
+            },
             &mut table,
         );
     }
@@ -209,7 +235,8 @@ pub fn table4_netlist(scale: &Scale) -> Table {
         "flow_imbalance",
     ]);
     for &(k, c) in &[(4usize, 40usize), (6, 40), (8, 30)] {
-        let mut rows: Vec<(String, Vec<f64>, Vec<f64>, Vec<f64>)> = vec![
+        type MethodRow = (String, Vec<f64>, Vec<f64>, Vec<f64>);
+        let mut rows: Vec<MethodRow> = vec![
             ("hermitian".into(), vec![], vec![], vec![]),
             ("hermitian+refine".into(), vec![], vec![], vec![]),
             ("quantum".into(), vec![], vec![], vec![]),
@@ -223,7 +250,11 @@ pub fn table4_netlist(scale: &Scale) -> Table {
                 ..NetlistParams::default()
             })
             .expect("netlist");
-            let cfg = SpectralConfig { k, seed: rep as u64, ..SpectralConfig::default() };
+            let cfg = SpectralConfig {
+                k,
+                seed: rep as u64,
+                ..SpectralConfig::default()
+            };
             let hermitian = classical_spectral_clustering(&inst.graph, &cfg)
                 .expect("classical")
                 .labels;
@@ -285,10 +316,14 @@ pub fn fig1_embedding() -> Fig1Output {
         seed: 1,
     })
     .expect("circles");
-    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 2,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     let classical = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-    let quantum = quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
-        .expect("quantum");
+    let quantum =
+        quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default()).expect("quantum");
 
     let mut series = Table::new(["method", "x", "y", "spec0", "spec1", "truth", "predicted"]);
     let mut summary = Table::new(["method", "accuracy", "points", "misclassified"]);
@@ -330,7 +365,11 @@ pub fn fig2_scaling(scale: &Scale) -> Table {
     ]);
     for &n in &scale.scaling_sizes {
         let inst = dsbm(&flow_params(n, 42)).expect("valid params");
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
 
         let t0 = Instant::now();
         let c = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
@@ -379,7 +418,12 @@ pub fn fig3_qpe(scale: &Scale) -> Table {
     let laplacian = normalized_hermitian_laplacian(&inst.graph, 0.25);
     let eig = eigh(&laplacian).expect("eigh");
 
-    let mut table = Table::new(["qpe_bits", "mean_abs_error", "max_abs_error", "half_resolution"]);
+    let mut table = Table::new([
+        "qpe_bits",
+        "mean_abs_error",
+        "max_abs_error",
+        "half_resolution",
+    ]);
     for t in 2..=10usize {
         let est = PhaseEstimator::new(4.0, t).expect("estimator");
         let errors: Vec<f64> = eig
@@ -408,7 +452,12 @@ pub fn fig4_rotation(scale: &Scale) -> Table {
         let mut circ_acc = Vec::new();
         for rep in 0..scale.reps {
             let inst = dsbm(&flow_params(240, 400 + rep as u64)).expect("valid params");
-            let cfg = SpectralConfig { k: 3, q, seed: rep as u64, ..SpectralConfig::default() };
+            let cfg = SpectralConfig {
+                k: 3,
+                q,
+                seed: rep as u64,
+                ..SpectralConfig::default()
+            };
             let out = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
             flow_acc.push(matched_accuracy(&inst.labels, &out.labels));
 
@@ -454,8 +503,15 @@ pub fn table5_clusterability(scale: &Scale) -> Table {
     ]);
     for &n in &scale.sizes {
         let inst = dsbm(&flow_params(n, 500)).expect("valid params");
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
-        let njw = SpectralConfig { normalize_rows: true, ..cfg.clone() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
+        let njw = SpectralConfig {
+            normalize_rows: true,
+            ..cfg.clone()
+        };
         let classical = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
         let classical_njw =
             classical_spectral_clustering(&inst.graph, &njw).expect("classical njw");
@@ -494,11 +550,7 @@ pub fn table5_clusterability(scale: &Scale) -> Table {
 /// two-circles cloud; report edge disagreement vs the exact graph and the
 /// downstream clustering accuracy.
 pub fn table6_graph_construction(scale: &Scale) -> Table {
-    let mut table = Table::new([
-        "epsilon_dist",
-        "edge_disagreement",
-        "clustering_acc",
-    ]);
+    let mut table = Table::new(["epsilon_dist", "edge_disagreement", "clustering_acc"]);
     let params = CirclesParams {
         n: 300,
         inner_radius: 0.5,
@@ -620,7 +672,11 @@ pub fn ablation3_lanczos(scale: &Scale) -> Table {
     ]);
     for &n in &scale.scaling_sizes {
         let inst = dsbm(&flow_params(n, 700)).expect("valid params");
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
         let t0 = Instant::now();
         let full = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
         let full_wall = t0.elapsed().as_secs_f64();

@@ -34,7 +34,10 @@ impl fmt::Display for ClusterError {
                 write!(f, "cannot form {k} clusters from {points} points")
             }
             ClusterError::DimensionMismatch { expected, found } => {
-                write!(f, "point dimension {found} differs from expected {expected}")
+                write!(
+                    f,
+                    "point dimension {found} differs from expected {expected}"
+                )
             }
             ClusterError::InvalidConfig { context } => {
                 write!(f, "invalid clustering configuration: {context}")

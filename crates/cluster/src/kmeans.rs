@@ -190,8 +190,7 @@ pub fn lloyd_run<N: NoiseModel>(
                 counts[c] = 1;
                 labels[far_idx] = c;
             }
-            let mut new_centroid: Vec<f64> =
-                sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            let mut new_centroid: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
             noise.centroid(&mut new_centroid);
             movement += sq_dist(&new_centroid, &centroids[c]).sqrt();
             centroids[c] = new_centroid;
@@ -290,7 +289,15 @@ mod tests {
     #[test]
     fn recovers_separated_blobs() {
         let (data, truth) = blobs();
-        let result = kmeans(&data, &KMeansConfig { k: 3, seed: 7, ..Default::default() }).unwrap();
+        let result = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Every ground-truth cluster must be internally consistent.
         for c in 0..3 {
             let labels: Vec<usize> = truth
@@ -306,14 +313,23 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (data, _) = blobs();
-        let cfg = KMeansConfig { k: 3, seed: 5, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 5,
+            ..Default::default()
+        };
         assert_eq!(kmeans(&data, &cfg).unwrap(), kmeans(&data, &cfg).unwrap());
     }
 
     #[test]
     fn inertia_zero_when_k_equals_n() {
         let data = vec![vec![0.0], vec![1.0], vec![2.0]];
-        let cfg = KMeansConfig { k: 3, seed: 1, restarts: 10, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 3,
+            seed: 1,
+            restarts: 10,
+            ..Default::default()
+        };
         let result = kmeans(&data, &cfg).unwrap();
         assert!(result.inertia < 1e-12);
     }
@@ -321,7 +337,11 @@ mod tests {
     #[test]
     fn k_one_centroid_is_mean() {
         let data = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
-        let cfg = KMeansConfig { k: 1, seed: 1, ..Default::default() };
+        let cfg = KMeansConfig {
+            k: 1,
+            seed: 1,
+            ..Default::default()
+        };
         let result = kmeans(&data, &cfg).unwrap();
         assert!((result.centroids[0][0] - 1.0).abs() < 1e-9);
         assert!((result.centroids[0][1] - 2.0).abs() < 1e-9);
@@ -330,17 +350,53 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let data = vec![vec![0.0], vec![1.0]];
-        assert!(kmeans(&data, &KMeansConfig { k: 0, ..Default::default() }).is_err());
-        assert!(kmeans(&data, &KMeansConfig { k: 5, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &data,
+            &KMeansConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmeans(
+            &data,
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
         let ragged = vec![vec![0.0], vec![1.0, 2.0]];
-        assert!(kmeans(&ragged, &KMeansConfig { k: 1, ..Default::default() }).is_err());
-        assert!(kmeans(&data, &KMeansConfig { restarts: 0, ..Default::default() }).is_err());
+        assert!(kmeans(
+            &ragged,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(kmeans(
+            &data,
+            &KMeansConfig {
+                restarts: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn labels_within_k() {
         let (data, _) = blobs();
-        let result = kmeans(&data, &KMeansConfig { k: 4, seed: 3, ..Default::default() }).unwrap();
+        let result = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 4,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(result.labels.iter().all(|&l| l < 4));
         assert_eq!(result.labels.len(), data.len());
     }
@@ -348,11 +404,26 @@ mod tests {
     #[test]
     fn more_restarts_never_worse() {
         let (data, _) = blobs();
-        let one = kmeans(&data, &KMeansConfig { k: 3, seed: 11, restarts: 1, ..Default::default() })
-            .unwrap();
-        let many =
-            kmeans(&data, &KMeansConfig { k: 3, seed: 11, restarts: 8, ..Default::default() })
-                .unwrap();
+        let one = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 11,
+                restarts: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let many = kmeans(
+            &data,
+            &KMeansConfig {
+                k: 3,
+                seed: 11,
+                restarts: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(many.inertia <= one.inertia + 1e-9);
     }
 }

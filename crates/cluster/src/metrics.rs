@@ -208,9 +208,7 @@ mod tests {
     fn ari_symmetric() {
         let a = [0, 0, 1, 1, 2, 2];
         let b = [0, 1, 1, 2, 2, 2];
-        assert!(
-            (adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12
-        );
+        assert!((adjusted_rand_index(&a, &b) - adjusted_rand_index(&b, &a)).abs() < 1e-12);
     }
 
     #[test]
@@ -235,7 +233,10 @@ mod tests {
         assert!((normalized_mutual_information(&t, &[1, 1, 0, 0]) - 1.0).abs() < 1e-12);
         // Independent-ish: each predicted cluster has one point from each class.
         let ind = normalized_mutual_information(&[0, 0, 1, 1], &[0, 1, 0, 1]);
-        assert!(ind < 1e-9, "independent partitions should give ≈0, got {ind}");
+        assert!(
+            ind < 1e-9,
+            "independent partitions should give ≈0, got {ind}"
+        );
     }
 
     #[test]
@@ -292,16 +293,11 @@ mod tests {
         let t = [0, 0, 1, 1, 2, 2, 0, 1];
         let p = [2, 2, 0, 0, 1, 1, 2, 1];
         let p_renamed: Vec<usize> = p.iter().map(|&l| (l + 1) % 3).collect();
+        assert!((adjusted_rand_index(&t, &p) - adjusted_rand_index(&t, &p_renamed)).abs() < 1e-12);
+        assert!((matched_accuracy(&t, &p) - matched_accuracy(&t, &p_renamed)).abs() < 1e-12);
         assert!(
-            (adjusted_rand_index(&t, &p) - adjusted_rand_index(&t, &p_renamed)).abs() < 1e-12
-        );
-        assert!(
-            (matched_accuracy(&t, &p) - matched_accuracy(&t, &p_renamed)).abs() < 1e-12
-        );
-        assert!(
-            (normalized_mutual_information(&t, &p)
-                - normalized_mutual_information(&t, &p_renamed))
-            .abs()
+            (normalized_mutual_information(&t, &p) - normalized_mutual_information(&t, &p_renamed))
+                .abs()
                 < 1e-12
         );
     }

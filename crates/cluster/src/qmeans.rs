@@ -185,7 +185,11 @@ mod tests {
     #[test]
     fn zero_delta_matches_kmeans() {
         let data = blobs();
-        let base = KMeansConfig { k: 2, seed: 4, ..Default::default() };
+        let base = KMeansConfig {
+            k: 2,
+            seed: 4,
+            ..Default::default()
+        };
         let classical = kmeans(&data, &base).unwrap();
         let quantum = qmeans(&data, &QMeansConfig { base, delta: 0.0 }).unwrap();
         assert_eq!(classical.labels, quantum.labels);
@@ -196,7 +200,11 @@ mod tests {
     fn small_delta_still_separates_blobs() {
         let data = blobs();
         let cfg = QMeansConfig {
-            base: KMeansConfig { k: 2, seed: 4, ..Default::default() },
+            base: KMeansConfig {
+                k: 2,
+                seed: 4,
+                ..Default::default()
+            },
             delta: 0.2,
         };
         let result = qmeans(&data, &cfg).unwrap();
@@ -210,7 +218,10 @@ mod tests {
     fn rejects_negative_delta() {
         let data = blobs();
         let cfg = QMeansConfig {
-            base: KMeansConfig { k: 2, ..Default::default() },
+            base: KMeansConfig {
+                k: 2,
+                ..Default::default()
+            },
             delta: -0.1,
         };
         assert!(qmeans(&data, &cfg).is_err());
@@ -220,7 +231,11 @@ mod tests {
     fn deterministic_given_seed() {
         let data = blobs();
         let cfg = QMeansConfig {
-            base: KMeansConfig { k: 2, seed: 9, ..Default::default() },
+            base: KMeansConfig {
+                k: 2,
+                seed: 9,
+                ..Default::default()
+            },
             delta: 0.3,
         };
         assert_eq!(qmeans(&data, &cfg).unwrap(), qmeans(&data, &cfg).unwrap());

@@ -1,0 +1,279 @@
+//! Minimal, dependency-free stand-in for the subset of `criterion` this
+//! workspace's benches use.
+//!
+//! The build environment is fully offline, so `cargo bench` runs through
+//! this harness instead: per-benchmark auto-calibrated batching (each
+//! sample is stretched to at least ~2 ms of work), `sample_size` samples,
+//! and a `min/median/max` report on stdout in a stable, grep-friendly
+//! format:
+//!
+//! ```text
+//! bench: group/name ... min 1.234ms  median 1.301ms  max 1.410ms  (10 samples x 4 iters)
+//! ```
+//!
+//! The `QSC_BENCH_JSON` environment variable, when set to a path, appends
+//! one JSON line per benchmark (`{"name": ..., "median_ns": ...}`), which
+//! is how `BENCH_*.json` baselines are produced.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Identifier for a parameterized benchmark, `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { full: s }
+    }
+}
+
+/// Drives one benchmark's measured closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, auto-batching so one sample lasts at least ~2 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate the batch size on a first timed run.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.iters_per_sample = batch;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    let mut sorted = b.samples.clone();
+    sorted.sort();
+    if sorted.is_empty() {
+        println!("bench: {name} ... no samples");
+        return;
+    }
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "bench: {name} ... min {}  median {}  max {}  ({} samples x {} iters)",
+        fmt_duration(sorted[0]),
+        fmt_duration(median),
+        fmt_duration(*sorted.last().expect("non-empty")),
+        sorted.len(),
+        b.iters_per_sample,
+    );
+    if let Ok(path) = std::env::var("QSC_BENCH_JSON") {
+        if let Ok(mut fh) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                fh,
+                "{{\"name\": \"{name}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                median.as_nanos(),
+                sorted[0].as_nanos(),
+                sorted.last().expect("non-empty").as_nanos(),
+            );
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, full_name: String, mut f: F) {
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&full_name, &b);
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let full = format!("{}/{}", self.name, id.into().full);
+        self.run(full, f);
+    }
+
+    /// Benchmarks `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.full);
+        self.run(full, |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes "--bench" plus optional name filters; keep any
+        // non-flag argument as a substring filter like real criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `f` under its plain name, outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(name, &b);
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("smoke", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("id", 7), &7usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1)));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

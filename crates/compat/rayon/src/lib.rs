@@ -1,0 +1,357 @@
+//! Minimal, dependency-free stand-in for the subset of `rayon` this
+//! workspace uses.
+//!
+//! The build environment is fully offline, so the data-parallel kernels in
+//! `qsc-linalg` and `qsc-sim` are written against this crate: the same
+//! `par_chunks{,_mut}` / `for_each` / `map` / `reduce` surface as real
+//! rayon, implemented on `std::thread::scope` with a shared work queue.
+//! Swapping the path dependency for the real rayon requires no source
+//! changes in the kernels.
+//!
+//! Two properties the kernels rely on:
+//!
+//! * **Determinism** — reductions fold partial results in chunk order, so
+//!   floating-point results are independent of the number of worker threads
+//!   (and identical to a serial fold over the same chunking). Real rayon
+//!   does **not** give this for `reduce` (its combine order is a
+//!   nondeterministic tree): swapping it in keeps everything correct but
+//!   makes chunked floating-point reductions vary by ~1 ulp run to run.
+//! * **Inline fallback** — with one available thread (or one chunk) the work
+//!   runs on the calling thread with no spawn, so small inputs pay nothing.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` when set, else
+//! `std::thread::available_parallelism()`.
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex, OnceLock};
+
+/// Number of worker threads the pool-equivalent will use.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon-compat: joined task panicked");
+        (ra, rb)
+    })
+}
+
+/// Distributes `items` over the worker threads, calling `f` on each.
+///
+/// Items are pulled from a shared queue so uneven task costs balance; with
+/// one worker (or one item) everything runs inline on the caller.
+fn run_tasks<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let queue = Mutex::new(items.into_iter());
+    let f = &f;
+    let queue = &queue;
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(move || loop {
+                let next = queue.lock().expect("rayon-compat: poisoned queue").next();
+                match next {
+                    Some(item) => f(item),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Like [`run_tasks`] but collects one result per item, **in item order**.
+fn run_tasks_collect<I, U, F>(items: Vec<I>, f: F) -> Vec<U>
+where
+    I: Send,
+    U: Send,
+    F: Fn(I) -> U + Sync,
+{
+    let indexed: Vec<(usize, I)> = items.into_iter().enumerate().collect();
+    let n = indexed.len();
+    let mut out: Vec<Option<U>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let slots = Mutex::new(&mut out);
+    run_tasks(indexed, |(i, item)| {
+        let u = f(item);
+        slots.lock().expect("rayon-compat: poisoned slots")[i] = Some(u);
+    });
+    out.into_iter()
+        .map(|s| s.expect("rayon-compat: missing task result"))
+        .collect()
+}
+
+/// Parallel view over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Calls `f` on every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        run_tasks(self.slice.chunks_mut(self.chunk).collect(), f);
+    }
+
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParEnumChunksMut<'a, T> {
+        ParEnumChunksMut {
+            slice: self.slice,
+            chunk: self.chunk,
+        }
+    }
+
+    /// Zips with another chunked view; both sides must produce the same
+    /// number of chunks.
+    pub fn zip(self, other: ParChunksMut<'a, T>) -> ParZipChunksMut<'a, T> {
+        ParZipChunksMut { a: self, b: other }
+    }
+}
+
+/// [`ParChunksMut`] with chunk indices attached.
+pub struct ParEnumChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParEnumChunksMut<'a, T> {
+    /// Calls `f` on every `(chunk_index, chunk)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let items: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.chunk).enumerate().collect();
+        run_tasks(items, f);
+    }
+}
+
+/// Two zipped [`ParChunksMut`] views processed in lock step.
+pub struct ParZipChunksMut<'a, T> {
+    a: ParChunksMut<'a, T>,
+    b: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParZipChunksMut<'a, T> {
+    /// Calls `f` on every pair of corresponding chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides produce different chunk counts.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &mut [T])) + Sync,
+    {
+        let lhs: Vec<&mut [T]> = self.a.slice.chunks_mut(self.a.chunk).collect();
+        let rhs: Vec<&mut [T]> = self.b.slice.chunks_mut(self.b.chunk).collect();
+        assert_eq!(
+            lhs.len(),
+            rhs.len(),
+            "rayon-compat: zipped chunk counts differ"
+        );
+        let items: Vec<(&mut [T], &mut [T])> = lhs.into_iter().zip(rhs).collect();
+        run_tasks(items, f);
+    }
+}
+
+/// Parallel view over immutable chunks of a slice.
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps every chunk through `f`.
+    pub fn map<U, F>(self, f: F) -> ParMapChunks<'a, T, F>
+    where
+        F: Fn(&[T]) -> U + Sync,
+        U: Send,
+    {
+        ParMapChunks {
+            slice: self.slice,
+            chunk: self.chunk,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParChunks::map`], ready to be reduced.
+pub struct ParMapChunks<'a, T, F> {
+    slice: &'a [T],
+    chunk: usize,
+    f: F,
+}
+
+impl<'a, T, U, F> ParMapChunks<'a, T, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    /// Folds the mapped chunks with `op`, starting from `identity()`.
+    ///
+    /// Partial results are combined in chunk order, so the outcome does not
+    /// depend on the number of worker threads.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> U
+    where
+        ID: Fn() -> U,
+        OP: Fn(U, U) -> U,
+    {
+        let parts = run_tasks_collect(self.slice.chunks(self.chunk).collect(), &self.f);
+        parts.into_iter().fold(identity(), op)
+    }
+
+    /// Collects the mapped chunks in chunk order.
+    pub fn collect_vec(self) -> Vec<U> {
+        run_tasks_collect(self.slice.chunks(self.chunk).collect(), &self.f)
+    }
+}
+
+/// Extension traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    use super::{ParChunks, ParChunksMut};
+
+    /// Parallel chunking of shared slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Splits into chunks of at most `chunk` elements for parallel
+        /// processing.
+        fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk: usize) -> ParChunks<'_, T> {
+            assert!(chunk > 0, "par_chunks: chunk size must be positive");
+            ParChunks { slice: self, chunk }
+        }
+    }
+
+    /// Parallel chunking of mutable slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Splits into disjoint mutable chunks of at most `chunk` elements
+        /// for parallel processing.
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+            assert!(chunk > 0, "par_chunks_mut: chunk size must be positive");
+            ParChunksMut { slice: self, chunk }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn for_each_touches_every_chunk() {
+        let mut data: Vec<u64> = (0..10_000).collect();
+        data.par_chunks_mut(97).for_each(|c| {
+            for x in c.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn enumerate_sees_correct_indices() {
+        let mut data = vec![0usize; 1000];
+        data.par_chunks_mut(64).enumerate().for_each(|(ci, c)| {
+            for x in c.iter_mut() {
+                *x = ci;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i / 64);
+        }
+    }
+
+    #[test]
+    fn zip_processes_pairs() {
+        let mut a = vec![1.0f64; 512];
+        let mut b = vec![2.0f64; 512];
+        a.par_chunks_mut(100)
+            .zip(b.par_chunks_mut(100))
+            .for_each(|(ca, cb)| {
+                for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                    std::mem::swap(x, y);
+                }
+            });
+        assert!(a.iter().all(|&x| x == 2.0));
+        assert!(b.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn reduce_is_chunk_ordered_and_correct() {
+        let data: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let sum = data
+            .par_chunks(123)
+            .map(|c| c.iter().sum::<f64>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(sum, (0..5000).map(|i| i as f64).sum::<f64>());
+        let max = data
+            .par_chunks(123)
+            .map(|c| c.iter().cloned().fold(f64::MIN, f64::max))
+            .reduce(|| f64::MIN, f64::max);
+        assert_eq!(max, 4999.0);
+    }
+
+    #[test]
+    fn collect_vec_preserves_order() {
+        let data: Vec<usize> = (0..1000).collect();
+        let firsts = data.par_chunks(10).map(|c| c[0]).collect_vec();
+        assert_eq!(firsts, (0..100).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let mut data: Vec<u8> = Vec::new();
+        data.par_chunks_mut(8).for_each(|_| unreachable!());
+    }
+}

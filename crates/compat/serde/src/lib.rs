@@ -1,0 +1,29 @@
+//! Minimal, dependency-free stand-in for the `serde` derive macros.
+//!
+//! The workspace builds fully offline, so the real `serde` is unavailable.
+//! Nothing in the workspace actually *serializes* anything yet — the types
+//! only carry `#[derive(Serialize, Deserialize)]` so a future wire format
+//! can be added without touching every struct. This proc-macro crate keeps
+//! those derives (and the `#[serde(...)]` helper attributes) compiling as
+//! no-ops; swap the path dependency back to the real `serde` when a network
+//! registry is available and everything downstream keeps working.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+///
+/// Accepts (and ignores) `#[serde(...)]` helper attributes such as
+/// `#[serde(skip)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+///
+/// Accepts (and ignores) `#[serde(...)]` helper attributes such as
+/// `#[serde(skip)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

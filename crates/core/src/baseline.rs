@@ -41,7 +41,10 @@ pub fn symmetrized_spectral_clustering(
 ) -> Result<ClusteringOutcome, PipelineError> {
     let sym = g.symmetrized();
     // q is irrelevant on an undirected graph; force 0 for clarity.
-    let cfg = SpectralConfig { q: 0.0, ..config.clone() };
+    let cfg = SpectralConfig {
+        q: 0.0,
+        ..config.clone()
+    };
     classical_spectral_clustering(&sym, &cfg)
 }
 
@@ -58,9 +61,7 @@ pub fn adjacency_kmeans(
 ) -> Result<Vec<usize>, PipelineError> {
     crate::classical::validate_request(g, config.k)?;
     let h = hermitian_adjacency(g, config.q);
-    let rows: Vec<Vec<f64>> = (0..h.nrows())
-        .map(|i| interleave_re_im(h.row(i)))
-        .collect();
+    let rows: Vec<Vec<f64>> = (0..h.nrows()).map(|i| interleave_re_im(h.row(i))).collect();
     let km = kmeans(
         &rows,
         &KMeansConfig {
@@ -90,13 +91,14 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let cfg = SpectralConfig { k: 3, seed: 7, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 7,
+            ..SpectralConfig::default()
+        };
         let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
-        let q0 = classical_spectral_clustering(
-            &inst.graph,
-            &SpectralConfig { q: 0.0, ..cfg },
-        )
-        .unwrap();
+        let q0 =
+            classical_spectral_clustering(&inst.graph, &SpectralConfig { q: 0.0, ..cfg }).unwrap();
         // Identical spectra: the symmetrized Laplacian *is* the q=0
         // Hermitian Laplacian.
         for (a, b) in sym.spectrum.iter().zip(&q0.spectrum) {
@@ -119,7 +121,11 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let cfg = SpectralConfig { k: 3, seed: 3, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 3,
+            ..SpectralConfig::default()
+        };
         let herm = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
         let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
         let acc_h = matched_accuracy(&inst.labels, &herm.labels);
@@ -132,9 +138,20 @@ mod tests {
 
     #[test]
     fn adjacency_kmeans_runs() {
-        let inst = dsbm(&DsbmParams { n: 40, seed: 5, ..DsbmParams::default() }).unwrap();
-        let labels =
-            adjacency_kmeans(&inst.graph, &SpectralConfig { k: 3, ..Default::default() }).unwrap();
+        let inst = dsbm(&DsbmParams {
+            n: 40,
+            seed: 5,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let labels = adjacency_kmeans(
+            &inst.graph,
+            &SpectralConfig {
+                k: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(labels.len(), 40);
         assert!(labels.iter().all(|&l| l < 3));
     }

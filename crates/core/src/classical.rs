@@ -2,15 +2,19 @@
 //! quantum algorithm reproduces): exact eigendecomposition of the
 //! normalized Hermitian Laplacian, lowest-`k` embedding, k-means.
 
-use crate::config::SpectralConfig;
+use crate::config::{EigenSolver, SpectralConfig};
 use crate::cost::{classical_cost, incidence_mu};
 use crate::embedding::{embed_rows, eta_of_embedding, normalize_rows};
 use crate::error::PipelineError;
 use crate::outcome::{ClusteringOutcome, Diagnostics};
 use qsc_cluster::{kmeans, KMeansConfig};
-use qsc_graph::{normalized_hermitian_laplacian, MixedGraph};
+use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
 use qsc_linalg::eigh;
+use qsc_linalg::lanczos::lanczos_lowest_k_csr;
 use qsc_linalg::params::condition_number_from_eigenvalues;
+use qsc_linalg::CMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// Tolerance below which an eigenvalue counts as zero for κ purposes.
@@ -36,9 +40,11 @@ pub(crate) fn validate_request(g: &MixedGraph, k: usize) -> Result<(), PipelineE
 
 /// Runs classical Hermitian spectral clustering on a mixed graph.
 ///
-/// Steps: build `𝓛 = I − D^{-1/2}H(q)D^{-1/2}`, full eigendecomposition,
-/// embed every vertex as its row in the `k` lowest eigenvectors
-/// (`C^k → R^{2k}`), run k-means.
+/// Steps: build `𝓛 = I − D^{-1/2}H(q)D^{-1/2}` in sparse (CSR) form,
+/// eigensolve — full dense decomposition or, with
+/// [`EigenSolver::LanczosCsr`], a lowest-`k` Lanczos iteration that never
+/// densifies — then embed every vertex as its row in the `k` lowest
+/// eigenvectors (`C^k → R^{2k}`) and run k-means.
 ///
 /// # Errors
 ///
@@ -68,11 +74,24 @@ pub fn classical_spectral_clustering(
     validate_request(g, config.k)?;
     let start = Instant::now();
 
-    let laplacian = normalized_hermitian_laplacian(g, config.q);
-    let eig = eigh(&laplacian)?;
+    // The Laplacian is built sparse (O(m) construction); only the dense
+    // eigensolver needs it expanded.
+    let laplacian = normalized_hermitian_laplacian_csr(g, config.q);
+    let (eigenvectors, spectrum): (CMatrix, Vec<f64>) = match config.eigensolver {
+        EigenSolver::Dense => {
+            let eig = eigh(&laplacian.to_dense())?;
+            (eig.eigenvectors, eig.eigenvalues)
+        }
+        EigenSolver::LanczosCsr => {
+            // Separate stream from the k-means seed, like the quantum path.
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x2d99_787a_66dd_12b3);
+            let partial = lanczos_lowest_k_csr(&laplacian, config.k, 1e-8, &mut rng)?;
+            (partial.eigenvectors, partial.eigenvalues)
+        }
+    };
 
     let selected: Vec<usize> = (0..config.k).collect();
-    let mut embedding = embed_rows(&eig.eigenvectors, &selected);
+    let mut embedding = embed_rows(&eigenvectors, &selected);
     if config.normalize_rows {
         normalize_rows(&mut embedding);
     }
@@ -89,7 +108,7 @@ pub fn classical_spectral_clustering(
         },
     )?;
 
-    let selected_eigenvalues: Vec<f64> = eig.eigenvalues[..config.k].to_vec();
+    let selected_eigenvalues: Vec<f64> = spectrum[..config.k].to_vec();
     let kappa = condition_number_from_eigenvalues(&selected_eigenvalues, ZERO_EIG_TOL);
 
     Ok(ClusteringOutcome {
@@ -106,7 +125,7 @@ pub fn classical_spectral_clustering(
             dims_used: config.k,
             wall_seconds: start.elapsed().as_secs_f64(),
         },
-        spectrum: eig.eigenvalues,
+        spectrum,
     })
 }
 
@@ -132,7 +151,11 @@ mod tests {
         .unwrap();
         let out = classical_spectral_clustering(
             &inst.graph,
-            &SpectralConfig { k: 3, seed: 4, ..SpectralConfig::default() },
+            &SpectralConfig {
+                k: 3,
+                seed: 4,
+                ..SpectralConfig::default()
+            },
         )
         .unwrap();
         let acc = matched_accuracy(&inst.labels, &out.labels);
@@ -156,7 +179,11 @@ mod tests {
         .unwrap();
         let out = classical_spectral_clustering(
             &inst.graph,
-            &SpectralConfig { k: 3, seed: 4, ..SpectralConfig::default() },
+            &SpectralConfig {
+                k: 3,
+                seed: 4,
+                ..SpectralConfig::default()
+            },
         )
         .unwrap();
         let acc = matched_accuracy(&inst.labels, &out.labels);
@@ -180,7 +207,12 @@ mod tests {
         .unwrap();
         let blind = classical_spectral_clustering(
             &inst.graph,
-            &SpectralConfig { k: 3, q: 0.0, seed: 4, ..SpectralConfig::default() },
+            &SpectralConfig {
+                k: 3,
+                q: 0.0,
+                seed: 4,
+                ..SpectralConfig::default()
+            },
         )
         .unwrap();
         let acc = matched_accuracy(&inst.labels, &blind.labels);
@@ -188,11 +220,59 @@ mod tests {
     }
 
     #[test]
+    fn lanczos_csr_path_matches_dense_labels() {
+        // Flow-defined clusters, solved once per eigensolver: the sparse
+        // Lanczos path must reproduce the dense embedding's clustering.
+        let inst = dsbm(&DsbmParams {
+            n: 90,
+            k: 3,
+            p_intra: 0.25,
+            p_inter: 0.25,
+            eta_flow: 1.0,
+            meta: MetaGraph::Cycle,
+            seed: 21,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let dense_cfg = SpectralConfig {
+            k: 3,
+            seed: 4,
+            ..SpectralConfig::default()
+        };
+        let sparse_cfg = SpectralConfig {
+            eigensolver: crate::config::EigenSolver::LanczosCsr,
+            ..dense_cfg.clone()
+        };
+        let dense = classical_spectral_clustering(&inst.graph, &dense_cfg).unwrap();
+        let sparse = classical_spectral_clustering(&inst.graph, &sparse_cfg).unwrap();
+        assert_eq!(sparse.spectrum.len(), 3, "partial spectrum only");
+        for (a, b) in sparse
+            .selected_eigenvalues
+            .iter()
+            .zip(&dense.selected_eigenvalues)
+        {
+            assert!((a - b).abs() < 1e-6, "eigenvalue mismatch: {a} vs {b}");
+        }
+        let agreement = matched_accuracy(&dense.labels, &sparse.labels);
+        assert!(agreement > 0.95, "solver paths disagree: {agreement}");
+        let acc = matched_accuracy(&inst.labels, &sparse.labels);
+        assert!(acc > 0.9, "sparse path accuracy {acc}");
+    }
+
+    #[test]
     fn diagnostics_populated() {
-        let inst = dsbm(&DsbmParams { n: 40, seed: 3, ..DsbmParams::default() }).unwrap();
+        let inst = dsbm(&DsbmParams {
+            n: 40,
+            seed: 3,
+            ..DsbmParams::default()
+        })
+        .unwrap();
         let out = classical_spectral_clustering(
             &inst.graph,
-            &SpectralConfig { k: 3, ..SpectralConfig::default() },
+            &SpectralConfig {
+                k: 3,
+                ..SpectralConfig::default()
+            },
         )
         .unwrap();
         assert!(out.diagnostics.classical_cost > 0.0);
@@ -206,16 +286,37 @@ mod tests {
     #[test]
     fn rejects_bad_requests() {
         let g = MixedGraph::new(3);
-        assert!(classical_spectral_clustering(&g, &SpectralConfig { k: 0, ..Default::default() })
-            .is_err());
-        assert!(classical_spectral_clustering(&g, &SpectralConfig { k: 5, ..Default::default() })
-            .is_err());
+        assert!(classical_spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(classical_spectral_clustering(
+            &g,
+            &SpectralConfig {
+                k: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let inst = dsbm(&DsbmParams { n: 50, seed: 8, ..DsbmParams::default() }).unwrap();
-        let cfg = SpectralConfig { k: 3, seed: 21, ..SpectralConfig::default() };
+        let inst = dsbm(&DsbmParams {
+            n: 50,
+            seed: 8,
+            ..DsbmParams::default()
+        })
+        .unwrap();
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 21,
+            ..SpectralConfig::default()
+        };
         let a = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
         let b = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
         assert_eq!(a.labels, b.labels);

@@ -64,11 +64,12 @@ fn dist(a: &[f64], b: &[f64]) -> f64 {
 /// let stats = measure_clusterability(&embedding, &[0, 0, 1, 1]).expect("two clusters");
 /// assert!(stats.is_well_clusterable());
 /// ```
-pub fn measure_clusterability(
-    embedding: &[Vec<f64>],
-    labels: &[usize],
-) -> Option<Clusterability> {
-    assert_eq!(embedding.len(), labels.len(), "clusterability: length mismatch");
+pub fn measure_clusterability(embedding: &[Vec<f64>], labels: &[usize]) -> Option<Clusterability> {
+    assert_eq!(
+        embedding.len(),
+        labels.len(),
+        "clusterability: length mismatch"
+    );
     assert!(!embedding.is_empty(), "clusterability: empty embedding");
     let k = labels.iter().max().map_or(0, |m| m + 1);
     let d = embedding[0].len();
@@ -203,7 +204,10 @@ mod tests {
         let out = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
         let normalized = measure_clusterability(&out.embedding, &out.labels).unwrap();
 
-        let raw_cfg = SpectralConfig { normalize_rows: false, ..cfg };
+        let raw_cfg = SpectralConfig {
+            normalize_rows: false,
+            ..cfg
+        };
         let raw_out = classical_spectral_clustering(&inst.graph, &raw_cfg).unwrap();
         let raw = measure_clusterability(&raw_out.embedding, &raw_out.labels).unwrap();
         assert!(

@@ -4,6 +4,20 @@
 use qsc_graph::Q_CLASSICAL;
 use serde::{Deserialize, Serialize};
 
+/// Which eigensolver the classical pipeline uses for the spectral
+/// embedding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EigenSolver {
+    /// Full dense eigendecomposition (`O(n³)`, exact reference path).
+    #[default]
+    Dense,
+    /// Lanczos on the CSR Laplacian: only the `k` lowest eigenpairs are
+    /// computed, with `O(nnz)` matvecs — the fast path for large sparse
+    /// graphs. The outcome's `spectrum` then holds only the computed
+    /// eigenvalues.
+    LanczosCsr,
+}
+
 /// Configuration shared by the classical and quantum pipelines.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpectralConfig {
@@ -21,6 +35,8 @@ pub struct SpectralConfig {
     pub max_iter: usize,
     /// Master seed for all randomness in the run.
     pub seed: u64,
+    /// Eigensolver of the classical pipeline's embedding step.
+    pub eigensolver: EigenSolver,
 }
 
 impl Default for SpectralConfig {
@@ -32,6 +48,7 @@ impl Default for SpectralConfig {
             restarts: 8,
             max_iter: 100,
             seed: 0,
+            eigensolver: EigenSolver::Dense,
         }
     }
 }
@@ -39,7 +56,10 @@ impl Default for SpectralConfig {
 impl SpectralConfig {
     /// Convenience constructor for the common case.
     pub fn with_k(k: usize) -> Self {
-        Self { k, ..Self::default() }
+        Self {
+            k,
+            ..Self::default()
+        }
     }
 }
 
@@ -112,8 +132,10 @@ mod tests {
 
     #[test]
     fn epsilon_lambda_halves_per_bit() {
-        let mut q = QuantumParams::default();
-        q.qpe_bits = 3;
+        let mut q = QuantumParams {
+            qpe_bits: 3,
+            ..QuantumParams::default()
+        };
         let e3 = q.epsilon_lambda();
         q.qpe_bits = 4;
         assert!((q.epsilon_lambda() - e3 / 2.0).abs() < 1e-15);

@@ -124,7 +124,10 @@ mod tests {
         let c1 = classical_cost(100, 3, 20);
         let c2 = classical_cost(200, 3, 20);
         let ratio = c2 / c1;
-        assert!((ratio - 8.0).abs() < 0.5, "expected ≈8× for 2× n, got {ratio}");
+        assert!(
+            (ratio - 8.0).abs() < 0.5,
+            "expected ≈8× for 2× n, got {ratio}"
+        );
     }
 
     #[test]
@@ -153,7 +156,12 @@ mod tests {
     fn incidence_mu_grows_subquadratically() {
         use qsc_graph::generators::{dsbm, DsbmParams};
         let mu_at = |n: usize| {
-            let inst = dsbm(&DsbmParams { n, seed: 1, ..DsbmParams::default() }).unwrap();
+            let inst = dsbm(&DsbmParams {
+                n,
+                seed: 1,
+                ..DsbmParams::default()
+            })
+            .unwrap();
             incidence_mu(&inst.graph)
         };
         let m200 = mu_at(200);
@@ -196,7 +204,11 @@ mod tests {
             eta_embedding: 1.5,
         };
         let coarse = QuantumParams::default();
-        let fine = QuantumParams { qpe_bits: coarse.qpe_bits + 2, delta: coarse.delta / 2.0, ..coarse.clone() };
+        let fine = QuantumParams {
+            qpe_bits: coarse.qpe_bits + 2,
+            delta: coarse.delta / 2.0,
+            ..coarse.clone()
+        };
         assert!(quantum_cost(&inputs, &fine) > quantum_cost(&inputs, &coarse));
     }
 }

@@ -70,7 +70,7 @@ mod tests {
         let emb = embed_rows(&v, &[0, 2]);
         assert_eq!(emb.len(), 4);
         assert_eq!(emb[0].len(), 4); // 2 complex → 4 real
-        // Row 1, column 2 → re=1, im=2 at positions 2,3.
+                                     // Row 1, column 2 → re=1, im=2 at positions 2,3.
         assert_eq!(emb[1][2], 1.0);
         assert_eq!(emb[1][3], 2.0);
     }

@@ -88,7 +88,9 @@ mod tests {
         .into();
         assert!(e.to_string().contains("tql"));
         assert!(e.source().is_some());
-        let inv = PipelineError::InvalidRequest { context: "k = 0".into() };
+        let inv = PipelineError::InvalidRequest {
+            context: "k = 0".into(),
+        };
         assert!(inv.source().is_none());
     }
 

@@ -60,7 +60,7 @@ pub mod trotter;
 
 pub use baseline::symmetrized_spectral_clustering;
 pub use classical::classical_spectral_clustering;
-pub use config::{QuantumParams, SpectralConfig};
+pub use config::{EigenSolver, QuantumParams, SpectralConfig};
 pub use error::PipelineError;
 pub use model_selection::{eigengap_k, lanczos_spectral_clustering};
 pub use outcome::{ClusteringOutcome, Diagnostics};

@@ -180,7 +180,11 @@ mod tests {
     #[test]
     fn lanczos_pipeline_matches_full_pipeline() {
         let inst = flow_instance(100, 3, 32);
-        let cfg = SpectralConfig { k: 3, seed: 4, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 4,
+            ..SpectralConfig::default()
+        };
         let full = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
         let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
         let acc_full = matched_accuracy(&inst.labels, &full.labels);
@@ -188,7 +192,11 @@ mod tests {
         assert!(acc_fast > 0.9, "lanczos pipeline accuracy {acc_fast}");
         assert!((acc_full - acc_fast).abs() < 0.1);
         // Eigenvalues agree with the full decomposition.
-        for (a, b) in fast.selected_eigenvalues.iter().zip(&full.selected_eigenvalues) {
+        for (a, b) in fast
+            .selected_eigenvalues
+            .iter()
+            .zip(&full.selected_eigenvalues)
+        {
             assert!((a - b).abs() < 1e-6);
         }
     }
@@ -196,7 +204,11 @@ mod tests {
     #[test]
     fn lanczos_cost_proxy_below_cubic() {
         let inst = flow_instance(100, 3, 33);
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
         let full = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
         let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
         assert!(fast.diagnostics.classical_cost < full.diagnostics.classical_cost);

@@ -19,7 +19,7 @@ use crate::embedding::{eta_of_embedding, normalize_rows};
 use crate::error::PipelineError;
 use crate::outcome::{ClusteringOutcome, Diagnostics};
 use qsc_cluster::{qmeans, KMeansConfig, QMeansConfig};
-use qsc_graph::{normalized_hermitian_laplacian, MixedGraph};
+use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
 use qsc_linalg::params::condition_number_from_eigenvalues;
 use qsc_linalg::vector::interleave_re_im;
 use qsc_linalg::{eigh, CMatrix, Complex64};
@@ -74,17 +74,23 @@ pub fn quantum_spectral_clustering(
     // k-means stream derived from the same seed.
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517c_c1b7_2722_0a95);
 
-    let laplacian = normalized_hermitian_laplacian(g, config.q);
+    // Built sparse in O(m), densified only for the full eigendecomposition
+    // the survival computation needs.
+    let laplacian = normalized_hermitian_laplacian_csr(g, config.q);
     // The simulator's privilege: the exact spectrum is available; the
     // algorithmic noise is injected downstream exactly where the quantum
     // subroutines would introduce it.
-    let eig = eigh(&laplacian)?;
+    let eig = eigh(&laplacian.to_dense())?;
 
     // --- QPE: every eigenvalue is known only at t-bit resolution. The
     // threshold ν is placed just above the bin of the k-th smallest rounded
     // eigenvalue, which is all the algorithm can resolve. ---
     let estimator = PhaseEstimator::new(params.qpe_scale, params.qpe_bits)?;
-    let mut rounded: Vec<f64> = eig.eigenvalues.iter().map(|&l| estimator.round(l)).collect();
+    let mut rounded: Vec<f64> = eig
+        .eigenvalues
+        .iter()
+        .map(|&l| estimator.round(l))
+        .collect();
     rounded.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let nu = rounded[config.k - 1] + estimator.resolution() * 0.5;
 
@@ -98,8 +104,7 @@ pub fn quantum_spectral_clustering(
         .eigenvalues
         .iter()
         .map(|&l| {
-            let dist =
-                qsc_sim::qpe::qpe_phase_distribution(l / params.qpe_scale, params.qpe_bits);
+            let dist = qsc_sim::qpe::qpe_phase_distribution(l / params.qpe_scale, params.qpe_bits);
             (0..bins)
                 .filter(|&m| params.qpe_scale * m as f64 / bins as f64 <= nu)
                 .map(|m| dist[m])
@@ -114,10 +119,11 @@ pub fn quantum_spectral_clustering(
         .filter(|&j| survival[j] >= SURVIVAL_FLOOR)
         .collect();
     selected.sort_by(|&a, &b| {
-        survival[b]
-            .partial_cmp(&survival[a])
-            .expect("finite")
-            .then(eig.eigenvalues[a].partial_cmp(&eig.eigenvalues[b]).expect("finite"))
+        survival[b].partial_cmp(&survival[a]).expect("finite").then(
+            eig.eigenvalues[a]
+                .partial_cmp(&eig.eigenvalues[b])
+                .expect("finite"),
+        )
     });
     let cap = (config.k * params.max_dims_factor).max(config.k);
     selected.truncate(cap);
@@ -152,7 +158,11 @@ pub fn quantum_spectral_clustering(
         // Tomography preserves the exact input norm; rescale so the norm
         // carries the AE error instead.
         let dir_norm: f64 = direction.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-        let scale = if dir_norm > 0.0 { est_norm / dir_norm } else { 0.0 };
+        let scale = if dir_norm > 0.0 {
+            est_norm / dir_norm
+        } else {
+            0.0
+        };
         let noisy: Vec<Complex64> = direction.iter().map(|z| z.scale(scale)).collect();
         embedding.push(interleave_re_im(&noisy));
     }
@@ -194,8 +204,7 @@ pub fn quantum_spectral_clustering(
         },
     )?;
 
-    let selected_eigenvalues: Vec<f64> =
-        selected.iter().map(|&j| eig.eigenvalues[j]).collect();
+    let selected_eigenvalues: Vec<f64> = selected.iter().map(|&j| eig.eigenvalues[j]).collect();
     let kappa =
         condition_number_from_eigenvalues(&selected_eigenvalues, crate::classical::ZERO_EIG_TOL);
     let mu_b = incidence_mu(g);
@@ -248,8 +257,9 @@ pub fn gate_level_projected_row(
     scale: f64,
     nu: f64,
 ) -> Result<Vec<Complex64>, PipelineError> {
-    use qsc_linalg::expm::expi;
+    use qsc_linalg::eig::UnitaryEigen;
     use qsc_sim::qft::{apply_inverse_qft, apply_qft};
+    use qsc_sim::qpe::apply_phase_cascade;
     use qsc_sim::QuantumState;
     use std::f64::consts::TAU;
 
@@ -265,16 +275,16 @@ pub fn gate_level_projected_row(
         });
     }
     let s = n.trailing_zeros() as usize;
-    let u = expi(laplacian, TAU / scale)?;
-
-    // Forward QPE (same construction as qsc_sim::qpe::qpe_gate_level, but
-    // inlined so the inverse pass can reuse the powers).
-    let mut powers = Vec::with_capacity(t);
-    let mut p = u;
-    for _ in 0..t {
-        powers.push(p.clone());
-        p = p.matmul(&p);
-    }
+    // One Hermitian eigendecomposition serves both directions of the
+    // circuit: U = e^{i·2π·𝓛/scale} has the Laplacian's eigenvectors and
+    // phases 2π·λ/scale, so the forward and inverse controlled-power
+    // cascades are two diagonal phase passes — no repeated matrix squaring,
+    // no materialized powers.
+    let leig = eigh(laplacian)?;
+    let ueig = UnitaryEigen {
+        phases: leig.eigenvalues.iter().map(|&l| TAU * l / scale).collect(),
+        eigenvectors: leig.eigenvectors,
+    };
 
     let input = QuantumState::basis_state(s, vertex);
     let mut amps = vec![qsc_linalg::C_ZERO; 1 << (s + t)];
@@ -283,9 +293,7 @@ pub fn gate_level_projected_row(
     for j in 0..t {
         state.apply_h(s + j)?;
     }
-    for (j, pw) in powers.iter().enumerate() {
-        state.apply_controlled_block_unitary(pw, Some(s + j))?;
-    }
+    apply_phase_cascade(&mut state, &ueig, s, 1.0)?;
     apply_inverse_qft(&mut state, s..s + t)?;
 
     // Threshold: zero every amplitude whose phase bin maps to λ > ν.
@@ -306,12 +314,9 @@ pub fn gate_level_projected_row(
     }
     let mut state = QuantumState::from_amplitudes(kept).expect("non-zero");
 
-    // Uncompute: forward QFT, inverse controlled powers (reverse order),
-    // Hadamards.
+    // Uncompute: forward QFT, inverse controlled-power cascade, Hadamards.
     apply_qft(&mut state, s..s + t)?;
-    for j in (0..t).rev() {
-        state.apply_controlled_block_unitary(&powers[j].adjoint(), Some(s + j))?;
-    }
+    apply_phase_cascade(&mut state, &ueig, s, -1.0)?;
     for j in 0..t {
         state.apply_h(s + j)?;
     }
@@ -348,7 +353,11 @@ mod tests {
     #[test]
     fn quantum_matches_classical_closely() {
         let inst = flow_instance(90, 5);
-        let cfg = SpectralConfig { k: 3, seed: 2, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 2,
+            ..SpectralConfig::default()
+        };
         let qp = QuantumParams::default();
         let q = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
         let acc = matched_accuracy(&inst.labels, &q.labels);
@@ -359,7 +368,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let inst = flow_instance(60, 6);
-        let cfg = SpectralConfig { k: 3, seed: 9, ..SpectralConfig::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 9,
+            ..SpectralConfig::default()
+        };
         let qp = QuantumParams::default();
         let a = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
         let b = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
@@ -369,8 +382,15 @@ mod tests {
     #[test]
     fn dims_used_at_least_k_and_capped() {
         let inst = flow_instance(60, 7);
-        let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
-        let qp = QuantumParams { qpe_bits: 2, ..QuantumParams::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            seed: 1,
+            ..SpectralConfig::default()
+        };
+        let qp = QuantumParams {
+            qpe_bits: 2,
+            ..QuantumParams::default()
+        };
         // Coarse bins force collisions.
         let out = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
         assert!(out.diagnostics.dims_used >= 3);
@@ -380,8 +400,14 @@ mod tests {
     #[test]
     fn rejects_scale_within_spectral_bound() {
         let inst = flow_instance(30, 8);
-        let cfg = SpectralConfig { k: 3, ..SpectralConfig::default() };
-        let qp = QuantumParams { qpe_scale: 1.5, ..QuantumParams::default() };
+        let cfg = SpectralConfig {
+            k: 3,
+            ..SpectralConfig::default()
+        };
+        let qp = QuantumParams {
+            qpe_scale: 1.5,
+            ..QuantumParams::default()
+        };
         assert!(quantum_spectral_clustering(&inst.graph, &cfg, &qp).is_err());
     }
 

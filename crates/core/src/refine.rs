@@ -184,7 +184,10 @@ mod tests {
             }
         }
         let labels = vec![0, 0, 0, 1, 1, 1];
-        let cfg = RefineConfig { balance_min_fraction: 1.0, ..RefineConfig::default() };
+        let cfg = RefineConfig {
+            balance_min_fraction: 1.0,
+            ..RefineConfig::default()
+        };
         let (refined, _) = refine_partition(&g, &labels, 2, &cfg);
         let ones = refined.iter().filter(|&&l| l == 1).count();
         assert_eq!(ones, 3, "balance must hold clusters at n/k");
@@ -213,7 +216,11 @@ mod tests {
         .unwrap();
         let out = classical_spectral_clustering(
             &inst.graph,
-            &SpectralConfig { k: 4, seed: 1, ..SpectralConfig::default() },
+            &SpectralConfig {
+                k: 4,
+                seed: 1,
+                ..SpectralConfig::default()
+            },
         )
         .unwrap();
         let before = cut_weight(&inst.graph, &out.labels);

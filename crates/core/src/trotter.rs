@@ -184,12 +184,7 @@ pub fn trotter_unitary(
 /// # Errors
 ///
 /// Propagates eigensolver and Trotter errors.
-pub fn trotter_error(
-    g: &MixedGraph,
-    q: f64,
-    t: f64,
-    steps: usize,
-) -> Result<f64, PipelineError> {
+pub fn trotter_error(g: &MixedGraph, q: f64, t: f64, steps: usize) -> Result<f64, PipelineError> {
     use qsc_graph::hermitian_laplacian;
     use qsc_linalg::expm::expi;
     let exact = expi(&hermitian_laplacian(g, q), t)?;

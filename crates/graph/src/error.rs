@@ -48,7 +48,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfBounds { vertex, n } => {
-                write!(f, "vertex {vertex} out of bounds for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of bounds for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop on vertex {vertex}"),
             GraphError::DuplicateEdge { u, v } => {

@@ -91,6 +91,8 @@ pub fn circles(params: &CirclesParams) -> Result<CirclesInstance, GraphError> {
             context: format!("directed_fraction = {}", params.directed_fraction),
         });
     }
+    // `!(x > 0.0)` (rather than `x <= 0.0`) deliberately rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(params.d_min > 0.0) {
         return Err(GraphError::InvalidParams {
             context: format!("d_min = {} must be positive", params.d_min),
@@ -157,7 +159,11 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let p = CirclesParams { n: 50, seed: 3, ..CirclesParams::default() };
+        let p = CirclesParams {
+            n: 50,
+            seed: 3,
+            ..CirclesParams::default()
+        };
         let a = circles(&p).unwrap();
         let b = circles(&p).unwrap();
         assert_eq!(a.points, b.points);
@@ -166,7 +172,12 @@ mod tests {
 
     #[test]
     fn points_near_their_ring() {
-        let p = CirclesParams { n: 100, noise: 0.01, seed: 4, ..CirclesParams::default() };
+        let p = CirclesParams {
+            n: 100,
+            noise: 0.01,
+            seed: 4,
+            ..CirclesParams::default()
+        };
         let inst = circles(&p).unwrap();
         for (pt, &label) in inst.points.iter().zip(&inst.labels) {
             let r = (pt[0] * pt[0] + pt[1] * pt[1]).sqrt();
@@ -206,8 +217,20 @@ mod tests {
 
     #[test]
     fn rejects_invalid() {
-        assert!(circles(&CirclesParams { n: 2, ..CirclesParams::default() }).is_err());
-        assert!(circles(&CirclesParams { inner_radius: 1.5, ..CirclesParams::default() }).is_err());
-        assert!(circles(&CirclesParams { d_min: 0.0, ..CirclesParams::default() }).is_err());
+        assert!(circles(&CirclesParams {
+            n: 2,
+            ..CirclesParams::default()
+        })
+        .is_err());
+        assert!(circles(&CirclesParams {
+            inner_radius: 1.5,
+            ..CirclesParams::default()
+        })
+        .is_err());
+        assert!(circles(&CirclesParams {
+            d_min: 0.0,
+            ..CirclesParams::default()
+        })
+        .is_err());
     }
 }

@@ -222,7 +222,11 @@ mod tests {
 
     #[test]
     fn reproducible_given_seed() {
-        let p = DsbmParams { n: 40, seed: 42, ..DsbmParams::default() };
+        let p = DsbmParams {
+            n: 40,
+            seed: 42,
+            ..DsbmParams::default()
+        };
         let a = dsbm(&p).unwrap();
         let b = dsbm(&p).unwrap();
         assert_eq!(a.graph, b.graph);
@@ -231,7 +235,11 @@ mod tests {
 
     #[test]
     fn labels_balanced() {
-        let p = DsbmParams { n: 31, k: 4, ..DsbmParams::default() };
+        let p = DsbmParams {
+            n: 31,
+            k: 4,
+            ..DsbmParams::default()
+        };
         let inst = dsbm(&p).unwrap();
         let mut counts = vec![0usize; 4];
         for &l in &inst.labels {
@@ -244,10 +252,18 @@ mod tests {
 
     #[test]
     fn intra_edges_undirected_inter_directed() {
-        let p = DsbmParams { n: 60, k: 3, seed: 5, ..DsbmParams::default() };
+        let p = DsbmParams {
+            n: 60,
+            k: 3,
+            seed: 5,
+            ..DsbmParams::default()
+        };
         let inst = dsbm(&p).unwrap();
         for e in inst.graph.edges() {
-            assert_eq!(inst.labels[e.u], inst.labels[e.v], "undirected across clusters");
+            assert_eq!(
+                inst.labels[e.u], inst.labels[e.v],
+                "undirected across clusters"
+            );
         }
         for a in inst.graph.arcs() {
             assert_ne!(inst.labels[a.from], inst.labels[a.to], "arc within cluster");
@@ -272,9 +288,21 @@ mod tests {
 
     #[test]
     fn rejects_bad_params() {
-        assert!(dsbm(&DsbmParams { k: 0, ..DsbmParams::default() }).is_err());
-        assert!(dsbm(&DsbmParams { eta_flow: 0.2, ..DsbmParams::default() }).is_err());
-        assert!(dsbm(&DsbmParams { p_intra: 1.5, ..DsbmParams::default() }).is_err());
+        assert!(dsbm(&DsbmParams {
+            k: 0,
+            ..DsbmParams::default()
+        })
+        .is_err());
+        assert!(dsbm(&DsbmParams {
+            eta_flow: 0.2,
+            ..DsbmParams::default()
+        })
+        .is_err());
+        assert!(dsbm(&DsbmParams {
+            p_intra: 1.5,
+            ..DsbmParams::default()
+        })
+        .is_err());
     }
 
     #[test]

@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn intra_edges_stay_in_module() {
-        let inst = netlist(&NetlistParams { seed: 4, ..NetlistParams::default() }).unwrap();
+        let inst = netlist(&NetlistParams {
+            seed: 4,
+            ..NetlistParams::default()
+        })
+        .unwrap();
         for e in inst.graph.edges() {
             assert_eq!(inst.labels[e.u], inst.labels[e.v]);
         }
@@ -183,13 +187,24 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = NetlistParams { seed: 5, ..NetlistParams::default() };
+        let p = NetlistParams {
+            seed: 5,
+            ..NetlistParams::default()
+        };
         assert_eq!(netlist(&p).unwrap().graph, netlist(&p).unwrap().graph);
     }
 
     #[test]
     fn rejects_empty() {
-        assert!(netlist(&NetlistParams { num_modules: 0, ..NetlistParams::default() }).is_err());
-        assert!(netlist(&NetlistParams { p_signal: 2.0, ..NetlistParams::default() }).is_err());
+        assert!(netlist(&NetlistParams {
+            num_modules: 0,
+            ..NetlistParams::default()
+        })
+        .is_err());
+        assert!(netlist(&NetlistParams {
+            p_signal: 2.0,
+            ..NetlistParams::default()
+        })
+        .is_err());
     }
 }

@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let p = RandomMixedParams { seed: 11, ..RandomMixedParams::default() };
+        let p = RandomMixedParams {
+            seed: 11,
+            ..RandomMixedParams::default()
+        };
         assert_eq!(random_mixed(&p).unwrap(), random_mixed(&p).unwrap());
     }
 

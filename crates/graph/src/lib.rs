@@ -48,7 +48,8 @@ pub mod stats;
 
 pub use error::GraphError;
 pub use hermitian::{
-    degree_matrix, hermitian_adjacency, hermitian_laplacian, incidence_matrix,
-    normalized_hermitian_laplacian, normalized_incidence_matrix, Q_CLASSICAL,
+    degree_matrix, hermitian_adjacency, hermitian_adjacency_csr, hermitian_laplacian,
+    hermitian_laplacian_csr, incidence_matrix, normalized_hermitian_laplacian,
+    normalized_hermitian_laplacian_csr, normalized_incidence_matrix, Q_CLASSICAL,
 };
 pub use mixed::{Arc, Edge, MixedGraph};

@@ -72,14 +72,22 @@ impl MixedGraph {
 
     fn check_pair(&self, u: usize, v: usize, weight: f64) -> Result<(), GraphError> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfBounds { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfBounds { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfBounds {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
+        // `!(x > 0.0)` (rather than `x <= 0.0`) deliberately rejects NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(weight > 0.0) {
             return Err(GraphError::NonPositiveWeight { weight });
         }
@@ -214,7 +222,8 @@ impl MixedGraph {
             g.add_edge(e.u, e.v, e.weight).expect("copy of valid edge");
         }
         for a in &self.arcs {
-            g.add_edge(a.from, a.to, a.weight).expect("copy of valid arc");
+            g.add_edge(a.from, a.to, a.weight)
+                .expect("copy of valid arc");
         }
         g
     }
@@ -275,7 +284,10 @@ mod tests {
     #[test]
     fn rejects_self_loop() {
         let mut g = MixedGraph::new(2);
-        assert_eq!(g.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { vertex: 1 }));
+        assert_eq!(
+            g.add_edge(1, 1, 1.0),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        );
     }
 
     #[test]

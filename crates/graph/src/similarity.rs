@@ -94,6 +94,8 @@ fn validate(points: &[Vec<f64>], d_min: f64) -> Result<(), GraphError> {
             context: "points have inconsistent dimensions".into(),
         });
     }
+    // `!(x > 0.0)` (rather than `x <= 0.0`) deliberately rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(d_min > 0.0) {
         return Err(GraphError::InvalidParams {
             context: format!("d_min = {d_min} must be positive"),
@@ -176,9 +178,7 @@ mod tests {
     fn disagreement_grows_with_noise() {
         let mut rng = StdRng::seed_from_u64(3);
         // Points spread so that many pairs sit near the threshold.
-        let pts: Vec<Vec<f64>> = (0..40)
-            .map(|i| vec![0.13 * i as f64, 0.0])
-            .collect();
+        let pts: Vec<Vec<f64>> = (0..40).map(|i| vec![0.13 * i as f64, 0.0]).collect();
         let exact = similarity_graph(&pts, 0.2).unwrap();
         let mut last = 0.0;
         for &eps in &[0.005, 0.05] {

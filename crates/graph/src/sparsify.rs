@@ -10,7 +10,9 @@
 //! edge-proportional cost downstream.
 
 use crate::error::GraphError;
+use crate::hermitian::normalized_hermitian_laplacian_csr;
 use crate::mixed::MixedGraph;
+use qsc_linalg::CsrMatrix;
 use rand::Rng;
 
 /// Sparsifies a mixed graph to approximately `target_connections` kept
@@ -102,11 +104,49 @@ pub fn sparsify<R: Rng>(
     Ok(sparse)
 }
 
+/// Sparsifies the graph and emits the normalized Hermitian Laplacian of the
+/// result directly in CSR form — the representation the sparse spectral
+/// pipeline consumes. The dense `n×n` Laplacian is never materialized.
+///
+/// # Errors
+///
+/// Same contract as [`sparsify`].
+///
+/// # Examples
+///
+/// ```
+/// use qsc_graph::generators::{random_mixed, RandomMixedParams};
+/// use qsc_graph::sparsify::sparsify_to_laplacian_csr;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), qsc_graph::GraphError> {
+/// let g = random_mixed(&RandomMixedParams {
+///     n: 60, p_undirected: 0.3, p_directed: 0.3,
+///     weight_range: (1.0, 1.0), seed: 1,
+/// })?;
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let l = sparsify_to_laplacian_csr(&g, g.num_connections() / 3, 0.25, &mut rng)?;
+/// assert!(l.is_hermitian());
+/// assert!(l.density() < 0.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sparsify_to_laplacian_csr<R: Rng>(
+    g: &MixedGraph,
+    target_connections: usize,
+    q: f64,
+    rng: &mut R,
+) -> Result<CsrMatrix, GraphError> {
+    let sparse = sparsify(g, target_connections, rng)?;
+    Ok(normalized_hermitian_laplacian_csr(&sparse, q))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators::{random_mixed, RandomMixedParams};
     use crate::hermitian_laplacian;
+    use crate::normalized_hermitian_laplacian;
     use qsc_linalg::CMatrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -170,6 +210,17 @@ mod tests {
         let s = sparsify(&g, 3, &mut rng).unwrap();
         assert_eq!(s.num_arcs(), 2);
         assert_eq!(s.num_edges(), 1);
+    }
+
+    #[test]
+    fn csr_emission_matches_two_step_construction() {
+        let g = dense_graph(12);
+        let target = g.num_connections() / 2;
+        let direct =
+            sparsify_to_laplacian_csr(&g, target, 0.25, &mut StdRng::seed_from_u64(13)).unwrap();
+        let sparse = sparsify(&g, target, &mut StdRng::seed_from_u64(13)).unwrap();
+        let via_graph = normalized_hermitian_laplacian(&sparse, 0.25);
+        assert!((&direct.to_dense() - &via_graph).max_norm() < 1e-12);
     }
 
     #[test]

@@ -192,6 +192,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

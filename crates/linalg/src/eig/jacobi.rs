@@ -177,7 +177,10 @@ mod tests {
             let a = CMatrix::random_hermitian(n, &mut rng);
             let (evals, v) = jacobi_hermitian(&a, 1e-13).unwrap();
             let lam = CMatrix::from_diag(
-                &evals.iter().map(|&x| Complex64::real(x)).collect::<Vec<_>>(),
+                &evals
+                    .iter()
+                    .map(|&x| Complex64::real(x))
+                    .collect::<Vec<_>>(),
             );
             let recon = v.matmul(&lam).matmul(&v.adjoint());
             assert!(

@@ -14,10 +14,12 @@
 mod householder;
 mod jacobi;
 mod tql;
+mod unitary;
 
 pub use householder::{tridiagonalize, Tridiagonal};
 pub use jacobi::{jacobi_hermitian, off_diagonal_norm};
 pub use tql::tql_implicit;
+pub use unitary::{eig_unitary, UnitaryEigen};
 
 use crate::complex::Complex64;
 use crate::error::LinalgError;

@@ -163,9 +163,9 @@ mod tests {
         }
         // Eigenvector columns must satisfy T·z_j = d_j·z_j.
         let t = tridiag_matrix(&d0, &e0);
-        for j in 0..4 {
+        for (j, &dj) in d.iter().enumerate().take(4) {
             let col = z.col(j);
-            assert!(t.eigen_residual(d[j], &col) < 1e-9);
+            assert!(t.eigen_residual(dj, &col) < 1e-9);
         }
     }
 
@@ -193,10 +193,10 @@ mod tests {
         tql_implicit(&mut d, &mut e, &mut z).unwrap();
         assert!(z.is_unitary(1e-9));
         let t = tridiag_matrix(&d0, &e0);
-        for j in 0..n {
+        for (j, &dj) in d.iter().enumerate() {
             let col: Vec<Complex64> = z.col(j);
             assert!(
-                t.eigen_residual(d[j], &col) < 1e-8,
+                t.eigen_residual(dj, &col) < 1e-8,
                 "residual too large for eigenpair {j}"
             );
         }

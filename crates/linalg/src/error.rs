@@ -35,7 +35,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinalgError::InvalidInput { context } => write!(f, "invalid input: {context}"),
         }
     }
@@ -53,7 +56,10 @@ mod tests {
             algorithm: "jacobi",
             iterations: 100,
         };
-        assert_eq!(e.to_string(), "jacobi did not converge after 100 iterations");
+        assert_eq!(
+            e.to_string(),
+            "jacobi did not converge after 100 iterations"
+        );
         let e = LinalgError::ShapeMismatch {
             context: "3×4 vs 5×5".into(),
         };

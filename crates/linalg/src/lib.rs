@@ -4,9 +4,14 @@
 //! needs from linear algebra, implemented from scratch:
 //!
 //! * [`Complex64`] — the complex scalar type,
-//! * [`CMatrix`] — dense row-major complex matrices,
-//! * [`eig`] — Hermitian eigendecomposition (two independent algorithms),
-//! * [`lanczos`] — partial (lowest-`k`) eigensolver, the Krylov baseline,
+//! * [`CMatrix`] — dense row-major complex matrices, with rayon-parallel,
+//!   cache-blocked kernels for the large-matrix hot paths,
+//! * [`CsrMatrix`] — sparse (CSR) complex matrices with a parallel matvec,
+//! * [`eig`] — Hermitian eigendecomposition (two independent algorithms)
+//!   plus unitary (normal-matrix) eigendecomposition for QPE,
+//! * [`lanczos`] — partial (lowest-`k`) eigensolver over dense or sparse
+//!   operators, the Krylov baseline,
+//! * [`parallel`] — the shared gating policy of the parallel kernels,
 //! * [`lu`] — LU solves, determinants, inverses,
 //! * [`expm`] — unitary evolution operators `e^{iHt}`,
 //! * [`qr`] — QR decomposition / orthonormalization,
@@ -34,17 +39,20 @@
 #![warn(missing_docs)]
 
 pub mod complex;
+pub mod csr;
 pub mod eig;
 pub mod error;
 pub mod expm;
 pub mod lanczos;
 pub mod lu;
 pub mod matrix;
+pub mod parallel;
 pub mod params;
 pub mod qr;
 pub mod vector;
 
 pub use complex::{Complex64, C_I, C_ONE, C_ZERO};
+pub use csr::CsrMatrix;
 pub use eig::{eigh, eigh_jacobi, eigvalsh, HermitianEigen};
 pub use error::LinalgError;
 pub use matrix::CMatrix;

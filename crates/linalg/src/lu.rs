@@ -119,8 +119,8 @@ impl Lu {
         let mut y = vec![C_ZERO; n];
         for i in 0..n {
             let mut acc = b[self.perm[i]];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * y[j];
+            for (j, yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * *yj;
             }
             y[i] = acc;
         }
@@ -128,8 +128,8 @@ impl Lu {
         let mut x = vec![C_ZERO; n];
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in i + 1..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * *xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }

@@ -2,11 +2,17 @@
 
 use crate::complex::{Complex64, C_ONE, C_ZERO};
 use crate::error::LinalgError;
+use crate::parallel;
 use crate::vector;
 use rand::Rng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+/// Column-tile width (in `k`) of the blocked matmul: tiles of the right-hand
+/// side stay resident in cache across the rows of a task.
+const MATMUL_TILE_K: usize = 64;
 
 /// A dense complex matrix with row-major storage.
 ///
@@ -166,8 +172,35 @@ impl CMatrix {
     }
 
     /// Conjugate transpose `A†`.
+    ///
+    /// Large matrices are transposed with a parallel, cache-blocked kernel;
+    /// entries are identical to the naive definition either way.
     pub fn adjoint(&self) -> Self {
-        Self::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj())
+        let work = self.nrows * self.ncols;
+        if !parallel::should_parallelize(work) {
+            return Self::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conj());
+        }
+        let mut out = Self::zeros(self.ncols, self.nrows);
+        let out_cols = self.nrows;
+        let rb = parallel::row_block(self.ncols, out_cols);
+        out.data
+            .par_chunks_mut(rb * out_cols)
+            .enumerate()
+            .for_each(|(task, rows)| {
+                let i0 = task * rb;
+                // Walk the source in column-tile order so reads of the
+                // row-major source stay within a cache-resident band.
+                for jt in (0..out_cols).step_by(MATMUL_TILE_K) {
+                    let jt_end = (jt + MATMUL_TILE_K).min(out_cols);
+                    for (di, row) in rows.chunks_mut(out_cols).enumerate() {
+                        let i = i0 + di;
+                        for (j, slot) in row[jt..jt_end].iter_mut().enumerate() {
+                            *slot = self[(jt + j, i)].conj();
+                        }
+                    }
+                }
+            });
+        out
     }
 
     /// Plain transpose `Aᵀ` (no conjugation).
@@ -193,23 +226,88 @@ impl CMatrix {
     pub fn matvec(&self, x: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
         let mut y = vec![C_ZERO; self.nrows];
-        for i in 0..self.nrows {
-            let row = self.row(i);
+        let row_dot = |i: usize, slot: &mut Complex64| {
             let mut acc = C_ZERO;
-            for (a, b) in row.iter().zip(x) {
+            for (a, b) in self.row(i).iter().zip(x) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *slot = acc;
+        };
+        if parallel::should_parallelize(self.nrows * self.ncols) {
+            let rb = parallel::row_block(self.nrows, self.ncols);
+            y.par_chunks_mut(rb).enumerate().for_each(|(task, rows)| {
+                for (di, slot) in rows.iter_mut().enumerate() {
+                    row_dot(task * rb + di, slot);
+                }
+            });
+        } else {
+            for (i, slot) in y.iter_mut().enumerate() {
+                row_dot(i, slot);
+            }
         }
         y
     }
 
-    /// Matrix–matrix product `A·B` with a cache-friendlier ikj loop order.
+    /// Matrix–matrix product `A·B`.
+    ///
+    /// Dispatches to a rayon-parallel, cache-blocked kernel once the product
+    /// is large enough to amortize thread dispatch; small products run the
+    /// serial reference. Both paths accumulate each output entry over `k` in
+    /// ascending order, so the result is identical to
+    /// [`matmul_serial`](Self::matmul_serial) regardless of thread count.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(
+            self.ncols, rhs.nrows,
+            "matmul: {}×{} times {}×{}",
+            self.nrows, self.ncols, rhs.nrows, rhs.ncols
+        );
+        let work = self.nrows * self.ncols * rhs.ncols;
+        if !parallel::should_parallelize(work) {
+            return self.matmul_serial(rhs);
+        }
+        let mut out = Self::zeros(self.nrows, rhs.ncols);
+        let ncols_out = rhs.ncols;
+        let inner = self.ncols;
+        let rb = parallel::row_block(self.nrows, inner * ncols_out);
+        out.data
+            .par_chunks_mut(rb * ncols_out)
+            .enumerate()
+            .for_each(|(task, rows)| {
+                let i0 = task * rb;
+                // k-tiling: each tile of B rows is streamed through every
+                // row of the task while still hot in cache. Within one
+                // output entry, k still advances in ascending order, so the
+                // accumulation order matches the serial reference exactly.
+                for kt in (0..inner).step_by(MATMUL_TILE_K) {
+                    let kt_end = (kt + MATMUL_TILE_K).min(inner);
+                    for (di, orow) in rows.chunks_mut(ncols_out).enumerate() {
+                        let arow = self.row(i0 + di);
+                        for (k, &a) in arow[kt..kt_end].iter().enumerate() {
+                            if a == C_ZERO {
+                                continue;
+                            }
+                            let rrow = rhs.row(kt + k);
+                            for (o, b) in orow.iter_mut().zip(rrow) {
+                                *o += a * *b;
+                            }
+                        }
+                    }
+                }
+            });
+        out
+    }
+
+    /// Serial reference matrix product (ikj loop order) — the kernel every
+    /// parallel/blocked variant must agree with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul_serial(&self, rhs: &Self) -> Self {
         assert_eq!(
             self.ncols, rhs.nrows,
             "matmul: {}×{} times {}×{}",
@@ -232,6 +330,55 @@ impl CMatrix {
         out
     }
 
+    /// Gram matrix `A†·A`, exploiting Hermitian symmetry (only the upper
+    /// triangle is computed; the lower is mirrored) and parallelizing over
+    /// output rows for large inputs.
+    pub fn gram(&self) -> Self {
+        let n = self.ncols;
+        let m = self.nrows;
+        let mut out = Self::zeros(n, n);
+        let fill_row = |i: usize, row: &mut [Complex64]| {
+            // row holds entries (i, i..n): g_ij = Σ_k conj(a_ki)·a_kj.
+            for k in 0..m {
+                let c = self[(k, i)].conj();
+                if c == C_ZERO {
+                    continue;
+                }
+                let arow = &self.row(k)[i..];
+                for (o, b) in row.iter_mut().zip(arow) {
+                    *o += c * *b;
+                }
+            }
+        };
+        if parallel::should_parallelize(m * n * n / 2) {
+            // Upper-triangular rows have different lengths; one row per task
+            // with the queue balancing the load.
+            let mut upper: Vec<Vec<Complex64>> = (0..n).map(|i| vec![C_ZERO; n - i]).collect();
+            upper.par_chunks_mut(1).enumerate().for_each(|(i, rows)| {
+                fill_row(i, &mut rows[0]);
+            });
+            for (i, row) in upper.into_iter().enumerate() {
+                for (dj, v) in row.into_iter().enumerate() {
+                    out[(i, i + dj)] = v;
+                }
+            }
+        } else {
+            for i in 0..n {
+                let mut row = vec![C_ZERO; n - i];
+                fill_row(i, &mut row);
+                for (dj, v) in row.into_iter().enumerate() {
+                    out[(i, i + dj)] = v;
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)].conj();
+            }
+        }
+        out
+    }
+
     /// Trace `Σ A_ii`.
     ///
     /// # Panics
@@ -243,13 +390,33 @@ impl CMatrix {
     }
 
     /// Frobenius norm `‖A‖_F = sqrt(Σ |a_ij|²)`.
+    ///
+    /// Large matrices reduce in parallel over fixed-size chunks; the chunk
+    /// grain is constant, so the summation order (and the result, to the
+    /// last bit) does not depend on the thread count.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        if parallel::should_parallelize(self.data.len()) {
+            self.data
+                .par_chunks(parallel::REDUCE_GRAIN)
+                .map(|c| c.iter().map(|z| z.norm_sqr()).sum::<f64>())
+                .reduce(|| 0.0, |a, b| a + b)
+                .sqrt()
+        } else {
+            self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        }
     }
 
-    /// Largest entry modulus (max norm).
+    /// Largest entry modulus (max norm), reduced in parallel for large
+    /// matrices.
     pub fn max_norm(&self) -> f64 {
-        self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+        if parallel::should_parallelize(self.data.len()) {
+            self.data
+                .par_chunks(parallel::REDUCE_GRAIN)
+                .map(|c| c.iter().map(|z| z.abs()).fold(0.0, f64::max))
+                .reduce(|| 0.0, f64::max)
+        } else {
+            self.data.iter().map(|z| z.abs()).fold(0.0, f64::max)
+        }
     }
 
     /// `true` if `‖A − A†‖_max ≤ tol`.
@@ -272,7 +439,7 @@ impl CMatrix {
         if !self.is_square() {
             return false;
         }
-        let prod = self.adjoint().matmul(self);
+        let prod = self.gram();
         let id = Self::identity(self.nrows);
         (&prod - &id).max_norm() <= tol
     }

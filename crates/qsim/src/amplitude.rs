@@ -62,6 +62,8 @@ pub fn estimate_norm<R: Rng>(
     m: usize,
     rng: &mut R,
 ) -> Result<f64, SimError> {
+    // `!(x > 0.0)` (rather than `x <= 0.0`) deliberately rejects NaN.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     if !(scale > 0.0) || true_norm < 0.0 || true_norm > scale {
         return Err(SimError::InvalidParameter {
             context: format!("norm {true_norm} / scale {scale} out of range"),

@@ -75,7 +75,10 @@ impl Op {
             Op::Phase { target, .. } | Op::Rz { target, .. } | Op::Ry { target, .. } => {
                 vec![target]
             }
-            Op::Cnot { control, target } | Op::CPhase { control, target, .. } => {
+            Op::Cnot { control, target }
+            | Op::CPhase {
+                control, target, ..
+            } => {
                 vec![control, target]
             }
             Op::Swap(a, b) => vec![a, b],
@@ -101,7 +104,11 @@ impl fmt::Display for Op {
             Op::Rz { target, theta } => write!(f, "rz({theta}) q[{target}];"),
             Op::Ry { target, theta } => write!(f, "ry({theta}) q[{target}];"),
             Op::Cnot { control, target } => write!(f, "cx q[{control}],q[{target}];"),
-            Op::CPhase { control, target, theta } => {
+            Op::CPhase {
+                control,
+                target,
+                theta,
+            } => {
                 write!(f, "cp({theta}) q[{control}],q[{target}];")
             }
             Op::Swap(a, b) => write!(f, "swap q[{a}],q[{b}];"),
@@ -229,15 +236,15 @@ impl Circuit {
                 Op::Z(q) => state.apply_single(&gates::z(), q)?,
                 Op::S(q) => state.apply_single(&gates::s(), q)?,
                 Op::T(q) => state.apply_single(&gates::t(), q)?,
-                Op::Phase { target, theta } => {
-                    state.apply_single(&gates::phase(theta), target)?
-                }
+                Op::Phase { target, theta } => state.apply_single(&gates::phase(theta), target)?,
                 Op::Rz { target, theta } => state.apply_single(&gates::rz(theta), target)?,
                 Op::Ry { target, theta } => state.apply_single(&gates::ry(theta), target)?,
                 Op::Cnot { control, target } => state.apply_cnot(control, target)?,
-                Op::CPhase { control, target, theta } => {
-                    state.apply_controlled_phase(control, target, theta)?
-                }
+                Op::CPhase {
+                    control,
+                    target,
+                    theta,
+                } => state.apply_controlled_phase(control, target, theta)?,
                 Op::Swap(a, b) => state.apply_swap(a, b)?,
             }
         }
@@ -252,7 +259,12 @@ impl Circuit {
             c.push(Op::H(i)).expect("in range");
             for j in (0..i).rev() {
                 let theta = std::f64::consts::PI / (1 << (i - j)) as f64;
-                c.push(Op::CPhase { control: j, target: i, theta }).expect("in range");
+                c.push(Op::CPhase {
+                    control: j,
+                    target: i,
+                    theta,
+                })
+                .expect("in range");
             }
         }
         for i in 0..num_qubits / 2 {
@@ -282,7 +294,11 @@ mod tests {
     fn bell_circuit_runs() {
         let mut c = Circuit::new(2);
         c.push(Op::H(0)).unwrap();
-        c.push(Op::Cnot { control: 0, target: 1 }).unwrap();
+        c.push(Op::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
         let mut s = QuantumState::zero_state(2);
         c.run(&mut s).unwrap();
         assert!((s.probability(0) - 0.5).abs() < 1e-12);
@@ -298,10 +314,7 @@ mod tests {
                 c.run(&mut via_circuit).unwrap();
                 let mut direct = QuantumState::basis_state(m, j);
                 apply_qft(&mut direct, 0..m).unwrap();
-                assert!(
-                    via_circuit.fidelity(&direct) > 1.0 - 1e-10,
-                    "m={m} j={j}"
-                );
+                assert!(via_circuit.fidelity(&direct) > 1.0 - 1e-10, "m={m} j={j}");
             }
         }
     }
@@ -313,7 +326,11 @@ mod tests {
         c.push(Op::H(1)).unwrap();
         c.push(Op::H(2)).unwrap();
         assert_eq!(c.depth(), 1);
-        c.push(Op::Cnot { control: 0, target: 1 }).unwrap();
+        c.push(Op::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
         assert_eq!(c.depth(), 2);
         c.push(Op::H(2)).unwrap(); // fits in layer 2
         assert_eq!(c.depth(), 2);
@@ -330,7 +347,12 @@ mod tests {
     fn rejects_bad_ops() {
         let mut c = Circuit::new(2);
         assert!(c.push(Op::H(5)).is_err());
-        assert!(c.push(Op::Cnot { control: 1, target: 1 }).is_err());
+        assert!(c
+            .push(Op::Cnot {
+                control: 1,
+                target: 1
+            })
+            .is_err());
     }
 
     #[test]
@@ -354,7 +376,11 @@ mod tests {
 
     #[test]
     fn display_of_parametric_ops() {
-        let op = Op::CPhase { control: 0, target: 1, theta: 0.5 };
+        let op = Op::CPhase {
+            control: 0,
+            target: 1,
+            theta: 0.5,
+        };
         assert_eq!(op.to_string(), "cp(0.5) q[0],q[1];");
     }
 }

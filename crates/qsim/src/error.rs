@@ -45,7 +45,10 @@ impl fmt::Display for SimError {
             }
             SimError::ZeroNorm => write!(f, "state vector has zero norm"),
             SimError::QubitOutOfRange { qubit, num_qubits } => {
-                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit register")
+                write!(
+                    f,
+                    "qubit {qubit} out of range for {num_qubits}-qubit register"
+                )
             }
             SimError::DimensionMismatch { context } => {
                 write!(f, "dimension mismatch: {context}")

@@ -38,7 +38,10 @@ pub fn s() -> Gate1 {
 
 /// T gate = diag(1, e^{iπ/4}).
 pub fn t() -> Gate1 {
-    [[C_ONE, C_ZERO], [C_ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)]]
+    [
+        [C_ONE, C_ZERO],
+        [C_ZERO, Complex64::cis(std::f64::consts::FRAC_PI_4)],
+    ]
 }
 
 /// General phase gate diag(1, e^{iθ}).

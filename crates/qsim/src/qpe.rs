@@ -11,6 +11,7 @@
 use crate::error::SimError;
 use crate::qft::apply_inverse_qft;
 use crate::state::QuantumState;
+use qsc_linalg::eig::{eig_unitary, UnitaryEigen};
 use qsc_linalg::{CMatrix, C_ZERO};
 use rand::Rng;
 use std::f64::consts::PI;
@@ -48,16 +49,110 @@ pub fn qpe_gate_level(
         return Err(SimError::NotUnitary { deviation: dev });
     }
 
-    let s = input.num_qubits();
-    // Joint register: system in the low s qubits, phase register above.
-    let mut amps = vec![C_ZERO; 1 << (s + t)];
-    amps[..input.dim()].copy_from_slice(input.amplitudes());
-    let mut state = QuantumState::from_amplitudes(amps).expect("power-of-two, non-zero");
+    // Eigendecompose U once; the whole cascade of controlled powers then
+    // collapses into two block rotations and one diagonal phase pass. A
+    // matrix that slips past the unitarity gate but fails to diagonalize
+    // falls back to the reference construction.
+    match eig_unitary(u) {
+        Ok(eig) => {
+            let mut state = embed_system(input, t);
+            for j in 0..t {
+                state.apply_h(input.num_qubits() + j)?;
+            }
+            apply_phase_cascade(&mut state, &eig, input.num_qubits(), 1.0)?;
+            apply_inverse_qft(&mut state, input.num_qubits()..input.num_qubits() + t)?;
+            Ok(state)
+        }
+        Err(_) => qpe_gate_level_repeated_squaring(u, input, t),
+    }
+}
 
+/// Embeds a system state into a joint register with `t` zeroed phase qubits
+/// above it.
+fn embed_system(input: &QuantumState, t: usize) -> QuantumState {
+    let mut amps = vec![C_ZERO; input.dim() << t];
+    amps[..input.dim()].copy_from_slice(input.amplitudes());
+    QuantumState::from_amplitudes(amps).expect("power-of-two, non-zero")
+}
+
+/// Applies the full QPE cascade of controlled powers
+/// `Π_j C_j-U^{sign·2^j}` (controls = the phase qubits above an `s`-qubit
+/// system block holding `U = V·diag(e^{iθ})·V†`) in its diagonalized form
+/// `(I ⊗ V) · Φ · (I ⊗ V†)`, where `Φ` multiplies the amplitude at joint
+/// index `(m, k)` by `e^{i·sign·m·θ_k}`.
+///
+/// One `O(2^{s+t})` phase pass replaces `t` controlled dense-matrix
+/// applications, and the phase powers are exact — no error accumulation
+/// from repeated matrix squaring. `sign = -1.0` applies the inverse
+/// cascade (used when uncomputing a QPE).
+///
+/// # Errors
+///
+/// Returns [`SimError::DimensionMismatch`] if the eigendecomposition is not
+/// of dimension `2^s` or the state dimension is not a multiple of it.
+pub fn apply_phase_cascade(
+    state: &mut QuantumState,
+    eig: &UnitaryEigen,
+    s: usize,
+    sign: f64,
+) -> Result<(), SimError> {
+    let block = 1usize << s;
+    if eig.dim() != block || !state.dim().is_multiple_of(block) {
+        return Err(SimError::DimensionMismatch {
+            context: format!(
+                "phase cascade: eigendecomposition of dim {} on a {}-qubit block of a state of dim {}",
+                eig.dim(),
+                s,
+                state.dim()
+            ),
+        });
+    }
+    state.apply_block_unitary(&eig.eigenvectors.adjoint())?;
+    state.for_each_block_mut(block, |m, chunk| {
+        let factor = sign * m as f64;
+        for (a, &theta) in chunk.iter_mut().zip(&eig.phases) {
+            *a *= qsc_linalg::Complex64::cis(theta * factor);
+        }
+    });
+    state.apply_block_unitary(&eig.eigenvectors)?;
+    Ok(())
+}
+
+/// The reference gate-level QPE construction: controlled powers `U^{2^j}`
+/// materialized by repeated matrix squaring and applied one phase bit at a
+/// time.
+///
+/// Kept (and exercised by the regression tests) as the behavioral reference
+/// for [`qpe_gate_level`], and used as its fallback when the unitary
+/// eigendecomposition fails.
+///
+/// # Errors
+///
+/// Same contract as [`qpe_gate_level`].
+pub fn qpe_gate_level_repeated_squaring(
+    u: &CMatrix,
+    input: &QuantumState,
+    t: usize,
+) -> Result<QuantumState, SimError> {
+    if t == 0 {
+        return Err(SimError::InvalidParameter {
+            context: "QPE needs at least one phase bit".into(),
+        });
+    }
+    if u.nrows() != input.dim() {
+        return Err(SimError::DimensionMismatch {
+            context: format!("unitary dim {} vs state dim {}", u.nrows(), input.dim()),
+        });
+    }
+    if !u.is_unitary(1e-8) {
+        let dev = (&u.adjoint().matmul(u) - &CMatrix::identity(u.nrows())).max_norm();
+        return Err(SimError::NotUnitary { deviation: dev });
+    }
+    let s = input.num_qubits();
+    let mut state = embed_system(input, t);
     for j in 0..t {
         state.apply_h(s + j)?;
     }
-
     // Controlled-U^{2^j} with control = phase qubit j. Powers are computed
     // by repeated squaring of the matrix (the simulator's privilege).
     let mut power = u.clone();
@@ -67,7 +162,6 @@ pub fn qpe_gate_level(
             power = power.matmul(&power);
         }
     }
-
     apply_inverse_qft(&mut state, s..s + t)?;
     Ok(state)
 }
@@ -142,6 +236,8 @@ impl PhaseEstimator {
     ///
     /// Returns [`SimError::InvalidParameter`] if `scale ≤ 0` or `t == 0`.
     pub fn new(scale: f64, t: usize) -> Result<Self, SimError> {
+        // `!(x > 0.0)` (rather than `x <= 0.0`) deliberately rejects NaN.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
         if !(scale > 0.0) {
             return Err(SimError::InvalidParameter {
                 context: format!("scale = {scale} must be positive"),
@@ -189,10 +285,7 @@ mod tests {
     fn exact_phase_is_recovered_deterministically() {
         // U = diag(1, e^{2πi·3/8}): eigenstate |1⟩ has φ = 3/8, exactly
         // representable with t = 3 bits.
-        let u = CMatrix::from_diag(&[
-            Complex64::real(1.0),
-            Complex64::cis(TAU * 3.0 / 8.0),
-        ]);
+        let u = CMatrix::from_diag(&[Complex64::real(1.0), Complex64::cis(TAU * 3.0 / 8.0)]);
         let input = QuantumState::basis_state(1, 1);
         let out = qpe_gate_level(&u, &input, 3).unwrap();
         let probs = out.marginal_high(3);
@@ -205,11 +298,8 @@ mod tests {
             Complex64::cis(TAU * 1.0 / 4.0),
             Complex64::cis(TAU * 3.0 / 4.0),
         ]);
-        let input = QuantumState::from_amplitudes(vec![
-            Complex64::real(1.0),
-            Complex64::real(1.0),
-        ])
-        .unwrap();
+        let input = QuantumState::from_amplitudes(vec![Complex64::real(1.0), Complex64::real(1.0)])
+            .unwrap();
         let out = qpe_gate_level(&u, &input, 2).unwrap();
         let probs = out.marginal_high(2);
         assert!((probs[1] - 0.5).abs() < 1e-9);

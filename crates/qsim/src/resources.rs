@@ -137,8 +137,18 @@ mod tests {
 
     #[test]
     fn then_takes_max_qubits_and_adds_gates() {
-        let a = ResourceEstimate { qubits: 5, single_qubit_gates: 10, two_qubit_gates: 3, depth: 2 };
-        let b = ResourceEstimate { qubits: 8, single_qubit_gates: 1, two_qubit_gates: 7, depth: 4 };
+        let a = ResourceEstimate {
+            qubits: 5,
+            single_qubit_gates: 10,
+            two_qubit_gates: 3,
+            depth: 2,
+        };
+        let b = ResourceEstimate {
+            qubits: 8,
+            single_qubit_gates: 1,
+            two_qubit_gates: 7,
+            depth: 4,
+        };
         let c = a.then(b);
         assert_eq!(c.qubits, 8);
         assert_eq!(c.single_qubit_gates, 11);

@@ -1,9 +1,27 @@
 //! Quantum state vectors and the primitive operations on them.
 
 use crate::error::SimError;
+use qsc_linalg::parallel;
 use qsc_linalg::vector::{cdot, norm2};
 use qsc_linalg::{CMatrix, Complex64, C_ONE, C_ZERO};
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Applies a 2×2 gate to one amplitude pair.
+#[inline(always)]
+fn gate_pair(gate: &[[Complex64; 2]; 2], x: &mut Complex64, y: &mut Complex64) {
+    let a0 = *x;
+    let a1 = *y;
+    *x = gate[0][0] * a0 + gate[0][1] * a1;
+    *y = gate[1][0] * a0 + gate[1][1] * a1;
+}
+
+/// Number of stride-blocks handed to one parallel task, sized so a task
+/// carries at least [`parallel::REDUCE_GRAIN`] amplitudes.
+#[inline]
+fn blocks_per_task(stride: usize) -> usize {
+    (parallel::REDUCE_GRAIN / stride).max(1)
+}
 
 /// A pure quantum state on `num_qubits` qubits, stored as a dense
 /// state vector of `2^num_qubits` complex amplitudes.
@@ -165,20 +183,58 @@ impl QuantumState {
     /// # Errors
     ///
     /// Returns [`SimError::QubitOutOfRange`] for a bad target.
-    pub fn apply_single(&mut self, gate: &[[Complex64; 2]; 2], qubit: usize) -> Result<(), SimError> {
+    /// The amplitude pairs `(i, i | 1<<qubit)` are visited directly by bit-
+    /// stride arithmetic — `2^(n−1)` pairs, no per-index branch — and are
+    /// processed in parallel for large states.
+    pub fn apply_single(
+        &mut self,
+        gate: &[[Complex64; 2]; 2],
+        qubit: usize,
+    ) -> Result<(), SimError> {
         self.check_qubit(qubit)?;
         let bit = 1usize << qubit;
         let dim = self.amps.len();
-        let mut i = 0usize;
-        while i < dim {
-            if i & bit == 0 {
-                let j = i | bit;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = gate[0][0] * a0 + gate[0][1] * a1;
-                self.amps[j] = gate[1][0] * a0 + gate[1][1] * a1;
+        let parallel_run = parallel::should_parallelize(dim);
+        if 2 * bit == dim {
+            // Top qubit: pairs are (lo[k], hi[k]) across the two halves.
+            let (lo, hi) = self.amps.split_at_mut(bit);
+            if parallel_run {
+                let grain = parallel::REDUCE_GRAIN.min(bit);
+                lo.par_chunks_mut(grain)
+                    .zip(hi.par_chunks_mut(grain))
+                    .for_each(|(lc, hc)| {
+                        for (x, y) in lc.iter_mut().zip(hc.iter_mut()) {
+                            gate_pair(gate, x, y);
+                        }
+                    });
+            } else {
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    gate_pair(gate, x, y);
+                }
             }
-            i += 1;
+            return Ok(());
+        }
+        // General case: independent blocks of 2·bit amplitudes, each
+        // holding `bit` pairs split across its two halves.
+        let stride = 2 * bit;
+        let run_block = |block: &mut [Complex64]| {
+            let (lo, hi) = block.split_at_mut(bit);
+            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                gate_pair(gate, x, y);
+            }
+        };
+        if parallel_run {
+            self.amps
+                .par_chunks_mut(stride * blocks_per_task(stride))
+                .for_each(|task| {
+                    for block in task.chunks_mut(stride) {
+                        run_block(block);
+                    }
+                });
+        } else {
+            for block in self.amps.chunks_mut(stride) {
+                run_block(block);
+            }
         }
         Ok(())
     }
@@ -205,13 +261,76 @@ impl QuantumState {
         let cbit = 1usize << control;
         let tbit = 1usize << target;
         let dim = self.amps.len();
-        for i in 0..dim {
-            if i & cbit != 0 && i & tbit == 0 {
-                let j = i | tbit;
-                let a0 = self.amps[i];
-                let a1 = self.amps[j];
-                self.amps[i] = gate[0][0] * a0 + gate[0][1] * a1;
-                self.amps[j] = gate[1][0] * a0 + gate[1][1] * a1;
+        let parallel_run = parallel::should_parallelize(dim);
+        // The 2^(n−2) relevant pairs are reached by bit-stride arithmetic:
+        // blocks of 2·tbit amplitudes hold the (i, i|tbit) pairs in their
+        // two halves; the control restricts either the offsets inside a
+        // block (control below target) or the block indices themselves
+        // (control above target).
+        if control < target {
+            // Offsets with the control bit set form the upper halves of
+            // 2·cbit sub-blocks in both halves of each target block.
+            let run_block = |block: &mut [Complex64]| {
+                let (lo, hi) = block.split_at_mut(tbit);
+                for (lc, hc) in lo.chunks_mut(2 * cbit).zip(hi.chunks_mut(2 * cbit)) {
+                    for (x, y) in lc[cbit..].iter_mut().zip(hc[cbit..].iter_mut()) {
+                        gate_pair(gate, x, y);
+                    }
+                }
+            };
+            if 2 * tbit == dim {
+                run_block(&mut self.amps);
+            } else {
+                let stride = 2 * tbit;
+                if parallel_run {
+                    self.amps
+                        .par_chunks_mut(stride * blocks_per_task(stride))
+                        .for_each(|task| {
+                            for block in task.chunks_mut(stride) {
+                                run_block(block);
+                            }
+                        });
+                } else {
+                    for block in self.amps.chunks_mut(stride) {
+                        run_block(block);
+                    }
+                }
+            }
+        } else {
+            // Control above target: whole target blocks are gated by the
+            // control bit of their base index. Grouping blocks in pairs of
+            // 2·cbit amplitudes, the gated blocks are exactly the upper
+            // halves.
+            let stride = 2 * tbit;
+            let run_block = |block: &mut [Complex64]| {
+                let (lo, hi) = block.split_at_mut(tbit);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    gate_pair(gate, x, y);
+                }
+            };
+            let run_group = |group: &mut [Complex64]| {
+                // group covers 2·cbit amplitudes; its upper half has the
+                // control bit set.
+                let upper = &mut group[cbit..];
+                for block in upper.chunks_mut(stride) {
+                    run_block(block);
+                }
+            };
+            if 2 * cbit == dim {
+                run_group(&mut self.amps);
+            } else if parallel_run {
+                let gstride = 2 * cbit;
+                self.amps
+                    .par_chunks_mut(gstride * blocks_per_task(gstride))
+                    .for_each(|task| {
+                        for group in task.chunks_mut(gstride) {
+                            run_group(group);
+                        }
+                    });
+            } else {
+                for group in self.amps.chunks_mut(2 * cbit) {
+                    run_group(group);
+                }
             }
         }
         Ok(())
@@ -254,11 +373,36 @@ impl QuantumState {
                 context: "control equals target".into(),
             });
         }
-        let mask = (1usize << control) | (1usize << target);
         let phase = Complex64::cis(theta);
-        for (i, a) in self.amps.iter_mut().enumerate() {
-            if i & mask == mask {
-                *a *= phase;
+        let hi_bit = 1usize << control.max(target);
+        let lo_bit = 1usize << control.min(target);
+        let dim = self.amps.len();
+        // Indices with both bits set are the upper halves of 2·lo_bit
+        // sub-blocks inside the upper halves of 2·hi_bit blocks — visited
+        // by pure stride arithmetic (2^(n−2) amplitudes, no branches).
+        let run_group = |group: &mut [Complex64]| {
+            // group spans 2·hi_bit amplitudes; its upper half has hi_bit set.
+            let upper = &mut group[hi_bit..];
+            for sub in upper.chunks_mut(2 * lo_bit) {
+                for a in &mut sub[lo_bit..] {
+                    *a *= phase;
+                }
+            }
+        };
+        if 2 * hi_bit == dim {
+            run_group(&mut self.amps);
+        } else if parallel::should_parallelize(dim) {
+            let gstride = 2 * hi_bit;
+            self.amps
+                .par_chunks_mut(gstride * blocks_per_task(gstride))
+                .for_each(|task| {
+                    for group in task.chunks_mut(gstride) {
+                        run_group(group);
+                    }
+                });
+        } else {
+            for group in self.amps.chunks_mut(2 * hi_bit) {
+                run_group(group);
             }
         }
         Ok(())
@@ -317,7 +461,7 @@ impl QuantumState {
         control: Option<usize>,
     ) -> Result<(), SimError> {
         let block = u.nrows();
-        if !u.is_square() || !block.is_power_of_two() || self.amps.len() % block != 0 {
+        if !u.is_square() || !block.is_power_of_two() || !self.amps.len().is_multiple_of(block) {
             return Err(SimError::DimensionMismatch {
                 context: format!(
                     "block unitary {}×{} on state of dim {}",
@@ -337,28 +481,88 @@ impl QuantumState {
             }
         }
         let num_blocks = self.amps.len() / block;
-        let mut scratch = vec![C_ZERO; block];
-        for b in 0..num_blocks {
-            if let Some(c) = control {
-                // The block index occupies the high bits; the control bit,
-                // expressed in block coordinates, is at position c − block_qubits.
-                if b & (1usize << (c - block_qubits)) == 0 {
-                    continue;
-                }
-            }
-            let offset = b * block;
-            let slice = &self.amps[offset..offset + block];
+        // The block index occupies the high bits; the control bit, expressed
+        // in block coordinates, sits at position c − block_qubits.
+        let control_block_bit = control.map(|c| 1usize << (c - block_qubits));
+        let apply_block = |slice: &mut [Complex64], scratch: &mut [Complex64]| {
             for (i, s) in scratch.iter_mut().enumerate() {
                 let mut acc = C_ZERO;
                 let row = u.row(i);
-                for (x, y) in row.iter().zip(slice) {
+                for (x, y) in row.iter().zip(slice.iter()) {
                     acc += *x * *y;
                 }
                 *s = acc;
             }
-            self.amps[offset..offset + block].copy_from_slice(&scratch);
+            slice.copy_from_slice(scratch);
+        };
+        // Work per gated block is block² mul-adds; blocks are independent,
+        // so parallelize over groups of blocks with one scratch per task.
+        if parallel::should_parallelize(num_blocks * block * block) && num_blocks > 1 {
+            let group = blocks_per_task(block);
+            self.amps
+                .par_chunks_mut(block * group)
+                .enumerate()
+                .for_each(|(task, chunk)| {
+                    let mut scratch = vec![C_ZERO; block];
+                    for (db, slice) in chunk.chunks_mut(block).enumerate() {
+                        let b = task * group + db;
+                        if let Some(cb) = control_block_bit {
+                            if b & cb == 0 {
+                                continue;
+                            }
+                        }
+                        apply_block(slice, &mut scratch);
+                    }
+                });
+        } else {
+            let mut scratch = vec![C_ZERO; block];
+            for (b, slice) in self.amps.chunks_mut(block).enumerate() {
+                if let Some(cb) = control_block_bit {
+                    if b & cb == 0 {
+                        continue;
+                    }
+                }
+                apply_block(slice, &mut scratch);
+            }
         }
         Ok(())
+    }
+
+    /// Applies `f(block_index, block)` to every contiguous block of `block`
+    /// amplitudes, in parallel for large states.
+    ///
+    /// The blocks partition the state vector, so `f` must treat them as
+    /// independent (it does not observe other blocks). This is the
+    /// building block of diagonal-in-a-block-basis operations such as the
+    /// QPE phase cascade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero or does not divide the state dimension.
+    pub fn for_each_block_mut<F>(&mut self, block: usize, f: F)
+    where
+        F: Fn(usize, &mut [Complex64]) + Sync,
+    {
+        let dim = self.amps.len();
+        assert!(
+            block > 0 && dim.is_multiple_of(block),
+            "bad block size {block}"
+        );
+        if parallel::should_parallelize(dim) && dim / block > 1 {
+            let group = blocks_per_task(block);
+            self.amps
+                .par_chunks_mut(block * group)
+                .enumerate()
+                .for_each(|(task, chunk)| {
+                    for (db, slice) in chunk.chunks_mut(block).enumerate() {
+                        f(task * group + db, slice);
+                    }
+                });
+        } else {
+            for (b, slice) in self.amps.chunks_mut(block).enumerate() {
+                f(b, slice);
+            }
+        }
     }
 
     /// Marginal probability distribution over the **high** `t` qubits
@@ -514,11 +718,8 @@ mod tests {
 
     #[test]
     fn from_amplitudes_normalizes() {
-        let s = QuantumState::from_amplitudes(vec![
-            Complex64::real(3.0),
-            Complex64::real(4.0),
-        ])
-        .unwrap();
+        let s = QuantumState::from_amplitudes(vec![Complex64::real(3.0), Complex64::real(4.0)])
+            .unwrap();
         assert!((s.probability(0) - 0.36).abs() < 1e-12);
         assert!((s.probability(1) - 0.64).abs() < 1e-12);
     }
@@ -570,7 +771,8 @@ mod tests {
     #[test]
     fn controlled_phase_only_on_11() {
         let mut s = QuantumState::from_amplitudes(vec![C_ONE; 4]).unwrap();
-        s.apply_controlled_phase(0, 1, std::f64::consts::PI).unwrap();
+        s.apply_controlled_phase(0, 1, std::f64::consts::PI)
+            .unwrap();
         let amps = s.amplitudes();
         assert!((amps[3] + Complex64::real(0.5)).abs() < 1e-12); // flipped sign
         assert!((amps[0] - Complex64::real(0.5)).abs() < 1e-12);
@@ -694,11 +896,9 @@ mod tests {
         let mut ones = 0usize;
         let trials = 4000;
         for _ in 0..trials {
-            let mut s = QuantumState::from_amplitudes(vec![
-                Complex64::real(0.6),
-                Complex64::real(0.8),
-            ])
-            .unwrap();
+            let mut s =
+                QuantumState::from_amplitudes(vec![Complex64::real(0.6), Complex64::real(0.8)])
+                    .unwrap();
             if s.measure_qubit(0, &mut rng) {
                 ones += 1;
             }

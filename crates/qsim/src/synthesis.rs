@@ -403,8 +403,6 @@ mod tests {
         };
         assert_eq!(f1.hamming_distance(), 1);
         assert_eq!(f2.hamming_distance(), 3);
-        assert!(
-            derived_two_qubit_count(&[f2], 8) > derived_two_qubit_count(&[f1], 8)
-        );
+        assert!(derived_two_qubit_count(&[f2], 8) > derived_two_qubit_count(&[f1], 8));
     }
 }

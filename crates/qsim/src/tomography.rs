@@ -20,11 +20,7 @@ use rand::Rng;
 ///
 /// Returns [`SimError::ZeroNorm`] for a zero vector and
 /// [`SimError::InvalidParameter`] for zero shots.
-pub fn tomography_real<R: Rng>(
-    v: &[f64],
-    shots: usize,
-    rng: &mut R,
-) -> Result<Vec<f64>, SimError> {
+pub fn tomography_real<R: Rng>(v: &[f64], shots: usize, rng: &mut R) -> Result<Vec<f64>, SimError> {
     if shots == 0 {
         return Err(SimError::InvalidParameter {
             context: "tomography needs at least one shot".into(),
@@ -107,11 +103,7 @@ pub fn shots_for_error(dim: usize, delta: f64) -> usize {
 
 /// ℓ2 error between an estimate and the true complex vector.
 pub fn l2_error(estimate: &[Complex64], truth: &[Complex64]) -> f64 {
-    let diff: Vec<Complex64> = estimate
-        .iter()
-        .zip(truth)
-        .map(|(a, b)| *a - *b)
-        .collect();
+    let diff: Vec<Complex64> = estimate.iter().zip(truth).map(|(a, b)| *a - *b).collect();
     norm2(&diff)
 }
 

@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inst.graph.num_arcs()
     );
 
-    let config = SpectralConfig { k, seed: 11, ..SpectralConfig::default() };
+    let config = SpectralConfig {
+        k,
+        seed: 11,
+        ..SpectralConfig::default()
+    };
 
     let hermitian = classical_spectral_clustering(&inst.graph, &config)?;
     let blind = symmetrized_spectral_clustering(&inst.graph, &config)?;

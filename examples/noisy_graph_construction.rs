@@ -53,10 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Render one moderately noisy instance for visual inspection.
     let noisy = quantum_similarity_graph(&points, params.d_min, 0.02, &mut rng)?;
-    let cfg = SpectralConfig { k: 2, seed: 1, normalize_rows: true, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 2,
+        seed: 1,
+        normalize_rows: true,
+        ..SpectralConfig::default()
+    };
     let out = classical_spectral_clustering(&noisy, &cfg)?;
     std::fs::create_dir_all("results")?;
-    std::fs::write("results/noisy_circles.dot", to_dot(&noisy, Some(&out.labels)))?;
+    std::fs::write(
+        "results/noisy_circles.dot",
+        to_dot(&noisy, Some(&out.labels)),
+    )?;
     println!("\nwrote results/noisy_circles.dot (render with: dot -Tsvg -Kneato)");
     Ok(())
 }

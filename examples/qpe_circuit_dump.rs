@@ -70,7 +70,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..t {
         for j in 0..i {
             let theta = -std::f64::consts::PI / (1 << (i - j)) as f64;
-            register.push(Op::CPhase { control: j, target: i, theta })?;
+            register.push(Op::CPhase {
+                control: j,
+                target: i,
+                theta,
+            })?;
         }
         register.push(Op::H(i))?;
     }

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inst.graph.num_arcs()
     );
 
-    let config = SpectralConfig { k: 3, seed: 7, ..SpectralConfig::default() };
+    let config = SpectralConfig {
+        k: 3,
+        seed: 7,
+        ..SpectralConfig::default()
+    };
 
     // Classical Hermitian spectral clustering (exact eigendecomposition).
     let classical = classical_spectral_clustering(&inst.graph, &config)?;

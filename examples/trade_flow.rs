@@ -62,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serialized = to_edge_list(&graph);
     let graph = from_edge_list(&serialized)?;
 
-    let config = SpectralConfig { k: 3, seed: 5, ..SpectralConfig::default() };
+    let config = SpectralConfig {
+        k: 3,
+        seed: 5,
+        ..SpectralConfig::default()
+    };
     let hermitian = classical_spectral_clustering(&graph, &config)?;
     let blind = symmetrized_spectral_clustering(&graph, &config)?;
 

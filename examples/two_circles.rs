@@ -42,13 +42,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Baseline: k-means directly on the 2-D coordinates — geometrically
     // doomed for nested rings.
     let coords: Vec<Vec<f64>> = inst.points.iter().map(|p| p.to_vec()).collect();
-    let raw = kmeans(&coords, &KMeansConfig { k: 2, seed: 1, ..KMeansConfig::default() })?;
+    let raw = kmeans(
+        &coords,
+        &KMeansConfig {
+            k: 2,
+            seed: 1,
+            ..KMeansConfig::default()
+        },
+    )?;
     println!(
         "k-means on raw coordinates  : accuracy {:.3}",
         matched_accuracy(&inst.labels, &raw.labels)
     );
 
-    let config = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let config = SpectralConfig {
+        k: 2,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     let spectral = classical_spectral_clustering(&inst.graph, &config)?;
     println!(
         "spectral on similarity graph: accuracy {:.3}",
@@ -56,14 +67,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Part 2: directional noise and the choice of q. ---
-    let noisy = circles(&CirclesParams { directed_fraction: 0.15, ..params })?;
+    let noisy = circles(&CirclesParams {
+        directed_fraction: 0.15,
+        ..params
+    })?;
     println!(
         "\nwith 15% of edges randomly directed ({} arcs of pure direction noise):",
         noisy.graph.num_arcs()
     );
-    for (label, q) in [("q = 1/4 (direction as signal)", 0.25), ("q = 0   (direction ignored)", 0.0)]
-    {
-        let cfg = SpectralConfig { k: 2, q, seed: 1, normalize_rows: true, ..SpectralConfig::default() };
+    for (label, q) in [
+        ("q = 1/4 (direction as signal)", 0.25),
+        ("q = 0   (direction ignored)", 0.0),
+    ] {
+        let cfg = SpectralConfig {
+            k: 2,
+            q,
+            seed: 1,
+            normalize_rows: true,
+            ..SpectralConfig::default()
+        };
         let out = classical_spectral_clustering(&noisy.graph, &cfg)?;
         println!(
             "  {label}: accuracy {:.3}",
@@ -86,6 +108,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     std::fs::create_dir_all("results")?;
     std::fs::write("results/two_circles_embedding.csv", table.to_csv())?;
-    println!("\nwrote results/two_circles_embedding.csv ({} rows)", table.len());
+    println!(
+        "\nwrote results/two_circles_embedding.csv ({} rows)",
+        table.len()
+    );
     Ok(())
 }

@@ -17,7 +17,11 @@ fn smallest_legal_graph_clusters() {
     // Two vertices, one arc, k = 2.
     let mut g = MixedGraph::new(2);
     g.add_arc(0, 1, 1.0).expect("arc");
-    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 2,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     let out = classical_spectral_clustering(&g, &cfg).expect("pipeline");
     assert_eq!(out.labels.len(), 2);
     assert_ne!(out.labels[0], out.labels[1]);
@@ -31,7 +35,11 @@ fn graph_with_isolated_vertices_survives_both_pipelines() {
     g.add_edge(0, 1, 1.0).expect("edge");
     g.add_edge(1, 2, 1.0).expect("edge");
     g.add_edge(0, 2, 1.0).expect("edge");
-    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 2,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     let classical = classical_spectral_clustering(&g, &cfg).expect("classical");
     assert_eq!(classical.labels.len(), 5);
     let quantum = quantum_spectral_clustering(&g, &cfg, &QuantumParams::default())
@@ -44,7 +52,11 @@ fn empty_graph_pipelines_do_not_panic() {
     // No connections at all: the Laplacian is the identity, every vertex
     // identical. The pipelines must return *something* labeled, not panic.
     let g = MixedGraph::new(6);
-    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 2,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     let out = classical_spectral_clustering(&g, &cfg).expect("empty graph");
     assert_eq!(out.labels.len(), 6);
 }
@@ -54,7 +66,11 @@ fn k_equals_n_assigns_every_vertex_its_own_cluster_capacity() {
     let mut g = MixedGraph::new(4);
     g.add_edge(0, 1, 1.0).expect("edge");
     g.add_arc(2, 3, 1.0).expect("arc");
-    let cfg = SpectralConfig { k: 4, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 4,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     let out = classical_spectral_clustering(&g, &cfg).expect("k = n");
     assert!(out.labels.iter().all(|&l| l < 4));
 }
@@ -62,11 +78,23 @@ fn k_equals_n_assigns_every_vertex_its_own_cluster_capacity() {
 #[test]
 fn invalid_requests_surface_typed_errors() {
     let g = MixedGraph::new(3);
-    let err = classical_spectral_clustering(&g, &SpectralConfig { k: 0, ..Default::default() })
-        .unwrap_err();
+    let err = classical_spectral_clustering(
+        &g,
+        &SpectralConfig {
+            k: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
     assert!(matches!(err, PipelineError::InvalidRequest { .. }));
-    let err = lanczos_spectral_clustering(&g, &SpectralConfig { k: 9, ..Default::default() })
-        .unwrap_err();
+    let err = lanczos_spectral_clustering(
+        &g,
+        &SpectralConfig {
+            k: 9,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
     assert!(matches!(err, PipelineError::InvalidRequest { .. }));
 }
 
@@ -125,7 +153,10 @@ fn heterogeneous_weights_shift_spectrum_sensibly() {
 #[test]
 fn graph_error_variants_reachable() {
     let mut g = MixedGraph::new(2);
-    assert!(matches!(g.add_edge(0, 0, 1.0), Err(GraphError::SelfLoop { .. })));
+    assert!(matches!(
+        g.add_edge(0, 0, 1.0),
+        Err(GraphError::SelfLoop { .. })
+    ));
     assert!(matches!(
         g.add_edge(0, 7, 1.0),
         Err(GraphError::VertexOutOfBounds { .. })
@@ -135,7 +166,10 @@ fn graph_error_variants_reachable() {
         Err(GraphError::NonPositiveWeight { .. })
     ));
     g.add_edge(0, 1, 1.0).expect("first");
-    assert!(matches!(g.add_arc(1, 0, 1.0), Err(GraphError::DuplicateEdge { .. })));
+    assert!(matches!(
+        g.add_arc(1, 0, 1.0),
+        Err(GraphError::DuplicateEdge { .. })
+    ));
 }
 
 #[test]
@@ -145,7 +179,12 @@ fn kmeans_handles_duplicate_points() {
     let data = vec![vec![1.0, 1.0]; 8];
     let result = kmeans(
         &data,
-        &KMeansConfig { k: 3, seed: 1, restarts: 2, ..KMeansConfig::default() },
+        &KMeansConfig {
+            k: 3,
+            seed: 1,
+            restarts: 2,
+            ..KMeansConfig::default()
+        },
     )
     .expect("duplicate points");
     assert_eq!(result.labels.len(), 8);
@@ -173,7 +212,11 @@ fn quantum_pipeline_with_extreme_precision_settings() {
     for i in 0..11 {
         g.add_arc(i, i + 1, 1.0).expect("arc");
     }
-    let cfg = SpectralConfig { k: 2, seed: 1, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 2,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
     // One QPE bit and one shot: maximally noisy but must not panic.
     let brutal = QuantumParams {
         qpe_bits: 1,

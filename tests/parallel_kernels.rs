@@ -1,0 +1,363 @@
+//! Behavioral-equivalence tests for the parallel / cache-blocked compute
+//! kernels: every optimized path must match its serial reference to 1e-12
+//! on random inputs — large enough to actually take the parallel path.
+//!
+//! The worker count is pinned to 4 before any kernel runs, so these tests
+//! exercise the multi-threaded code paths even on single-core CI runners
+//! (the kernels are designed to be thread-count independent, so the
+//! assertions are exact-tolerance, not statistical).
+
+use qsc_suite::linalg::lanczos::{lanczos_lowest_k, lanczos_lowest_k_csr};
+use qsc_suite::linalg::{CMatrix, Complex64, CsrMatrix, C_ZERO};
+use qsc_suite::sim::qpe::{qpe_gate_level, qpe_gate_level_repeated_squaring};
+use qsc_suite::sim::QuantumState;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Once;
+
+fn setup() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        // Must precede the first kernel invocation in this process: the
+        // worker count is latched on first use.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
+fn random_state(qubits: usize, seed: u64) -> QuantumState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let amps: Vec<Complex64> = (0..1usize << qubits)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    QuantumState::from_amplitudes(amps).expect("non-zero random state")
+}
+
+fn max_amp_diff(a: &QuantumState, b: &QuantumState) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The seed implementation of `apply_single`: visit all indices, branch.
+fn apply_single_ref(
+    state: &QuantumState,
+    gate: &[[Complex64; 2]; 2],
+    qubit: usize,
+) -> QuantumState {
+    let mut amps = state.amplitudes().to_vec();
+    let bit = 1usize << qubit;
+    for i in 0..amps.len() {
+        if i & bit == 0 {
+            let j = i | bit;
+            let a0 = amps[i];
+            let a1 = amps[j];
+            amps[i] = gate[0][0] * a0 + gate[0][1] * a1;
+            amps[j] = gate[1][0] * a0 + gate[1][1] * a1;
+        }
+    }
+    QuantumState::from_amplitudes(amps).expect("unitary preserves norm")
+}
+
+/// The seed implementation of `apply_controlled_single`.
+fn apply_controlled_ref(
+    state: &QuantumState,
+    gate: &[[Complex64; 2]; 2],
+    control: usize,
+    target: usize,
+) -> QuantumState {
+    let mut amps = state.amplitudes().to_vec();
+    let cbit = 1usize << control;
+    let tbit = 1usize << target;
+    for i in 0..amps.len() {
+        if i & cbit != 0 && i & tbit == 0 {
+            let j = i | tbit;
+            let a0 = amps[i];
+            let a1 = amps[j];
+            amps[i] = gate[0][0] * a0 + gate[0][1] * a1;
+            amps[j] = gate[1][0] * a0 + gate[1][1] * a1;
+        }
+    }
+    QuantumState::from_amplitudes(amps).expect("unitary preserves norm")
+}
+
+#[test]
+fn parallel_matmul_matches_serial_reference() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(101);
+    // Sizes straddling the parallel threshold, including non-square and
+    // non-multiple-of-tile shapes.
+    for (m, k, n) in [
+        (7usize, 9usize, 5usize),
+        (64, 64, 64),
+        (97, 123, 81),
+        (150, 150, 150),
+    ] {
+        let a = CMatrix::random(m, k, &mut rng);
+        let b = CMatrix::random(k, n, &mut rng);
+        let fast = a.matmul(&b);
+        let slow = a.matmul_serial(&b);
+        let diff = (&fast - &slow).max_norm();
+        assert!(diff <= 1e-12, "matmul {m}x{k}x{n}: diff {diff}");
+    }
+}
+
+#[test]
+fn parallel_adjoint_and_norms_match_definitions() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(102);
+    for (m, n) in [(5usize, 8usize), (130, 311), (400, 400)] {
+        let a = CMatrix::random(m, n, &mut rng);
+        let adj = a.adjoint();
+        let adj_ref = CMatrix::from_fn(n, m, |i, j| a[(j, i)].conj());
+        assert_eq!(adj, adj_ref, "adjoint {m}x{n}");
+
+        let serial_max = a.as_slice().iter().map(|z| z.abs()).fold(0.0, f64::max);
+        assert!((a.max_norm() - serial_max).abs() <= 1e-12);
+        let serial_fro = a
+            .as_slice()
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt();
+        assert!((a.frobenius_norm() - serial_fro).abs() <= 1e-12 * serial_fro.max(1.0));
+    }
+}
+
+#[test]
+fn parallel_matvec_and_gram_match_serial() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(103);
+    for n in [6usize, 90, 300] {
+        let a = CMatrix::random(n, n, &mut rng);
+        let x: Vec<Complex64> = (0..n)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let y = a.matvec(&x);
+        for (i, yi) in y.iter().enumerate() {
+            let mut acc = C_ZERO;
+            for (j, xj) in x.iter().enumerate() {
+                acc += a[(i, j)] * *xj;
+            }
+            assert!((*yi - acc).abs() <= 1e-12, "matvec row {i} at n={n}");
+        }
+        let gram = a.gram();
+        let gram_ref = a.adjoint().matmul_serial(&a);
+        assert!(
+            (&gram - &gram_ref).max_norm() <= 1e-12,
+            "gram deviates at n={n}"
+        );
+    }
+}
+
+#[test]
+fn csr_matvec_matches_dense_on_large_sparse() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(104);
+    let n = 600;
+    // ~15% fill Hermitian matrix, nnz comfortably past the parallel gate.
+    let mut dense = CMatrix::zeros(n, n);
+    for i in 0..n {
+        dense[(i, i)] = Complex64::real(rng.gen_range(-1.0..1.0));
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < 0.15 {
+                let v = Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+                dense[(i, j)] = v;
+                dense[(j, i)] = v.conj();
+            }
+        }
+    }
+    let sparse = CsrMatrix::from_dense(&dense, 0.0);
+    assert!(sparse.is_hermitian());
+    let x: Vec<Complex64> = (0..n)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect();
+    let yd = dense.matvec(&x);
+    let ys = sparse.matvec(&x);
+    for (a, b) in yd.iter().zip(&ys) {
+        assert!((*a - *b).abs() <= 1e-12);
+    }
+}
+
+#[test]
+fn stride_gate_kernels_match_branchy_reference() {
+    setup();
+    let qubits = 17; // 131072 amplitudes: all kernels take the parallel path
+    let gates = [qsc_suite::sim::gates::h(), qsc_suite::sim::gates::t()];
+    for (gi, gate) in gates.iter().enumerate() {
+        for &q in &[0usize, 1, 8, qubits - 2, qubits - 1] {
+            let state = random_state(qubits, 200 + gi as u64);
+            let mut fast = state.clone();
+            fast.apply_single(gate, q).unwrap();
+            let slow = apply_single_ref(&state, gate, q);
+            assert!(
+                max_amp_diff(&fast, &slow) <= 1e-12,
+                "apply_single qubit {q} gate {gi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn stride_controlled_kernels_match_branchy_reference() {
+    setup();
+    let qubits = 17;
+    let gate = qsc_suite::sim::gates::x();
+    for &(c, t) in &[
+        (0usize, 1usize),
+        (0, qubits - 1),
+        (qubits - 1, 0),
+        (5, 11),
+        (11, 5),
+        (qubits - 2, qubits - 1),
+        (qubits - 1, qubits - 2),
+    ] {
+        let state = random_state(qubits, 300);
+        let mut fast = state.clone();
+        fast.apply_controlled_single(&gate, c, t).unwrap();
+        let slow = apply_controlled_ref(&state, &gate, c, t);
+        assert!(
+            max_amp_diff(&fast, &slow) <= 1e-12,
+            "apply_controlled_single c={c} t={t}"
+        );
+    }
+}
+
+#[test]
+fn stride_controlled_phase_matches_branchy_reference() {
+    setup();
+    let qubits = 17;
+    let theta = 0.7318;
+    for &(c, t) in &[
+        (0usize, 1usize),
+        (3, 12),
+        (12, 3),
+        (qubits - 1, 2),
+        (qubits - 2, qubits - 1),
+    ] {
+        let state = random_state(qubits, 400);
+        let mut fast = state.clone();
+        fast.apply_controlled_phase(c, t, theta).unwrap();
+        // Seed reference: scan every index, branch on the mask.
+        let mask = (1usize << c) | (1usize << t);
+        let phase = Complex64::cis(theta);
+        let mut amps = state.amplitudes().to_vec();
+        for (i, a) in amps.iter_mut().enumerate() {
+            if i & mask == mask {
+                *a *= phase;
+            }
+        }
+        let slow = QuantumState::from_amplitudes(amps).unwrap();
+        assert!(
+            max_amp_diff(&fast, &slow) <= 1e-12,
+            "controlled_phase c={c} t={t}"
+        );
+    }
+}
+
+#[test]
+fn parallel_block_unitary_matches_serial_blocks() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(500);
+    let block_qubits = 4;
+    let total_qubits = 14;
+    let u = CMatrix::random_unitary(1 << block_qubits, &mut rng);
+    for control in [None, Some(block_qubits), Some(total_qubits - 1)] {
+        let state = random_state(total_qubits, 501);
+        let mut fast = state.clone();
+        fast.apply_controlled_block_unitary(&u, control).unwrap();
+        // Reference: per-block dense matvec, sequentially.
+        let block = 1usize << block_qubits;
+        let mut amps = state.amplitudes().to_vec();
+        for (b, chunk) in amps.chunks_mut(block).enumerate() {
+            if let Some(c) = control {
+                if b & (1usize << (c - block_qubits)) == 0 {
+                    continue;
+                }
+            }
+            let applied = u.matvec(chunk);
+            chunk.copy_from_slice(&applied);
+        }
+        let slow = QuantumState::from_amplitudes(amps).unwrap();
+        assert!(
+            max_amp_diff(&fast, &slow) <= 1e-12,
+            "block unitary control {control:?}"
+        );
+    }
+}
+
+#[test]
+fn qpe_phase_distribution_unchanged_by_eigendecompose_once_rewrite() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(600);
+    // A non-trivial Hermitian evolution operator on 3 system qubits.
+    let h = CMatrix::random_hermitian(8, &mut rng);
+    let u = qsc_suite::linalg::expm::expi(&h, 0.9).unwrap();
+    let input = {
+        let amps: Vec<Complex64> = (0..8)
+            .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        QuantumState::from_amplitudes(amps).unwrap()
+    };
+    for t in [2usize, 5, 7] {
+        let fast = qpe_gate_level(&u, &input, t).unwrap();
+        let reference = qpe_gate_level_repeated_squaring(&u, &input, t).unwrap();
+        let pf = fast.marginal_high(t);
+        let pr = reference.marginal_high(t);
+        for (m, (a, b)) in pf.iter().zip(&pr).enumerate() {
+            assert!((a - b).abs() < 1e-9, "t={t}, outcome {m}: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn qpe_exact_phases_still_deterministic_after_rewrite() {
+    setup();
+    use std::f64::consts::TAU;
+    // Exactly representable eigenphase: the rewrite must keep the outcome
+    // a delta distribution.
+    let u = CMatrix::from_diag(&[Complex64::real(1.0), Complex64::cis(TAU * 5.0 / 16.0)]);
+    let input = QuantumState::basis_state(1, 1);
+    let out = qpe_gate_level(&u, &input, 4).unwrap();
+    let probs = out.marginal_high(4);
+    assert!((probs[5] - 1.0).abs() < 1e-9, "distribution {probs:?}");
+}
+
+#[test]
+fn lanczos_csr_matches_dense_lanczos_and_is_sparse() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(700);
+    // A banded Hermitian matrix: genuinely sparse at n=500.
+    let n = 500;
+    let mut dense = CMatrix::zeros(n, n);
+    for i in 0..n {
+        dense[(i, i)] = Complex64::real(2.0 + rng.gen_range(-0.1..0.1));
+        for d in 1..=3usize {
+            if i + d < n {
+                let v = Complex64::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5));
+                dense[(i, i + d)] = v;
+                dense[(i + d, i)] = v.conj();
+            }
+        }
+    }
+    let sparse = CsrMatrix::from_dense(&dense, 0.0);
+    assert!(sparse.density() < 0.02, "density {}", sparse.density());
+    let k = 4;
+    let pd = lanczos_lowest_k(&dense, k, 1e-8, &mut StdRng::seed_from_u64(701)).unwrap();
+    let ps = lanczos_lowest_k_csr(&sparse, k, 1e-8, &mut StdRng::seed_from_u64(701)).unwrap();
+    for (a, b) in pd.eigenvalues.iter().zip(&ps.eigenvalues) {
+        assert!((a - b).abs() < 1e-8, "lanczos eigenvalue {a} vs {b}");
+    }
+    // Identical RNG seed and identical matvec values → identical Krylov
+    // spaces; the Ritz vectors must agree too.
+    for j in 0..k {
+        let vd = pd.eigenvectors.col(j);
+        let vs = ps.eigenvectors.col(j);
+        let overlap: f64 = qsc_suite::linalg::vector::cdot(&vd, &vs).abs();
+        assert!(
+            (overlap - 1.0).abs() < 1e-6,
+            "Ritz vector {j} overlap {overlap}"
+        );
+    }
+}

@@ -31,7 +31,11 @@ fn classical_pipeline_accuracy_floor() {
     let inst = flow_instance(150, 1);
     let out = classical_spectral_clustering(
         &inst.graph,
-        &SpectralConfig { k: 3, seed: 2, ..SpectralConfig::default() },
+        &SpectralConfig {
+            k: 3,
+            seed: 2,
+            ..SpectralConfig::default()
+        },
     )
     .expect("pipeline");
     assert!(matched_accuracy(&inst.labels, &out.labels) > 0.95);
@@ -42,7 +46,11 @@ fn quantum_pipeline_accuracy_floor() {
     let inst = flow_instance(150, 1);
     let out = quantum_spectral_clustering(
         &inst.graph,
-        &SpectralConfig { k: 3, seed: 2, ..SpectralConfig::default() },
+        &SpectralConfig {
+            k: 3,
+            seed: 2,
+            ..SpectralConfig::default()
+        },
         &QuantumParams::default(),
     )
     .expect("pipeline");
@@ -54,7 +62,11 @@ fn method_ordering_on_flow_clusters() {
     // The evaluation's headline ordering: Hermitian (classical ≈ quantum)
     // ≫ symmetrized on flow-defined clusters.
     let inst = flow_instance(120, 3);
-    let cfg = SpectralConfig { k: 3, seed: 5, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 5,
+        ..SpectralConfig::default()
+    };
     let herm = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
     let quan =
         quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default()).expect("quantum");
@@ -65,7 +77,10 @@ fn method_ordering_on_flow_clusters() {
     let acc_b = matched_accuracy(&inst.labels, &blind.labels);
     assert!(acc_h > acc_b + 0.15, "hermitian {acc_h} vs blind {acc_b}");
     assert!(acc_q > acc_b + 0.10, "quantum {acc_q} vs blind {acc_b}");
-    assert!((acc_h - acc_q).abs() < 0.15, "classical {acc_h} vs quantum {acc_q}");
+    assert!(
+        (acc_h - acc_q).abs() < 0.15,
+        "classical {acc_h} vs quantum {acc_q}"
+    );
 }
 
 #[test]
@@ -77,7 +92,11 @@ fn netlist_module_recovery() {
         ..NetlistParams::default()
     };
     let inst = netlist(&params).expect("netlist");
-    let cfg = SpectralConfig { k: 4, seed: 2, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 4,
+        seed: 2,
+        ..SpectralConfig::default()
+    };
     let herm = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
     let acc = matched_accuracy(&inst.labels, &herm.labels);
     assert!(acc > 0.7, "netlist module accuracy {acc}");
@@ -122,18 +141,29 @@ fn graph_io_round_trip_on_workloads() {
 #[test]
 fn adjacency_baseline_is_weaker_than_spectral() {
     let inst = flow_instance(120, 13);
-    let cfg = SpectralConfig { k: 3, seed: 4, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 4,
+        ..SpectralConfig::default()
+    };
     let spectral = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
     let naive_labels = adjacency_kmeans(&inst.graph, &cfg).expect("naive");
     let acc_s = matched_accuracy(&inst.labels, &spectral.labels);
     let acc_n = matched_accuracy(&inst.labels, &naive_labels);
-    assert!(acc_s >= acc_n, "spectral {acc_s} must not lose to naive {acc_n}");
+    assert!(
+        acc_s >= acc_n,
+        "spectral {acc_s} must not lose to naive {acc_n}"
+    );
 }
 
 #[test]
 fn ari_and_accuracy_agree_on_perfect_runs() {
     let inst = flow_instance(90, 17);
-    let cfg = SpectralConfig { k: 3, seed: 8, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 8,
+        ..SpectralConfig::default()
+    };
     let out = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
     let acc = matched_accuracy(&inst.labels, &out.labels);
     let ari = adjusted_rand_index(&inst.labels, &out.labels);
@@ -155,20 +185,31 @@ fn cut_weight_lower_for_recovered_partition_than_random() {
         ..DsbmParams::default()
     })
     .expect("dsbm");
-    let cfg = SpectralConfig { k: 3, seed: 3, ..SpectralConfig::default() };
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 3,
+        ..SpectralConfig::default()
+    };
     let out = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
     let recovered_cut = cut_weight(&inst.graph, &out.labels);
     let random_labels: Vec<usize> = (0..90).map(|i| (i * 7 + 3) % 3).collect();
     let random_cut = cut_weight(&inst.graph, &random_labels);
-    assert!(recovered_cut < random_cut, "{recovered_cut} vs {random_cut}");
+    assert!(
+        recovered_cut < random_cut,
+        "{recovered_cut} vs {random_cut}"
+    );
 }
 
 #[test]
 fn diagnostics_cost_models_positive_and_ordered() {
     let inst = flow_instance(100, 23);
-    let cfg = SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() };
-    let q = quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
-        .expect("quantum");
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 1,
+        ..SpectralConfig::default()
+    };
+    let q =
+        quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default()).expect("quantum");
     assert!(q.diagnostics.classical_cost > 0.0);
     assert!(q.diagnostics.quantum_cost.expect("set") > 0.0);
     assert!(q.diagnostics.kappa >= 1.0);

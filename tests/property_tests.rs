@@ -21,18 +21,16 @@ use rand::SeedableRng;
 
 /// Strategy: a random mixed graph with 3–16 vertices.
 fn arb_mixed_graph() -> impl Strategy<Value = MixedGraph> {
-    (3usize..16, 0u64..1_000_000, 0.0f64..0.4, 0.0f64..0.4).prop_map(
-        |(n, seed, p_u, p_d)| {
-            random_mixed(&RandomMixedParams {
-                n,
-                p_undirected: p_u,
-                p_directed: p_d,
-                weight_range: (0.5, 2.0),
-                seed,
-            })
-            .expect("probabilities in range by construction")
-        },
-    )
+    (3usize..16, 0u64..1_000_000, 0.0f64..0.4, 0.0f64..0.4).prop_map(|(n, seed, p_u, p_d)| {
+        random_mixed(&RandomMixedParams {
+            n,
+            p_undirected: p_u,
+            p_directed: p_d,
+            weight_range: (0.5, 2.0),
+            seed,
+        })
+        .expect("probabilities in range by construction")
+    })
 }
 
 proptest! {

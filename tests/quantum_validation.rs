@@ -108,10 +108,7 @@ fn tomography_error_matches_theory_scale() {
         );
         // √(d/N) is the worst-case scale; concentrated vectors do better,
         // but *some* noise must be present.
-        assert!(
-            mean_err > 0.0,
-            "shots {shots}: no noise injected at all"
-        );
+        assert!(mean_err > 0.0, "shots {shots}: no noise injected at all");
     }
 }
 
