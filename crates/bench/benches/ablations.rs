@@ -57,7 +57,7 @@ fn bench_a2_qpe_paths(c: &mut Criterion) {
 /// A3: the Lanczos-accelerated classical pipeline vs the full-decomposition
 /// pipeline on the flow-DSBM workload.
 fn bench_a3_lanczos_pipeline(c: &mut Criterion) {
-    use qsc_core::{classical_spectral_clustering, lanczos_spectral_clustering, SpectralConfig};
+    use qsc_core::{LanczosDense, Pipeline};
     use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
     let mut group = c.benchmark_group("a3_lanczos_pipeline");
     group.sample_size(10);
@@ -73,16 +73,13 @@ fn bench_a3_lanczos_pipeline(c: &mut Criterion) {
             ..DsbmParams::default()
         })
         .expect("dsbm");
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
+        let full = Pipeline::hermitian(3).seed(1);
+        let fast = Pipeline::hermitian(3).seed(1).embedder(LanczosDense);
         group.bench_with_input(BenchmarkId::new("full_eigh", n), &n, |b, _| {
-            b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+            b.iter(|| full.run(black_box(&inst.graph)).expect("run"))
         });
         group.bench_with_input(BenchmarkId::new("lanczos", n), &n, |b, _| {
-            b.iter(|| lanczos_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+            b.iter(|| fast.run(black_box(&inst.graph)).expect("run"))
         });
     }
     group.finish();

@@ -1,9 +1,7 @@
 //! Criterion micro-benches backing the evaluation figures (F2–F4).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qsc_core::{
-    classical_spectral_clustering, quantum_spectral_clustering, QuantumParams, SpectralConfig,
-};
+use qsc_core::{Pipeline, QuantumParams};
 use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
 use qsc_graph::normalized_hermitian_laplacian;
 use qsc_linalg::eigh;
@@ -31,20 +29,16 @@ fn bench_fig2_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for n in [100usize, 200, 300] {
         let inst = dsbm(&flow_params(n)).expect("dsbm");
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
+        let classical = Pipeline::hermitian(3).seed(1);
         group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
-            b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+            b.iter(|| classical.run(black_box(&inst.graph)).expect("run"))
         });
-        let qp = QuantumParams {
+        let quantum = Pipeline::hermitian(3).seed(1).quantum(&QuantumParams {
             tomography_shots: 256,
             ..QuantumParams::default()
-        };
+        });
         group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
-            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
+            b.iter(|| quantum.run(black_box(&inst.graph)).expect("run"))
         });
     }
     group.finish();

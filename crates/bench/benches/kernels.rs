@@ -13,7 +13,8 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qsc_graph::generators::{random_mixed, RandomMixedParams};
+use qsc_core::{GraphInstance, Pipeline};
+use qsc_graph::generators::{dsbm, random_mixed, DsbmParams, MetaGraph, RandomMixedParams};
 use qsc_graph::{normalized_hermitian_laplacian_csr, Q_CLASSICAL};
 use qsc_linalg::lanczos::{lanczos_lowest_k, lanczos_lowest_k_csr};
 use qsc_linalg::{CMatrix, Complex64};
@@ -95,10 +96,58 @@ fn bench_lanczos_2000(c: &mut Criterion) {
     group.finish();
 }
 
+/// End-to-end batch runner: an 8-instance flow-DSBM batch through the full
+/// classical pipeline, as one sequential loop vs one rayon-parallel
+/// `run_many` call. Results are identical by construction (per-instance
+/// seeds, thread-count-independent kernels); the gap is pure scheduling.
+fn bench_run_many_8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("run_many8");
+    group.sample_size(10);
+    let instances: Vec<_> = (0..8u64)
+        .map(|seed| {
+            dsbm(&DsbmParams {
+                n: 160,
+                k: 3,
+                p_intra: 0.25,
+                p_inter: 0.25,
+                eta_flow: 0.9,
+                meta: MetaGraph::Cycle,
+                seed,
+                ..DsbmParams::default()
+            })
+            .expect("dsbm")
+        })
+        .collect();
+    let batch: Vec<GraphInstance> = instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+        .collect();
+    let pl = Pipeline::hermitian(3);
+    group.bench_function("sequential_loop", |b| {
+        b.iter(|| {
+            batch
+                .iter()
+                .map(|inst| {
+                    pl.clone()
+                        .seed(inst.seed.expect("seeded batch"))
+                        .run(black_box(inst.graph))
+                        .expect("run")
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("run_many_parallel", |b| {
+        b.iter(|| pl.run_many(black_box(&batch)).expect("run_many"))
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_matmul_512,
     bench_qpe_12_qubits,
-    bench_lanczos_2000
+    bench_lanczos_2000,
+    bench_run_many_8
 );
 criterion_main!(kernels);

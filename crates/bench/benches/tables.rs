@@ -4,10 +4,7 @@
 //! the actual table rows; these benches time the kernels behind them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qsc_core::{
-    classical_spectral_clustering, quantum_spectral_clustering, symmetrized_spectral_clustering,
-    QuantumParams, SpectralConfig,
-};
+use qsc_core::{Pipeline, QuantumParams};
 use qsc_graph::generators::{dsbm, netlist, DsbmParams, MetaGraph, NetlistParams};
 use std::hint::black_box;
 
@@ -30,20 +27,16 @@ fn bench_table1_accuracy(c: &mut Criterion) {
     group.sample_size(10);
     for n in [100usize, 200] {
         let inst = dsbm(&flow_params(n)).expect("dsbm");
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
+        let classical = Pipeline::hermitian(3).seed(1);
         group.bench_with_input(BenchmarkId::new("classical", n), &n, |b, _| {
-            b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+            b.iter(|| classical.run(black_box(&inst.graph)).expect("run"))
         });
-        let qp = QuantumParams {
+        let quantum = Pipeline::hermitian(3).seed(1).quantum(&QuantumParams {
             tomography_shots: 512,
             ..QuantumParams::default()
-        };
+        });
         group.bench_with_input(BenchmarkId::new("quantum", n), &n, |b, _| {
-            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
+            b.iter(|| quantum.run(black_box(&inst.graph)).expect("run"))
         });
     }
     group.finish();
@@ -55,16 +48,13 @@ fn bench_table2_direction(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2_direction");
     group.sample_size(10);
     let inst = dsbm(&flow_params(150)).expect("dsbm");
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
+    let hermitian = Pipeline::hermitian(3).seed(1);
+    let symmetrized = Pipeline::symmetrized(3).seed(1);
     group.bench_function("hermitian", |b| {
-        b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+        b.iter(|| hermitian.run(black_box(&inst.graph)).expect("run"))
     });
     group.bench_function("symmetrized", |b| {
-        b.iter(|| symmetrized_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+        b.iter(|| symmetrized.run(black_box(&inst.graph)).expect("run"))
     });
     group.finish();
 }
@@ -74,28 +64,23 @@ fn bench_table3_precision(c: &mut Criterion) {
     let mut group = c.benchmark_group("table3_precision");
     group.sample_size(10);
     let inst = dsbm(&flow_params(120)).expect("dsbm");
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
     for shots in [256usize, 2048] {
-        let qp = QuantumParams {
+        let pl = Pipeline::hermitian(3).seed(1).quantum(&QuantumParams {
             tomography_shots: shots,
             ..QuantumParams::default()
-        };
+        });
         group.bench_with_input(BenchmarkId::new("shots", shots), &shots, |b, _| {
-            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
+            b.iter(|| pl.run(black_box(&inst.graph)).expect("run"))
         });
     }
     for bits in [4usize, 8] {
-        let qp = QuantumParams {
+        let pl = Pipeline::hermitian(3).seed(1).quantum(&QuantumParams {
             qpe_bits: bits,
             tomography_shots: 512,
             ..QuantumParams::default()
-        };
+        });
         group.bench_with_input(BenchmarkId::new("qpe_bits", bits), &bits, |b, _| {
-            b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
+            b.iter(|| pl.run(black_box(&inst.graph)).expect("run"))
         });
     }
     group.finish();
@@ -112,20 +97,16 @@ fn bench_table4_netlist(c: &mut Criterion) {
         ..NetlistParams::default()
     })
     .expect("netlist");
-    let cfg = SpectralConfig {
-        k: 4,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
+    let hermitian = Pipeline::hermitian(4).seed(1);
     group.bench_function("hermitian", |b| {
-        b.iter(|| classical_spectral_clustering(black_box(&inst.graph), &cfg).expect("run"))
+        b.iter(|| hermitian.run(black_box(&inst.graph)).expect("run"))
     });
-    let qp = QuantumParams {
+    let quantum = Pipeline::hermitian(4).seed(1).quantum(&QuantumParams {
         tomography_shots: 512,
         ..QuantumParams::default()
-    };
+    });
     group.bench_function("quantum", |b| {
-        b.iter(|| quantum_spectral_clustering(black_box(&inst.graph), &cfg, &qp).expect("run"))
+        b.iter(|| quantum.run(black_box(&inst.graph)).expect("run"))
     });
     group.finish();
 }

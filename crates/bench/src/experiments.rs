@@ -1,16 +1,22 @@
 //! The reconstructed evaluation: one function per table/figure of
 //! DESIGN.md §5. Every function returns a [`Table`] whose rows are the
 //! "paper rows"; the binary prints them and writes the CSV series.
+//!
+//! Every experiment runs through the staged `qsc_core::Pipeline`:
+//! repetition sweeps are batched with [`Pipeline::run_many`] (rayon-
+//! parallel over instances, results identical to a sequential loop), and
+//! the precision sweep's q-means `δ` axis goes through
+//! [`Pipeline::run_many_clusterers`], which stages each graph's QPE
+//! embedding once and re-clusters it per `δ`.
 
 use qsc_cluster::metrics::{adjusted_rand_index, matched_accuracy};
 use qsc_core::clusterability::measure_clusterability;
 use qsc_core::report::{fmt, fmt_mean_std, mean, Table};
 use qsc_core::{
-    classical_spectral_clustering, lanczos_spectral_clustering, quantum_spectral_clustering,
-    symmetrized_spectral_clustering, QuantumParams, SpectralConfig,
+    Clusterer, ClusteringOutcome, GraphInstance, LanczosDense, Pipeline, QMeans, QuantumParams,
 };
 use qsc_graph::generators::{
-    circles, dsbm, netlist, CirclesParams, DsbmParams, MetaGraph, NetlistParams,
+    circles, dsbm, netlist, CirclesParams, DsbmParams, MetaGraph, NetlistParams, PlantedGraph,
 };
 use qsc_graph::normalized_hermitian_laplacian;
 use qsc_graph::similarity::{edge_disagreement, quantum_similarity_graph, similarity_graph};
@@ -20,6 +26,7 @@ use qsc_sim::resources::{pipeline_resources, qpe_resources, qubits_for_dimension
 use qsc_sim::PhaseEstimator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scale preset for the experiment suite.
@@ -68,6 +75,30 @@ fn flow_params(n: usize, seed: u64) -> DsbmParams {
     }
 }
 
+/// Builds the per-rep batch view over planted instances: instance `rep`
+/// runs under master seed `rep`.
+fn rep_batch(instances: &[PlantedGraph]) -> Vec<GraphInstance<'_>> {
+    instances
+        .iter()
+        .enumerate()
+        .map(|(rep, inst)| GraphInstance::with_seed(&inst.graph, rep as u64))
+        .collect()
+}
+
+fn accuracies(instances: &[PlantedGraph], outs: &[ClusteringOutcome]) -> Vec<f64> {
+    instances
+        .iter()
+        .zip(outs)
+        .map(|(inst, out)| matched_accuracy(&inst.labels, &out.labels))
+        .collect()
+}
+
+fn dims(outs: &[ClusteringOutcome]) -> Vec<f64> {
+    outs.iter()
+        .map(|o| o.diagnostics.dims_used as f64)
+        .collect()
+}
+
 /// **T1 — Table I**: clustering accuracy over `n`, classical Hermitian vs
 /// simulated quantum vs symmetrized baseline, on flow-defined DSBM.
 pub fn table1_accuracy(scale: &Scale) -> Table {
@@ -78,33 +109,23 @@ pub fn table1_accuracy(scale: &Scale) -> Table {
         "symmetrized_acc",
         "quantum_dims",
     ]);
+    let classical = Pipeline::hermitian(3);
+    let quantum = Pipeline::hermitian(3).quantum(&QuantumParams::default());
+    let blind = Pipeline::symmetrized(3);
     for &n in &scale.sizes {
-        let mut acc_c = Vec::new();
-        let mut acc_q = Vec::new();
-        let mut acc_s = Vec::new();
-        let mut dims = Vec::new();
-        for rep in 0..scale.reps {
-            let inst = dsbm(&flow_params(n, rep as u64)).expect("valid params");
-            let cfg = SpectralConfig {
-                k: 3,
-                seed: rep as u64,
-                ..SpectralConfig::default()
-            };
-            let c = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-            let q = quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
-                .expect("quantum");
-            let s = symmetrized_spectral_clustering(&inst.graph, &cfg).expect("baseline");
-            acc_c.push(matched_accuracy(&inst.labels, &c.labels));
-            acc_q.push(matched_accuracy(&inst.labels, &q.labels));
-            acc_s.push(matched_accuracy(&inst.labels, &s.labels));
-            dims.push(q.diagnostics.dims_used as f64);
-        }
+        let instances: Vec<PlantedGraph> = (0..scale.reps)
+            .map(|rep| dsbm(&flow_params(n, rep as u64)).expect("valid params"))
+            .collect();
+        let batch = rep_batch(&instances);
+        let c = classical.run_many(&batch).expect("classical");
+        let q = quantum.run_many(&batch).expect("quantum");
+        let s = blind.run_many(&batch).expect("baseline");
         table.push_row([
             n.to_string(),
-            fmt_mean_std(&acc_c, 3),
-            fmt_mean_std(&acc_q, 3),
-            fmt_mean_std(&acc_s, 3),
-            fmt(mean(&dims), 1),
+            fmt_mean_std(&accuracies(&instances, &c), 3),
+            fmt_mean_std(&accuracies(&instances, &q), 3),
+            fmt_mean_std(&accuracies(&instances, &s), 3),
+            fmt(mean(&dims(&q)), 1),
         ]);
     }
     table
@@ -124,32 +145,31 @@ pub fn table2_direction(scale: &Scale) -> Table {
         "symmetrized_acc",
         "hermitian_ari",
     ]);
+    let hermitian = Pipeline::hermitian(3);
+    let blind = Pipeline::symmetrized(3);
     for &eta in &[0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-        let mut acc_h = Vec::new();
-        let mut acc_s = Vec::new();
-        let mut ari_h = Vec::new();
-        for rep in 0..scale.reps {
-            let inst = dsbm(&DsbmParams {
-                eta_flow: eta,
-                intra_directed_fraction: 1.0,
-                ..flow_params(n, 100 + rep as u64)
+        let instances: Vec<PlantedGraph> = (0..scale.reps)
+            .map(|rep| {
+                dsbm(&DsbmParams {
+                    eta_flow: eta,
+                    intra_directed_fraction: 1.0,
+                    ..flow_params(n, 100 + rep as u64)
+                })
+                .expect("valid params")
             })
-            .expect("valid params");
-            let cfg = SpectralConfig {
-                k: 3,
-                seed: rep as u64,
-                ..SpectralConfig::default()
-            };
-            let h = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-            let s = symmetrized_spectral_clustering(&inst.graph, &cfg).expect("baseline");
-            acc_h.push(matched_accuracy(&inst.labels, &h.labels));
-            acc_s.push(matched_accuracy(&inst.labels, &s.labels));
-            ari_h.push(adjusted_rand_index(&inst.labels, &h.labels));
-        }
+            .collect();
+        let batch = rep_batch(&instances);
+        let h = hermitian.run_many(&batch).expect("classical");
+        let s = blind.run_many(&batch).expect("baseline");
+        let ari_h: Vec<f64> = instances
+            .iter()
+            .zip(&h)
+            .map(|(inst, out)| adjusted_rand_index(&inst.labels, &out.labels))
+            .collect();
         table.push_row([
             fmt(eta, 2),
-            fmt_mean_std(&acc_h, 3),
-            fmt_mean_std(&acc_s, 3),
+            fmt_mean_std(&accuracies(&instances, &h), 3),
+            fmt_mean_std(&accuracies(&instances, &s), 3),
             fmt_mean_std(&ari_h, 3),
         ]);
     }
@@ -159,65 +179,80 @@ pub fn table2_direction(scale: &Scale) -> Table {
 /// **T3 — Table III**: precision-parameter sweep of the quantum pipeline:
 /// QPE bits, tomography shots and q-means δ each varied independently
 /// around the default operating point.
+///
+/// QPE bits and tomography shots change the embedding itself, so each
+/// (graph, value) pair is one `run_many` batch; the δ sweep only swaps the
+/// clusterer, so each graph's QPE embedding is staged **once** and
+/// re-clustered per δ through [`Pipeline::run_many_clusterers`].
 pub fn table3_precision(scale: &Scale) -> Table {
     let n = scale.sizes[scale.sizes.len() / 2];
     let mut table = Table::new(["parameter", "value", "quantum_acc", "quantum_dims"]);
     let defaults = QuantumParams::default();
 
-    let run = |name: &str, value: String, params: QuantumParams, table: &mut Table| {
-        let mut accs = Vec::new();
-        let mut dims = Vec::new();
-        for rep in 0..scale.reps {
-            let inst = dsbm(&flow_params(n, 200 + rep as u64)).expect("valid params");
-            let cfg = SpectralConfig {
-                k: 3,
-                seed: rep as u64,
-                ..SpectralConfig::default()
-            };
-            let q = quantum_spectral_clustering(&inst.graph, &cfg, &params).expect("quantum");
-            accs.push(matched_accuracy(&inst.labels, &q.labels));
-            dims.push(q.diagnostics.dims_used as f64);
-        }
+    // One planted instance per rep, shared by every parameter point.
+    let instances: Vec<PlantedGraph> = (0..scale.reps)
+        .map(|rep| dsbm(&flow_params(n, 200 + rep as u64)).expect("valid params"))
+        .collect();
+    let batch = rep_batch(&instances);
+
+    let push = |name: &str, value: String, outs: &[ClusteringOutcome], table: &mut Table| {
         table.push_row([
             name.to_string(),
             value,
-            fmt_mean_std(&accs, 3),
-            fmt(mean(&dims), 1),
+            fmt_mean_std(&accuracies(&instances, outs), 3),
+            fmt(mean(&dims(outs)), 1),
         ]);
     };
 
     for &t in &[3usize, 4, 5, 6, 8] {
-        run(
-            "qpe_bits",
-            t.to_string(),
-            QuantumParams {
+        let outs = Pipeline::hermitian(3)
+            .quantum(&QuantumParams {
                 qpe_bits: t,
                 ..defaults.clone()
-            },
-            &mut table,
-        );
+            })
+            .run_many(&batch)
+            .expect("quantum");
+        push("qpe_bits", t.to_string(), &outs, &mut table);
     }
     for &shots in &[64usize, 256, 1024, 4096] {
-        run(
-            "tomography_shots",
-            shots.to_string(),
-            QuantumParams {
+        let outs = Pipeline::hermitian(3)
+            .quantum(&QuantumParams {
                 tomography_shots: shots,
                 ..defaults.clone()
-            },
-            &mut table,
-        );
+            })
+            .run_many(&batch)
+            .expect("quantum");
+        push("tomography_shots", shots.to_string(), &outs, &mut table);
     }
-    for &delta in &[0.05, 0.2, 0.5, 0.9] {
-        run(
-            "delta",
+    // δ only perturbs the clustering stage: one staged embedding per graph,
+    // re-clustered per δ.
+    let deltas = [0.05, 0.2, 0.5, 0.9];
+    let clusterers: Vec<Arc<dyn Clusterer>> = deltas
+        .iter()
+        .map(|&d| Arc::new(QMeans::new(d)) as Arc<dyn Clusterer>)
+        .collect();
+    let swept = Pipeline::hermitian(3)
+        .quantum(&defaults)
+        .run_many_clusterers(&batch, &clusterers)
+        .expect("quantum");
+    for (i, &delta) in deltas.iter().enumerate() {
+        // Summaries only need labels and dims — no reason to clone the
+        // full outcomes (each carries an n-row embedding).
+        let accs: Vec<f64> = instances
+            .iter()
+            .zip(&swept)
+            .map(|(inst, per)| matched_accuracy(&inst.labels, &per[i].labels))
+            .collect();
+        let dim_vals: Vec<f64> = swept
+            .iter()
+            .map(|per| per[i].diagnostics.dims_used as f64)
+            .collect();
+        table.push_row([
+            "delta".to_string(),
             fmt(delta, 2),
-            QuantumParams {
-                delta,
-                ..defaults.clone()
-            },
-            &mut table,
-        );
+            fmt_mean_std(&accs, 3),
+            fmt(mean(&dim_vals), 1),
+        ]);
     }
     table
 }
@@ -235,56 +270,58 @@ pub fn table4_netlist(scale: &Scale) -> Table {
         "flow_imbalance",
     ]);
     for &(k, c) in &[(4usize, 40usize), (6, 40), (8, 30)] {
-        type MethodRow = (String, Vec<f64>, Vec<f64>, Vec<f64>);
-        let mut rows: Vec<MethodRow> = vec![
-            ("hermitian".into(), vec![], vec![], vec![]),
-            ("hermitian+refine".into(), vec![], vec![], vec![]),
-            ("quantum".into(), vec![], vec![], vec![]),
-            ("symmetrized".into(), vec![], vec![], vec![]),
-        ];
-        for rep in 0..scale.reps {
-            let inst = netlist(&NetlistParams {
-                num_modules: k,
-                cells_per_module: c,
-                seed: 300 + rep as u64,
-                ..NetlistParams::default()
+        let instances: Vec<PlantedGraph> = (0..scale.reps)
+            .map(|rep| {
+                netlist(&NetlistParams {
+                    num_modules: k,
+                    cells_per_module: c,
+                    seed: 300 + rep as u64,
+                    ..NetlistParams::default()
+                })
+                .expect("netlist")
             })
-            .expect("netlist");
-            let cfg = SpectralConfig {
-                k,
-                seed: rep as u64,
-                ..SpectralConfig::default()
-            };
-            let hermitian = classical_spectral_clustering(&inst.graph, &cfg)
-                .expect("classical")
-                .labels;
-            let (refined, _) = qsc_core::refine::refine_partition(
-                &inst.graph,
-                &hermitian,
-                k,
-                &qsc_core::refine::RefineConfig::default(),
-            );
-            let outs = [
-                hermitian,
-                refined,
-                quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
-                    .expect("quantum")
-                    .labels,
-                symmetrized_spectral_clustering(&inst.graph, &cfg)
-                    .expect("baseline")
-                    .labels,
-            ];
-            for (slot, labels) in rows.iter_mut().zip(&outs) {
-                slot.1.push(matched_accuracy(&inst.labels, labels));
-                slot.2.push(cut_weight(&inst.graph, labels));
-                slot.3.push(mean_flow_imbalance(&inst.graph, labels, k));
+            .collect();
+        let batch = rep_batch(&instances);
+        let hermitian = Pipeline::hermitian(k).run_many(&batch).expect("classical");
+        let quantum = Pipeline::hermitian(k)
+            .quantum(&QuantumParams::default())
+            .run_many(&batch)
+            .expect("quantum");
+        let blind = Pipeline::symmetrized(k).run_many(&batch).expect("baseline");
+        let refined: Vec<Vec<usize>> = instances
+            .iter()
+            .zip(&hermitian)
+            .map(|(inst, out)| {
+                qsc_core::refine::refine_partition(
+                    &inst.graph,
+                    &out.labels,
+                    k,
+                    &qsc_core::refine::RefineConfig::default(),
+                )
+                .0
+            })
+            .collect();
+
+        type MethodRow<'a> = (&'a str, Vec<&'a Vec<usize>>);
+        let rows: Vec<MethodRow> = vec![
+            ("hermitian", hermitian.iter().map(|o| &o.labels).collect()),
+            ("hermitian+refine", refined.iter().collect()),
+            ("quantum", quantum.iter().map(|o| &o.labels).collect()),
+            ("symmetrized", blind.iter().map(|o| &o.labels).collect()),
+        ];
+        for (name, label_sets) in rows {
+            let mut accs = Vec::new();
+            let mut cuts = Vec::new();
+            let mut imbs = Vec::new();
+            for (inst, labels) in instances.iter().zip(label_sets) {
+                accs.push(matched_accuracy(&inst.labels, labels));
+                cuts.push(cut_weight(&inst.graph, labels));
+                imbs.push(mean_flow_imbalance(&inst.graph, labels, k));
             }
-        }
-        for (name, accs, cuts, imbs) in rows {
             table.push_row([
                 k.to_string(),
                 (k * c).to_string(),
-                name,
+                name.to_string(),
                 fmt_mean_std(&accs, 3),
                 fmt(mean(&cuts), 0),
                 fmt(mean(&imbs), 3),
@@ -316,14 +353,13 @@ pub fn fig1_embedding() -> Fig1Output {
         seed: 1,
     })
     .expect("circles");
-    let cfg = SpectralConfig {
-        k: 2,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let classical = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-    let quantum =
-        quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default()).expect("quantum");
+    let pl = Pipeline::hermitian(2).seed(1);
+    let classical = pl.run(&inst.graph).expect("classical");
+    let quantum = pl
+        .clone()
+        .quantum(&QuantumParams::default())
+        .run(&inst.graph)
+        .expect("quantum");
 
     let mut series = Table::new(["method", "x", "y", "spec0", "spec1", "truth", "predicted"]);
     let mut summary = Table::new(["method", "accuracy", "points", "misclassified"]);
@@ -363,21 +399,19 @@ pub fn fig2_scaling(scale: &Scale) -> Table {
         "quantum_cost",
         "mu_b",
     ]);
+    let classical = Pipeline::hermitian(3).seed(1);
+    let quantum = Pipeline::hermitian(3)
+        .seed(1)
+        .quantum(&QuantumParams::default());
     for &n in &scale.scaling_sizes {
         let inst = dsbm(&flow_params(n, 42)).expect("valid params");
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
 
         let t0 = Instant::now();
-        let c = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
+        let c = classical.run(&inst.graph).expect("classical");
         let classical_wall = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let q = quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
-            .expect("quantum");
+        let q = quantum.run(&inst.graph).expect("quantum");
         let quantum_wall = t1.elapsed().as_secs_f64();
 
         table.push_row([
@@ -448,41 +482,46 @@ pub fn fig3_qpe(scale: &Scale) -> Table {
 pub fn fig4_rotation(scale: &Scale) -> Table {
     let mut table = Table::new(["q", "flow_dsbm_acc", "noisy_circles_acc"]);
     for &q in &[0.0, 0.125, 1.0 / 6.0, 0.25, 1.0 / 3.0] {
-        let mut flow_acc = Vec::new();
-        let mut circ_acc = Vec::new();
-        for rep in 0..scale.reps {
-            let inst = dsbm(&flow_params(240, 400 + rep as u64)).expect("valid params");
-            let cfg = SpectralConfig {
-                k: 3,
-                q,
-                seed: rep as u64,
-                ..SpectralConfig::default()
-            };
-            let out = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-            flow_acc.push(matched_accuracy(&inst.labels, &out.labels));
+        let flow_instances: Vec<PlantedGraph> = (0..scale.reps)
+            .map(|rep| dsbm(&flow_params(240, 400 + rep as u64)).expect("valid params"))
+            .collect();
+        let flow_outs = Pipeline::hermitian(3)
+            .q(q)
+            .run_many(&rep_batch(&flow_instances))
+            .expect("classical");
 
-            let circ = circles(&CirclesParams {
-                n: 240,
-                inner_radius: 0.5,
-                noise: 0.02,
-                d_min: 0.2,
-                directed_fraction: 0.2,
-                seed: 500 + rep as u64,
+        let circ_instances: Vec<_> = (0..scale.reps)
+            .map(|rep| {
+                circles(&CirclesParams {
+                    n: 240,
+                    inner_radius: 0.5,
+                    noise: 0.02,
+                    d_min: 0.2,
+                    directed_fraction: 0.2,
+                    seed: 500 + rep as u64,
+                })
+                .expect("circles")
             })
-            .expect("circles");
-            let ccfg = SpectralConfig {
-                k: 2,
-                q,
-                seed: rep as u64,
-                normalize_rows: true,
-                ..SpectralConfig::default()
-            };
-            let cout = classical_spectral_clustering(&circ.graph, &ccfg).expect("classical");
-            circ_acc.push(matched_accuracy(&circ.labels, &cout.labels));
-        }
+            .collect();
+        let circ_batch: Vec<GraphInstance> = circ_instances
+            .iter()
+            .enumerate()
+            .map(|(rep, inst)| GraphInstance::with_seed(&inst.graph, rep as u64))
+            .collect();
+        let circ_outs = Pipeline::hermitian(2)
+            .q(q)
+            .normalize_rows(true)
+            .run_many(&circ_batch)
+            .expect("classical");
+        let circ_acc: Vec<f64> = circ_instances
+            .iter()
+            .zip(&circ_outs)
+            .map(|(inst, out)| matched_accuracy(&inst.labels, &out.labels))
+            .collect();
+
         table.push_row([
             fmt(q, 4),
-            fmt_mean_std(&flow_acc, 3),
+            fmt_mean_std(&accuracies(&flow_instances, &flow_outs), 3),
             fmt_mean_std(&circ_acc, 3),
         ]);
     }
@@ -501,26 +540,20 @@ pub fn table5_clusterability(scale: &Scale) -> Table {
         "xi_over_beta",
         "well_clusterable",
     ]);
+    let raw = Pipeline::hermitian(3).seed(1);
+    let njw = Pipeline::hermitian(3).seed(1).normalize_rows(true);
+    let quantum = Pipeline::hermitian(3)
+        .seed(1)
+        .quantum(&QuantumParams::default());
     for &n in &scale.sizes {
         let inst = dsbm(&flow_params(n, 500)).expect("valid params");
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
-        let njw = SpectralConfig {
-            normalize_rows: true,
-            ..cfg.clone()
-        };
-        let classical = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-        let classical_njw =
-            classical_spectral_clustering(&inst.graph, &njw).expect("classical njw");
-        let quantum = quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default())
-            .expect("quantum");
+        let classical = raw.run(&inst.graph).expect("classical");
+        let classical_njw = njw.run(&inst.graph).expect("classical njw");
+        let quantum_out = quantum.run(&inst.graph).expect("quantum");
         for (name, out) in [
             ("classical_raw", &classical),
             ("classical_njw", &classical_njw),
-            ("quantum", &quantum),
+            ("quantum", &quantum_out),
         ] {
             match measure_clusterability(&out.embedding, &out.labels) {
                 Some(stats) => table.push_row([
@@ -562,24 +595,29 @@ pub fn table6_graph_construction(scale: &Scale) -> Table {
     let inst = circles(&params).expect("circles");
     let points: Vec<Vec<f64>> = inst.points.iter().map(|p| p.to_vec()).collect();
     let exact = similarity_graph(&points, params.d_min).expect("exact graph");
+    let pl = Pipeline::hermitian(2).normalize_rows(true);
 
     for &eps in &[0.0, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2] {
-        let mut disagreements = Vec::new();
-        let mut accs = Vec::new();
-        for rep in 0..scale.reps {
-            let mut rng = StdRng::seed_from_u64(600 + rep as u64);
-            let noisy = quantum_similarity_graph(&points, params.d_min, eps, &mut rng)
-                .expect("noisy graph");
-            disagreements.push(edge_disagreement(&exact, &noisy));
-            let cfg = SpectralConfig {
-                k: 2,
-                seed: rep as u64,
-                normalize_rows: true,
-                ..SpectralConfig::default()
-            };
-            let out = classical_spectral_clustering(&noisy, &cfg).expect("classical");
-            accs.push(matched_accuracy(&inst.labels, &out.labels));
-        }
+        let noisy_graphs: Vec<_> = (0..scale.reps)
+            .map(|rep| {
+                let mut rng = StdRng::seed_from_u64(600 + rep as u64);
+                quantum_similarity_graph(&points, params.d_min, eps, &mut rng).expect("noisy graph")
+            })
+            .collect();
+        let disagreements: Vec<f64> = noisy_graphs
+            .iter()
+            .map(|noisy| edge_disagreement(&exact, noisy))
+            .collect();
+        let batch: Vec<GraphInstance> = noisy_graphs
+            .iter()
+            .enumerate()
+            .map(|(rep, g)| GraphInstance::with_seed(g, rep as u64))
+            .collect();
+        let outs = pl.run_many(&batch).expect("classical");
+        let accs: Vec<f64> = outs
+            .iter()
+            .map(|out| matched_accuracy(&inst.labels, &out.labels))
+            .collect();
         table.push_row([
             fmt(eps, 3),
             fmt_mean_std(&disagreements, 4),
@@ -670,18 +708,15 @@ pub fn ablation3_lanczos(scale: &Scale) -> Table {
         "lanczos_wall_s",
         "lanczos_iters_cost",
     ]);
+    let full_pl = Pipeline::hermitian(3).seed(1);
+    let fast_pl = Pipeline::hermitian(3).seed(1).embedder(LanczosDense);
     for &n in &scale.scaling_sizes {
         let inst = dsbm(&flow_params(n, 700)).expect("valid params");
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
         let t0 = Instant::now();
-        let full = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
+        let full = full_pl.run(&inst.graph).expect("classical");
         let full_wall = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let fast = lanczos_spectral_clustering(&inst.graph, &cfg).expect("lanczos");
+        let fast = fast_pl.run(&inst.graph).expect("lanczos");
         let fast_wall = t1.elapsed().as_secs_f64();
         table.push_row([
             n.to_string(),
@@ -717,6 +752,17 @@ mod tests {
     #[test]
     fn table2_has_six_eta_rows() {
         assert_eq!(table2_direction(&tiny()).len(), 6);
+    }
+
+    #[test]
+    fn table3_covers_all_parameter_axes() {
+        let t = table3_precision(&tiny());
+        // 5 qpe_bits + 4 shots + 4 delta rows.
+        assert_eq!(t.len(), 13);
+        let csv = t.to_csv();
+        for axis in ["qpe_bits", "tomography_shots", "delta"] {
+            assert!(csv.contains(axis), "missing axis {axis}");
+        }
     }
 
     #[test]

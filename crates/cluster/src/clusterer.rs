@@ -1,0 +1,152 @@
+//! The pluggable clustering stage: a [`Clusterer`] turns an embedding into
+//! labels under a shared base configuration.
+//!
+//! This is the final-stage counterpart of `qsc_core`'s `Embedder` trait:
+//! the spectral pipeline hands every implementation the same real feature
+//! rows and [`KMeansConfig`], so clusterers can be swapped (or swept, e.g.
+//! over the q-means noise magnitude `δ`) without recomputing the embedding.
+
+use crate::error::ClusterError;
+use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
+use crate::qmeans::{qmeans, QMeansConfig};
+
+/// A clustering algorithm usable as the final stage of a spectral pipeline.
+pub trait Clusterer: Send + Sync {
+    /// Stage name used in reports and displays.
+    fn name(&self) -> &'static str;
+
+    /// Clusters `data` (one feature row per point) under `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] for inconsistent configurations or
+    /// degenerate data.
+    fn cluster(&self, data: &[Vec<f64>], base: &KMeansConfig)
+        -> Result<KMeansResult, ClusterError>;
+}
+
+/// Classical Lloyd's k-means with k-means++ seeding and restarts — the
+/// exact-arithmetic clustering stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KMeans;
+
+impl Clusterer for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn cluster(
+        &self,
+        data: &[Vec<f64>],
+        base: &KMeansConfig,
+    ) -> Result<KMeansResult, ClusterError> {
+        kmeans(data, base)
+    }
+}
+
+/// q-means: Lloyd's iteration through δ-bounded quantum noise channels
+/// (distance estimation + centroid tomography errors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QMeans {
+    /// Noise magnitude `δ ≥ 0` of both channels.
+    pub delta: f64,
+}
+
+impl QMeans {
+    /// Creates the q-means stage with noise magnitude `delta`.
+    pub fn new(delta: f64) -> Self {
+        Self { delta }
+    }
+}
+
+impl Default for QMeans {
+    fn default() -> Self {
+        Self { delta: 0.1 }
+    }
+}
+
+impl Clusterer for QMeans {
+    fn name(&self) -> &'static str {
+        "qmeans"
+    }
+
+    fn cluster(
+        &self,
+        data: &[Vec<f64>],
+        base: &KMeansConfig,
+    ) -> Result<KMeansResult, ClusterError> {
+        qmeans(
+            data,
+            &QMeansConfig {
+                base: base.clone(),
+                delta: self.delta,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![9.0, 9.0],
+            vec![9.1, 9.0],
+            vec![9.0, 9.1],
+        ]
+    }
+
+    #[test]
+    fn kmeans_stage_matches_free_function() {
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 3,
+            ..KMeansConfig::default()
+        };
+        let via_trait = KMeans.cluster(&blobs(), &cfg).unwrap();
+        let direct = kmeans(&blobs(), &cfg).unwrap();
+        assert_eq!(via_trait.labels, direct.labels);
+        assert_eq!(via_trait.inertia, direct.inertia);
+    }
+
+    #[test]
+    fn qmeans_stage_matches_free_function() {
+        let cfg = KMeansConfig {
+            k: 2,
+            seed: 5,
+            ..KMeansConfig::default()
+        };
+        let via_trait = QMeans::new(0.2).cluster(&blobs(), &cfg).unwrap();
+        let direct = qmeans(
+            &blobs(),
+            &QMeansConfig {
+                base: cfg,
+                delta: 0.2,
+            },
+        )
+        .unwrap();
+        assert_eq!(via_trait.labels, direct.labels);
+    }
+
+    #[test]
+    fn stages_are_object_safe() {
+        let stages: Vec<Box<dyn Clusterer>> = vec![Box::new(KMeans), Box::new(QMeans::new(0.1))];
+        for s in &stages {
+            assert!(!s.name().is_empty());
+            let out = s
+                .cluster(
+                    &blobs(),
+                    &KMeansConfig {
+                        k: 2,
+                        ..KMeansConfig::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(out.labels.len(), 6);
+        }
+    }
+}

@@ -6,6 +6,8 @@
 //! * [`kmeans()`] — Lloyd's algorithm with k-means++ seeding and restarts,
 //! * [`qmeans()`] — the quantum analogue: the same iteration through
 //!   δ-bounded noise channels (distance estimation + tomography errors),
+//! * [`clusterer`] — the [`Clusterer`] stage trait ([`KMeans`] / [`QMeans`])
+//!   that `qsc_core::Pipeline` composes with its embedders,
 //! * [`metrics`] — ARI, NMI, purity, Hungarian-matched accuracy,
 //! * [`hungarian`] — the O(n³) assignment solver behind matched accuracy.
 //!
@@ -28,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clusterer;
 pub mod error;
 pub mod hungarian;
 pub mod kmeans;
@@ -35,6 +38,7 @@ pub mod metrics;
 pub mod qmeans;
 pub mod scores;
 
+pub use clusterer::{Clusterer, KMeans, QMeans};
 pub use error::ClusterError;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use qmeans::{qmeans, QMeansConfig};

@@ -88,7 +88,7 @@ pub mod collection {
     use std::fmt::Debug;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed `usize` or a half-open
+    /// Length specification for [`vec()`]: a fixed `usize` or a half-open
     /// `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a concrete length.

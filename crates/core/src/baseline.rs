@@ -3,15 +3,18 @@
 //! * [`symmetrized_spectral_clustering`] — the direction-blind classical
 //!   method: arcs become undirected edges, then ordinary (real) normalized
 //!   spectral clustering. Equivalent to running the Hermitian pipeline at
-//!   `q = 0`; implemented through the symmetrized graph so the baseline is
-//!   literally "what a user without Hermitian machinery would run".
+//!   `q = 0`; in the staged API this is
+//!   [`Pipeline::symmetrized`](crate::Pipeline::symmetrized) (or the
+//!   [`symmetrize`](crate::Pipeline::symmetrize) builder flag), so the
+//!   baseline is literally "what a user without Hermitian machinery would
+//!   run".
 //! * [`adjacency_kmeans`] — the naive baseline: k-means directly on the
 //!   rows of the Hermitian adjacency (no spectral step).
 
-use crate::classical::classical_spectral_clustering;
 use crate::config::SpectralConfig;
-use crate::error::PipelineError;
+use crate::error::Error;
 use crate::outcome::ClusteringOutcome;
+use crate::pipeline::Pipeline;
 use qsc_cluster::{kmeans, KMeansConfig};
 use qsc_graph::{hermitian_adjacency, MixedGraph};
 use qsc_linalg::vector::interleave_re_im;
@@ -20,32 +23,33 @@ use qsc_linalg::vector::interleave_re_im;
 ///
 /// # Errors
 ///
-/// Same contract as [`classical_spectral_clustering`].
+/// Same contract as [`Pipeline::run`].
 ///
 /// # Examples
 ///
+/// The replacement builder call:
+///
 /// ```
-/// use qsc_core::{symmetrized_spectral_clustering, SpectralConfig};
+/// use qsc_core::Pipeline;
 /// use qsc_graph::generators::{dsbm, DsbmParams};
 ///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # fn main() -> Result<(), qsc_core::Error> {
 /// let inst = dsbm(&DsbmParams { n: 30, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = symmetrized_spectral_clustering(&inst.graph, &SpectralConfig::with_k(3))?;
+/// let out = Pipeline::symmetrized(3).run(&inst.graph)?;
 /// assert_eq!(out.labels.len(), 30);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged builder: `Pipeline::from_config(config).symmetrize().run(g)` \
+            or `Pipeline::symmetrized(k).run(g)`"
+)]
 pub fn symmetrized_spectral_clustering(
     g: &MixedGraph,
     config: &SpectralConfig,
-) -> Result<ClusteringOutcome, PipelineError> {
-    let sym = g.symmetrized();
-    // q is irrelevant on an undirected graph; force 0 for clarity.
-    let cfg = SpectralConfig {
-        q: 0.0,
-        ..config.clone()
-    };
-    classical_spectral_clustering(&sym, &cfg)
+) -> Result<ClusteringOutcome, Error> {
+    Pipeline::from_config(config).symmetrize().run(g)
 }
 
 /// Naive baseline: k-means on the raw rows of the Hermitian adjacency
@@ -54,12 +58,9 @@ pub fn symmetrized_spectral_clustering(
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError`] for inconsistent requests or k-means failures.
-pub fn adjacency_kmeans(
-    g: &MixedGraph,
-    config: &SpectralConfig,
-) -> Result<Vec<usize>, PipelineError> {
-    crate::classical::validate_request(g, config.k)?;
+/// Returns [`Error`] for inconsistent requests or k-means failures.
+pub fn adjacency_kmeans(g: &MixedGraph, config: &SpectralConfig) -> Result<Vec<usize>, Error> {
+    crate::pipeline::validate_request(g, config.k)?;
     let h = hermitian_adjacency(g, config.q);
     let rows: Vec<Vec<f64>> = (0..h.nrows()).map(|i| interleave_re_im(h.row(i))).collect();
     let km = kmeans(
@@ -76,6 +77,7 @@ pub fn adjacency_kmeans(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
     use qsc_cluster::metrics::matched_accuracy;
@@ -91,14 +93,12 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 7,
-            ..SpectralConfig::default()
-        };
-        let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
-        let q0 =
-            classical_spectral_clustering(&inst.graph, &SpectralConfig { q: 0.0, ..cfg }).unwrap();
+        let sym = Pipeline::symmetrized(3).seed(7).run(&inst.graph).unwrap();
+        let q0 = Pipeline::hermitian(3)
+            .q(0.0)
+            .seed(7)
+            .run(&inst.graph)
+            .unwrap();
         // Identical spectra: the symmetrized Laplacian *is* the q=0
         // Hermitian Laplacian.
         for (a, b) in sym.spectrum.iter().zip(&q0.spectrum) {
@@ -126,7 +126,7 @@ mod tests {
             seed: 3,
             ..SpectralConfig::default()
         };
-        let herm = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let herm = Pipeline::from_config(&cfg).run(&inst.graph).unwrap();
         let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
         let acc_h = matched_accuracy(&inst.labels, &herm.labels);
         let acc_s = matched_accuracy(&inst.labels, &sym.labels);

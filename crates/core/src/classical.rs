@@ -1,135 +1,124 @@
-//! The classical Hermitian spectral-clustering pipeline (the baseline the
-//! quantum algorithm reproduces): exact eigendecomposition of the
-//! normalized Hermitian Laplacian, lowest-`k` embedding, k-means.
+//! Classical embedding stages for the Hermitian spectral pipeline — exact
+//! dense eigendecomposition and the sparse Lanczos partial eigensolver —
+//! plus the deprecated single-call entry point they used to live in.
 
-use crate::config::{EigenSolver, SpectralConfig};
-use crate::cost::{classical_cost, incidence_mu};
-use crate::embedding::{embed_rows, eta_of_embedding, normalize_rows};
-use crate::error::PipelineError;
-use crate::outcome::{ClusteringOutcome, Diagnostics};
-use qsc_cluster::{kmeans, KMeansConfig};
-use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
+use crate::config::SpectralConfig;
+use crate::embedding::{embed_rows, normalize_rows};
+use crate::error::Error;
+use crate::outcome::ClusteringOutcome;
+use crate::pipeline::{Embedder, Embedding, Pipeline, StageContext};
+use qsc_graph::MixedGraph;
 use qsc_linalg::eigh;
 use qsc_linalg::lanczos::lanczos_lowest_k_csr;
-use qsc_linalg::params::condition_number_from_eigenvalues;
-use qsc_linalg::CMatrix;
+use qsc_linalg::{CMatrix, CsrMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
-/// Tolerance below which an eigenvalue counts as zero for κ purposes.
-pub(crate) const ZERO_EIG_TOL: f64 = 1e-9;
+/// Exact dense eigendecomposition (`O(n³)`) — the reference embedding
+/// stage: the Laplacian is densified, fully decomposed, and every vertex
+/// embedded as its row in the `k` lowest eigenvectors (`C^k → R^{2k}`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DenseEig;
 
-pub(crate) fn validate_request(g: &MixedGraph, k: usize) -> Result<(), PipelineError> {
-    if k == 0 {
-        return Err(PipelineError::InvalidRequest {
-            context: "k must be positive".into(),
-        });
+impl Embedder for DenseEig {
+    fn name(&self) -> &'static str {
+        "dense_eig"
     }
-    if g.num_vertices() < k.max(2) {
-        return Err(PipelineError::InvalidRequest {
-            context: format!(
-                "graph with {} vertices cannot be split into {} clusters",
-                g.num_vertices(),
-                k
-            ),
-        });
+
+    fn embed(
+        &self,
+        _g: &MixedGraph,
+        laplacian: &CsrMatrix,
+        ctx: &StageContext,
+    ) -> Result<Embedding, Error> {
+        let eig = eigh(&laplacian.to_dense())?;
+        finish_classical(eig.eigenvectors, eig.eigenvalues, ctx)
     }
-    Ok(())
+}
+
+/// Lanczos on the CSR Laplacian: only the `k` lowest eigenpairs are
+/// computed, with `O(nnz)` matvecs — the fast path for large sparse
+/// graphs. The outcome's `spectrum` then holds only the computed
+/// eigenvalues.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LanczosCsr;
+
+impl Embedder for LanczosCsr {
+    fn name(&self) -> &'static str {
+        "lanczos_csr"
+    }
+
+    fn embed(
+        &self,
+        _g: &MixedGraph,
+        laplacian: &CsrMatrix,
+        ctx: &StageContext,
+    ) -> Result<Embedding, Error> {
+        // Separate stream from the k-means seed, like the quantum path.
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x2d99_787a_66dd_12b3);
+        let partial = lanczos_lowest_k_csr(laplacian, ctx.k, 1e-8, &mut rng)?;
+        finish_classical(partial.eigenvectors, partial.eigenvalues, ctx)
+    }
+}
+
+/// Shared tail of the classical embedding stages: select the `k` lowest
+/// eigenvectors, realize rows in `R^{2k}`, optionally row-normalize.
+fn finish_classical(
+    eigenvectors: CMatrix,
+    spectrum: Vec<f64>,
+    ctx: &StageContext,
+) -> Result<Embedding, Error> {
+    let selected: Vec<usize> = (0..ctx.k).collect();
+    let mut rows = embed_rows(&eigenvectors, &selected);
+    if ctx.normalize_rows {
+        normalize_rows(&mut rows);
+    }
+    let selected_eigenvalues: Vec<f64> = spectrum[..ctx.k].to_vec();
+    Ok(Embedding {
+        rows,
+        spectrum,
+        selected_eigenvalues,
+        dims_used: ctx.k,
+        lanczos_iterations: None,
+    })
 }
 
 /// Runs classical Hermitian spectral clustering on a mixed graph.
 ///
-/// Steps: build `𝓛 = I − D^{-1/2}H(q)D^{-1/2}` in sparse (CSR) form,
-/// eigensolve — full dense decomposition or, with
-/// [`EigenSolver::LanczosCsr`], a lowest-`k` Lanczos iteration that never
-/// densifies — then embed every vertex as its row in the `k` lowest
-/// eigenvectors (`C^k → R^{2k}`) and run k-means.
-///
 /// # Errors
 ///
-/// Returns [`PipelineError::InvalidRequest`] for inconsistent requests and
+/// Returns [`Error::InvalidRequest`] for inconsistent requests and
 /// propagates eigensolver / clustering failures.
 ///
 /// # Examples
 ///
+/// The replacement builder call:
+///
 /// ```
-/// use qsc_core::{classical_spectral_clustering, SpectralConfig};
+/// use qsc_core::Pipeline;
 /// use qsc_graph::generators::{dsbm, DsbmParams};
 ///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # fn main() -> Result<(), qsc_core::Error> {
 /// let inst = dsbm(&DsbmParams { n: 45, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = classical_spectral_clustering(
-///     &inst.graph,
-///     &SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() },
-/// )?;
+/// let out = Pipeline::hermitian(3).seed(1).run(&inst.graph)?;
 /// assert_eq!(out.labels.len(), 45);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged builder: `Pipeline::from_config(config).run(g)` \
+            or `Pipeline::hermitian(k).seed(s).run(g)`"
+)]
 pub fn classical_spectral_clustering(
     g: &MixedGraph,
     config: &SpectralConfig,
-) -> Result<ClusteringOutcome, PipelineError> {
-    validate_request(g, config.k)?;
-    let start = Instant::now();
-
-    // The Laplacian is built sparse (O(m) construction); only the dense
-    // eigensolver needs it expanded.
-    let laplacian = normalized_hermitian_laplacian_csr(g, config.q);
-    let (eigenvectors, spectrum): (CMatrix, Vec<f64>) = match config.eigensolver {
-        EigenSolver::Dense => {
-            let eig = eigh(&laplacian.to_dense())?;
-            (eig.eigenvectors, eig.eigenvalues)
-        }
-        EigenSolver::LanczosCsr => {
-            // Separate stream from the k-means seed, like the quantum path.
-            let mut rng = StdRng::seed_from_u64(config.seed ^ 0x2d99_787a_66dd_12b3);
-            let partial = lanczos_lowest_k_csr(&laplacian, config.k, 1e-8, &mut rng)?;
-            (partial.eigenvectors, partial.eigenvalues)
-        }
-    };
-
-    let selected: Vec<usize> = (0..config.k).collect();
-    let mut embedding = embed_rows(&eigenvectors, &selected);
-    if config.normalize_rows {
-        normalize_rows(&mut embedding);
-    }
-    let eta = eta_of_embedding(&embedding);
-
-    let km = kmeans(
-        &embedding,
-        &KMeansConfig {
-            k: config.k,
-            max_iter: config.max_iter,
-            tol: 1e-9,
-            restarts: config.restarts,
-            seed: config.seed,
-        },
-    )?;
-
-    let selected_eigenvalues: Vec<f64> = spectrum[..config.k].to_vec();
-    let kappa = condition_number_from_eigenvalues(&selected_eigenvalues, ZERO_EIG_TOL);
-
-    Ok(ClusteringOutcome {
-        labels: km.labels,
-        embedding,
-        selected_eigenvalues,
-        diagnostics: Diagnostics {
-            kappa,
-            mu_b: incidence_mu(g),
-            eta_embedding: eta,
-            classical_cost: classical_cost(g.num_vertices(), config.k, km.iterations),
-            quantum_cost: None,
-            kmeans_iterations: km.iterations,
-            dims_used: config.k,
-            wall_seconds: start.elapsed().as_secs_f64(),
-        },
-        spectrum,
-    })
+) -> Result<ClusteringOutcome, Error> {
+    Pipeline::from_config(config).run(g)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
     use qsc_cluster::metrics::matched_accuracy;
@@ -234,17 +223,12 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let dense_cfg = SpectralConfig {
-            k: 3,
-            seed: 4,
-            ..SpectralConfig::default()
-        };
-        let sparse_cfg = SpectralConfig {
-            eigensolver: crate::config::EigenSolver::LanczosCsr,
-            ..dense_cfg.clone()
-        };
-        let dense = classical_spectral_clustering(&inst.graph, &dense_cfg).unwrap();
-        let sparse = classical_spectral_clustering(&inst.graph, &sparse_cfg).unwrap();
+        let dense = Pipeline::hermitian(3).seed(4).run(&inst.graph).unwrap();
+        let sparse = Pipeline::hermitian(3)
+            .seed(4)
+            .embedder(LanczosCsr)
+            .run(&inst.graph)
+            .unwrap();
         assert_eq!(sparse.spectrum.len(), 3, "partial spectrum only");
         for (a, b) in sparse
             .selected_eigenvalues

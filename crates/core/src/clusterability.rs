@@ -181,8 +181,7 @@ mod tests {
         // each cluster's shell onto a point), flow clusters satisfy the
         // q-means assumption. The raw embedding's clusters are thin shells
         // whose radius is comparable to their separation — measured in T5.
-        use crate::classical::classical_spectral_clustering;
-        use crate::config::SpectralConfig;
+        use crate::pipeline::Pipeline;
         use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
         let inst = dsbm(&DsbmParams {
             n: 120,
@@ -195,20 +194,11 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 2,
-            normalize_rows: true,
-            ..SpectralConfig::default()
-        };
-        let out = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let pl = Pipeline::hermitian(3).seed(2);
+        let out = pl.clone().normalize_rows(true).run(&inst.graph).unwrap();
         let normalized = measure_clusterability(&out.embedding, &out.labels).unwrap();
 
-        let raw_cfg = SpectralConfig {
-            normalize_rows: false,
-            ..cfg
-        };
-        let raw_out = classical_spectral_clustering(&inst.graph, &raw_cfg).unwrap();
+        let raw_out = pl.run(&inst.graph).unwrap();
         let raw = measure_clusterability(&raw_out.embedding, &raw_out.labels).unwrap();
         assert!(
             normalized.separation_ratio > raw.separation_ratio,

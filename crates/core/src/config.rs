@@ -1,8 +1,83 @@
-//! Pipeline configuration: the algorithmic knobs and every precision
-//! parameter of the quantum simulation.
+//! Pipeline configuration: per-stage configs consumed by
+//! [`Pipeline`](crate::Pipeline), the legacy all-in-one [`SpectralConfig`],
+//! and every precision parameter of the quantum simulation.
+//!
+//! The staged pipeline splits a run's knobs by the stage they drive:
+//!
+//! * [`LaplacianConfig`] — graph → Hermitian Laplacian (rotation `q`,
+//!   optional symmetrization),
+//! * [`EmbeddingConfig`] — Laplacian → spectral embedding (`k`, row
+//!   normalization),
+//! * [`ClusteringConfig`] — embedding → labels (restarts, iteration budget,
+//!   tolerance).
+//!
+//! [`SpectralConfig`] remains the flat bundle the deprecated free functions
+//! take; [`SpectralConfig::split`] converts it into the per-stage configs.
 
 use qsc_graph::Q_CLASSICAL;
 use serde::{Deserialize, Serialize};
+
+/// Configuration of the Laplacian-construction stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaplacianConfig {
+    /// Hermitian rotation parameter `q` (`0` = direction-blind,
+    /// [`Q_CLASSICAL`] = the `±i` encoding).
+    pub q: f64,
+    /// Symmetrize the graph first (arcs become undirected edges) — the
+    /// direction-blind baseline. Forces the effective encoding to ignore
+    /// arc orientation regardless of `q`.
+    pub symmetrize: bool,
+}
+
+impl Default for LaplacianConfig {
+    fn default() -> Self {
+        Self {
+            q: Q_CLASSICAL,
+            symmetrize: false,
+        }
+    }
+}
+
+/// Configuration of the spectral-embedding stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingConfig {
+    /// Number of clusters `k` (and baseline embedding dimension).
+    pub k: usize,
+    /// Row-normalize the spectral embedding (Ng–Jordan–Weiss style) before
+    /// clustering.
+    pub normalize_rows: bool,
+}
+
+impl Default for EmbeddingConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            normalize_rows: false,
+        }
+    }
+}
+
+/// Configuration of the clustering stage shared by every
+/// [`Clusterer`](qsc_cluster::Clusterer).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteringConfig {
+    /// Independent restarts; the lowest-inertia run wins.
+    pub restarts: usize,
+    /// Lloyd iteration budget per restart.
+    pub max_iter: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+}
+
+impl Default for ClusteringConfig {
+    fn default() -> Self {
+        Self {
+            restarts: 8,
+            max_iter: 100,
+            tol: 1e-9,
+        }
+    }
+}
 
 /// Which eigensolver the classical pipeline uses for the spectral
 /// embedding.
@@ -60,6 +135,27 @@ impl SpectralConfig {
             k,
             ..Self::default()
         }
+    }
+
+    /// Splits the flat bundle into the per-stage configs the staged
+    /// [`Pipeline`](crate::Pipeline) consumes (the `seed` and `eigensolver`
+    /// fields map onto the pipeline seed and embedder choice separately).
+    pub fn split(&self) -> (LaplacianConfig, EmbeddingConfig, ClusteringConfig) {
+        (
+            LaplacianConfig {
+                q: self.q,
+                symmetrize: false,
+            },
+            EmbeddingConfig {
+                k: self.k,
+                normalize_rows: self.normalize_rows,
+            },
+            ClusteringConfig {
+                restarts: self.restarts,
+                max_iter: self.max_iter,
+                tol: 1e-9,
+            },
+        )
     }
 }
 

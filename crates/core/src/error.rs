@@ -1,15 +1,22 @@
-//! Error type for the pipelines, wrapping the substrate errors.
+//! The unified error type of the pipeline: every substrate crate's error
+//! enum converts into [`Error`] via `From`, so `Pipeline::run` (and every
+//! stage trait) returns a single error type that callers can `?` through —
+//! no `Box<dyn Error>` needed.
 
 use qsc_cluster::ClusterError;
 use qsc_graph::GraphError;
 use qsc_linalg::LinalgError;
 use qsc_sim::SimError;
-use std::error::Error;
 use std::fmt;
 
 /// Errors surfaced by the spectral-clustering pipelines.
+///
+/// Wraps the per-crate error enums (`qsc_linalg::LinalgError`,
+/// `qsc_graph::GraphError`, `qsc_sim::SimError`,
+/// `qsc_cluster::ClusterError`) behind one type with `From` impls, plus the
+/// pipeline-level [`InvalidRequest`](Error::InvalidRequest) case.
 #[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
+pub enum Error {
     /// A linear-algebra failure (eigensolver, shapes).
     Linalg(LinalgError),
     /// A graph-construction or generator failure.
@@ -25,78 +32,93 @@ pub enum PipelineError {
     },
 }
 
-impl fmt::Display for PipelineError {
+/// Legacy name of [`Error`], kept so pre-pipeline code keeps compiling.
+pub type PipelineError = Error;
+
+impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PipelineError::Linalg(e) => write!(f, "linear algebra: {e}"),
-            PipelineError::Graph(e) => write!(f, "graph: {e}"),
-            PipelineError::Sim(e) => write!(f, "quantum simulation: {e}"),
-            PipelineError::Cluster(e) => write!(f, "clustering: {e}"),
-            PipelineError::InvalidRequest { context } => {
+            Error::Linalg(e) => write!(f, "linear algebra: {e}"),
+            Error::Graph(e) => write!(f, "graph: {e}"),
+            Error::Sim(e) => write!(f, "quantum simulation: {e}"),
+            Error::Cluster(e) => write!(f, "clustering: {e}"),
+            Error::InvalidRequest { context } => {
                 write!(f, "invalid request: {context}")
             }
         }
     }
 }
 
-impl Error for PipelineError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            PipelineError::Linalg(e) => Some(e),
-            PipelineError::Graph(e) => Some(e),
-            PipelineError::Sim(e) => Some(e),
-            PipelineError::Cluster(e) => Some(e),
-            PipelineError::InvalidRequest { .. } => None,
+            Error::Linalg(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Cluster(e) => Some(e),
+            Error::InvalidRequest { .. } => None,
         }
     }
 }
 
-impl From<LinalgError> for PipelineError {
+impl From<LinalgError> for Error {
     fn from(e: LinalgError) -> Self {
-        PipelineError::Linalg(e)
+        Error::Linalg(e)
     }
 }
 
-impl From<GraphError> for PipelineError {
+impl From<GraphError> for Error {
     fn from(e: GraphError) -> Self {
-        PipelineError::Graph(e)
+        Error::Graph(e)
     }
 }
 
-impl From<SimError> for PipelineError {
+impl From<SimError> for Error {
     fn from(e: SimError) -> Self {
-        PipelineError::Sim(e)
+        Error::Sim(e)
     }
 }
 
-impl From<ClusterError> for PipelineError {
+impl From<ClusterError> for Error {
     fn from(e: ClusterError) -> Self {
-        PipelineError::Cluster(e)
+        Error::Cluster(e)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error as _;
 
     #[test]
     fn conversions_and_sources() {
-        let e: PipelineError = LinalgError::NoConvergence {
+        let e: Error = LinalgError::NoConvergence {
             algorithm: "tql",
             iterations: 3,
         }
         .into();
         assert!(e.to_string().contains("tql"));
         assert!(e.source().is_some());
-        let inv = PipelineError::InvalidRequest {
+        let inv = Error::InvalidRequest {
             context: "k = 0".into(),
         };
         assert!(inv.source().is_none());
     }
 
     #[test]
+    fn legacy_alias_still_names_the_type() {
+        fn takes_legacy(e: PipelineError) -> Error {
+            e
+        }
+        let e = takes_legacy(Error::InvalidRequest {
+            context: "alias".into(),
+        });
+        assert!(e.to_string().contains("alias"));
+    }
+
+    #[test]
     fn is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
-        assert_send_sync::<PipelineError>();
+        assert_send_sync::<Error>();
     }
 }

@@ -5,42 +5,77 @@
 //! the Hermitian Laplacian, with both the classical pipeline and the
 //! simulated end-to-end quantum pipeline, plus baselines and cost models.
 //!
-//! * [`classical_spectral_clustering`] — exact eigendecomposition + k-means,
-//! * [`quantum_spectral_clustering`] — QPE-binned projection + tomography +
-//!   q-means, every noise channel driven by `qsc-sim`,
-//! * [`symmetrized_spectral_clustering`] / [`baseline::adjacency_kmeans`] —
-//!   the comparison baselines,
-//! * [`cost`] — the classical-flops vs quantum-queries models behind the
-//!   runtime figure,
-//! * [`report`] — CSV/table writers for the experiment harness.
+//! # The staged pipeline
 //!
-//! # Examples
+//! Every recipe is one [`Pipeline`]: the builder owns Laplacian
+//! construction and stage sequencing, the stages are swappable trait
+//! objects:
 //!
-//! The headline comparison — flow-defined clusters that a direction-blind
-//! method cannot see:
+//! | stage | trait | implementations |
+//! |-------|-------|-----------------|
+//! | embedding | [`Embedder`] | [`DenseEig`], [`LanczosCsr`], [`LanczosDense`], [`QpeTomography`] |
+//! | clustering | [`Clusterer`] | [`KMeans`], [`QMeans`] |
 //!
 //! ```
-//! use qsc_core::{classical_spectral_clustering, symmetrized_spectral_clustering,
-//!                SpectralConfig};
+//! use qsc_core::{Pipeline, QuantumParams};
 //! use qsc_cluster::metrics::matched_accuracy;
 //! use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), qsc_core::Error> {
 //! let inst = dsbm(&DsbmParams {
 //!     n: 120, k: 3,
 //!     p_intra: 0.25, p_inter: 0.25,   // identical densities: no cut signal
 //!     eta_flow: 1.0, meta: MetaGraph::Cycle,
 //!     seed: 10, ..DsbmParams::default()
 //! })?;
-//! let cfg = SpectralConfig { k: 3, seed: 3, ..SpectralConfig::default() };
-//! let hermitian = classical_spectral_clustering(&inst.graph, &cfg)?;
-//! let blind = symmetrized_spectral_clustering(&inst.graph, &cfg)?;
+//!
+//! // Flow-defined clusters that a direction-blind method cannot see:
+//! let hermitian = Pipeline::hermitian(3).seed(3).run(&inst.graph)?;
+//! let blind = Pipeline::symmetrized(3).seed(3).run(&inst.graph)?;
 //! let acc_h = matched_accuracy(&inst.labels, &hermitian.labels);
 //! let acc_b = matched_accuracy(&inst.labels, &blind.labels);
 //! assert!(acc_h > acc_b);
+//!
+//! // The simulated quantum pipeline is one builder call away:
+//! let quantum = Pipeline::hermitian(3)
+//!     .seed(3)
+//!     .quantum(&QuantumParams::default())
+//!     .run(&inst.graph)?;
+//! assert!(quantum.diagnostics.quantum_cost.is_some());
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Batches fan out over the rayon worker pool with
+//! [`Pipeline::run_many`]; clusterer sweeps reuse each graph's staged
+//! embedding through [`Pipeline::embed`] / [`Pipeline::cluster`] (or the
+//! batched [`Pipeline::run_many_clusterers`]).
+//!
+//! # Module map
+//!
+//! * [`pipeline`] — the [`Pipeline`] builder, stage traits and batch
+//!   runner,
+//! * [`classical`] / [`quantum`] / [`model_selection`] — the embedding
+//!   stage implementations (and the deprecated one-call entry points),
+//! * [`baseline`] — comparison baselines ([`Pipeline::symmetrized`],
+//!   [`baseline::adjacency_kmeans`]),
+//! * [`cost`] — the classical-flops vs quantum-queries models behind the
+//!   runtime figure,
+//! * [`report`] — CSV/table writers for the experiment harness,
+//! * [`error`] — the unified [`Error`] every stage returns.
+//!
+//! # Migrating from the free functions
+//!
+//! The pre-0.2 single-call entry points remain as deprecated wrappers for
+//! one release; they produce identical results (same seeds, same RNG
+//! streams) through the pipeline:
+//!
+//! | deprecated call | staged replacement |
+//! |-----------------|--------------------|
+//! | `classical_spectral_clustering(g, cfg)` | `Pipeline::from_config(cfg).run(g)` |
+//! | `quantum_spectral_clustering(g, cfg, params)` | `Pipeline::from_config(cfg).quantum(params).run(g)` |
+//! | `symmetrized_spectral_clustering(g, cfg)` | `Pipeline::from_config(cfg).symmetrize().run(g)` |
+//! | `lanczos_spectral_clustering(g, cfg)` | `Pipeline::from_config(cfg).embedder(LanczosDense).run(g)` |
 
 #![warn(missing_docs)]
 
@@ -53,15 +88,30 @@ pub mod embedding;
 pub mod error;
 pub mod model_selection;
 pub mod outcome;
+pub mod pipeline;
 pub mod quantum;
 pub mod refine;
 pub mod report;
 pub mod trotter;
 
+#[allow(deprecated)]
 pub use baseline::symmetrized_spectral_clustering;
+#[allow(deprecated)]
 pub use classical::classical_spectral_clustering;
-pub use config::{EigenSolver, QuantumParams, SpectralConfig};
-pub use error::PipelineError;
-pub use model_selection::{eigengap_k, lanczos_spectral_clustering};
+pub use classical::{DenseEig, LanczosCsr};
+pub use config::{
+    ClusteringConfig, EigenSolver, EmbeddingConfig, LaplacianConfig, QuantumParams, SpectralConfig,
+};
+pub use error::{Error, PipelineError};
+#[allow(deprecated)]
+pub use model_selection::lanczos_spectral_clustering;
+pub use model_selection::{eigengap_k, LanczosDense};
 pub use outcome::{ClusteringOutcome, Diagnostics};
-pub use quantum::{gate_level_projected_row, quantum_spectral_clustering};
+pub use pipeline::{Embedder, Embedding, GraphInstance, Pipeline, StageContext, StagedEmbedding};
+#[allow(deprecated)]
+pub use quantum::quantum_spectral_clustering;
+pub use quantum::{gate_level_projected_row, QpeTomography};
+
+// The clustering-stage surface, re-exported so pipeline call sites need
+// only this crate.
+pub use qsc_cluster::{Clusterer, KMeans, QMeans};

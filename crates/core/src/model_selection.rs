@@ -1,20 +1,16 @@
 //! Model selection: choosing `k` from the spectrum (eigengap heuristic)
-//! and the Lanczos-accelerated classical pipeline variant.
+//! and the dense-matrix Lanczos embedding stage of ablation A3.
 
-use crate::classical::ZERO_EIG_TOL;
 use crate::config::SpectralConfig;
-use crate::cost::incidence_mu;
-use crate::embedding::{eta_of_embedding, normalize_rows};
-use crate::error::PipelineError;
-use crate::outcome::{ClusteringOutcome, Diagnostics};
-use qsc_cluster::{kmeans, KMeansConfig};
-use qsc_graph::{normalized_hermitian_laplacian, MixedGraph};
+use crate::embedding::{embed_rows, normalize_rows};
+use crate::error::Error;
+use crate::outcome::ClusteringOutcome;
+use crate::pipeline::{Embedder, Embedding, Pipeline, StageContext};
+use qsc_graph::MixedGraph;
 use qsc_linalg::lanczos::lanczos_lowest_k;
-use qsc_linalg::params::condition_number_from_eigenvalues;
-use qsc_linalg::vector::interleave_re_im;
+use qsc_linalg::CsrMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Estimates the informative **embedding dimension** from the eigengap of
 /// a spectrum (ascending eigenvalues): returns the `k ∈ [k_min, k_max]`
@@ -55,77 +51,103 @@ pub fn eigengap_k(spectrum: &[f64], k_min: usize, k_max: usize) -> usize {
     best_k
 }
 
-/// Classical pipeline using the Lanczos partial eigensolver for the
-/// spectral step (`O(m·n²)` instead of `O(n³)`) — the "alternative
-/// classical algorithm" of the related-work discussion, and ablation A3.
+/// Dense-matrix Lanczos embedding stage (`O(m·n²)` instead of `O(n³)`) —
+/// the "alternative classical algorithm" of the related-work discussion,
+/// and ablation A3. Its cost proxy counts the Lanczos iterations, making
+/// it the strong classical baseline the quantum speedup is judged against.
 ///
-/// Produces the same embedding as [`crate::classical_spectral_clustering`]
-/// up to eigensolver tolerance; its `spectrum` field only contains the `k`
-/// computed eigenvalues.
+/// Produces the same embedding as [`DenseEig`](crate::DenseEig) up to
+/// eigensolver tolerance; the outcome's `spectrum` only contains the `k`
+/// computed eigenvalues. Prefer [`LanczosCsr`](crate::LanczosCsr) for
+/// genuinely sparse graphs — this stage exists to measure the dense
+/// `O(n²)`-per-matvec variant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LanczosDense;
+
+impl Embedder for LanczosDense {
+    fn name(&self) -> &'static str {
+        "lanczos_dense"
+    }
+
+    fn embed(
+        &self,
+        _g: &MixedGraph,
+        laplacian: &CsrMatrix,
+        ctx: &StageContext,
+    ) -> Result<Embedding, Error> {
+        let dense = laplacian.to_dense();
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x1a2b_3c4d_5e6f_7788);
+        let partial = lanczos_lowest_k(&dense, ctx.k, 1e-8, &mut rng)?;
+        let selected: Vec<usize> = (0..ctx.k).collect();
+        let mut rows = embed_rows(&partial.eigenvectors, &selected);
+        if ctx.normalize_rows {
+            normalize_rows(&mut rows);
+        }
+        Ok(Embedding {
+            rows,
+            selected_eigenvalues: partial.eigenvalues.clone(),
+            spectrum: partial.eigenvalues,
+            dims_used: ctx.k,
+            lanczos_iterations: Some(partial.iterations),
+        })
+    }
+
+    fn classical_cost(
+        &self,
+        n: usize,
+        k: usize,
+        cluster_iterations: usize,
+        embedding: &Embedding,
+    ) -> f64 {
+        // Lanczos cost proxy: m iterations of an n² matvec +
+        // reorthogonalization, then the clustering term.
+        let n = n as f64;
+        let m = embedding.lanczos_iterations.unwrap_or(0) as f64;
+        m * n * n * 2.0 + n * (k as f64).powi(2) * cluster_iterations as f64
+    }
+}
+
+/// Classical pipeline using the dense-matrix Lanczos partial eigensolver
+/// for the spectral step.
 ///
 /// # Errors
 ///
 /// Same contract as the full classical pipeline, plus Lanczos
 /// non-convergence.
+///
+/// # Examples
+///
+/// The replacement builder call:
+///
+/// ```
+/// use qsc_core::{LanczosDense, Pipeline};
+/// use qsc_graph::generators::{dsbm, DsbmParams};
+///
+/// # fn main() -> Result<(), qsc_core::Error> {
+/// let inst = dsbm(&DsbmParams { n: 40, k: 3, seed: 2, ..DsbmParams::default() })?;
+/// let out = Pipeline::hermitian(3).embedder(LanczosDense).run(&inst.graph)?;
+/// assert_eq!(out.spectrum.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged builder: `Pipeline::from_config(config).embedder(LanczosDense).run(g)`"
+)]
 pub fn lanczos_spectral_clustering(
     g: &MixedGraph,
     config: &SpectralConfig,
-) -> Result<ClusteringOutcome, PipelineError> {
-    crate::classical::validate_request(g, config.k)?;
-    let start = Instant::now();
-    let laplacian = normalized_hermitian_laplacian(g, config.q);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x1a2b_3c4d_5e6f_7788);
-    let partial = lanczos_lowest_k(&laplacian, config.k, 1e-8, &mut rng)?;
-
-    let mut embedding: Vec<Vec<f64>> = (0..g.num_vertices())
-        .map(|i| interleave_re_im(partial.eigenvectors.row(i)))
-        .collect();
-    if config.normalize_rows {
-        normalize_rows(&mut embedding);
-    }
-    let eta = eta_of_embedding(&embedding);
-
-    let km = kmeans(
-        &embedding,
-        &KMeansConfig {
-            k: config.k,
-            max_iter: config.max_iter,
-            tol: 1e-9,
-            restarts: config.restarts,
-            seed: config.seed,
-        },
-    )?;
-
-    let kappa = condition_number_from_eigenvalues(&partial.eigenvalues, ZERO_EIG_TOL);
-    // Lanczos cost proxy: m iterations of an n² matvec + reorthogonalization.
-    let n = g.num_vertices() as f64;
-    let m = partial.iterations as f64;
-    let cost = m * n * n * 2.0 + n * (config.k as f64).powi(2) * km.iterations as f64;
-
-    Ok(ClusteringOutcome {
-        labels: km.labels,
-        embedding,
-        selected_eigenvalues: partial.eigenvalues.clone(),
-        diagnostics: Diagnostics {
-            kappa,
-            mu_b: incidence_mu(g),
-            eta_embedding: eta,
-            classical_cost: cost,
-            quantum_cost: None,
-            kmeans_iterations: km.iterations,
-            dims_used: config.k,
-            wall_seconds: start.elapsed().as_secs_f64(),
-        },
-        spectrum: partial.eigenvalues,
-    })
+) -> Result<ClusteringOutcome, Error> {
+    Pipeline::from_config(config).embedder(LanczosDense).run(g)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
-    use crate::classical::classical_spectral_clustering;
     use qsc_cluster::metrics::matched_accuracy;
     use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
+    use qsc_graph::normalized_hermitian_laplacian;
 
     fn flow_instance(n: usize, k: usize, seed: u64) -> qsc_graph::generators::PlantedGraph {
         dsbm(&DsbmParams {
@@ -185,7 +207,7 @@ mod tests {
             seed: 4,
             ..SpectralConfig::default()
         };
-        let full = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let full = Pipeline::from_config(&cfg).run(&inst.graph).unwrap();
         let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
         let acc_full = matched_accuracy(&inst.labels, &full.labels);
         let acc_fast = matched_accuracy(&inst.labels, &fast.labels);
@@ -209,7 +231,7 @@ mod tests {
             seed: 1,
             ..SpectralConfig::default()
         };
-        let full = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let full = Pipeline::from_config(&cfg).run(&inst.graph).unwrap();
         let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
         assert!(fast.diagnostics.classical_cost < full.diagnostics.classical_cost);
     }

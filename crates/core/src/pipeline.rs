@@ -1,0 +1,734 @@
+//! The composable staged pipeline: graph → Hermitian Laplacian → spectral
+//! embedding → clustering, with every stage swappable and a rayon-parallel
+//! batch runner.
+//!
+//! A [`Pipeline`] is built with the fluent builder and owns Laplacian
+//! construction plus stage sequencing; the embedding stage is any
+//! [`Embedder`] ([`DenseEig`](crate::DenseEig),
+//! [`LanczosCsr`](crate::LanczosCsr), [`LanczosDense`](crate::LanczosDense),
+//! or the quantum [`QpeTomography`](crate::QpeTomography)), and the
+//! clustering stage is any [`Clusterer`]
+//! ([`KMeans`] / [`QMeans`]).
+//!
+//! For parameter sweeps, [`Pipeline::embed`] stages the expensive prefix
+//! (Laplacian + embedding) once and [`Pipeline::cluster`] re-clusters it —
+//! so e.g. a q-means `δ` sweep never recomputes its QPE inputs. For many
+//! graphs, [`Pipeline::run_many`] (and
+//! [`Pipeline::run_many_clusterers`]) fan instances out over the rayon
+//! worker pool; every instance is computed independently from its own seed,
+//! so batched results are identical to a sequential loop regardless of the
+//! worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsc_core::{KMeans, LanczosCsr, Pipeline};
+//! use qsc_graph::generators::{dsbm, DsbmParams};
+//!
+//! # fn main() -> Result<(), qsc_core::Error> {
+//! let inst = dsbm(&DsbmParams { n: 60, k: 3, seed: 2, ..DsbmParams::default() })?;
+//! let out = Pipeline::hermitian(3)
+//!     .embedder(LanczosCsr)
+//!     .clusterer(KMeans)
+//!     .seed(7)
+//!     .run(&inst.graph)?;
+//! assert_eq!(out.labels.len(), 60);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::{ClusteringConfig, EmbeddingConfig, LaplacianConfig, SpectralConfig};
+use crate::config::{EigenSolver, QuantumParams};
+use crate::cost::{incidence_mu, quantum_cost, QuantumCostInputs};
+use crate::embedding::eta_of_embedding;
+use crate::error::Error;
+use crate::outcome::{ClusteringOutcome, Diagnostics};
+use qsc_cluster::{Clusterer, KMeans, KMeansConfig, QMeans};
+use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
+use qsc_linalg::params::condition_number_from_eigenvalues;
+use qsc_linalg::CsrMatrix;
+use rayon::prelude::*;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tolerance below which an eigenvalue counts as zero for κ purposes.
+pub(crate) const ZERO_EIG_TOL: f64 = 1e-9;
+
+pub(crate) fn validate_request(g: &MixedGraph, k: usize) -> Result<(), Error> {
+    if k == 0 {
+        return Err(Error::InvalidRequest {
+            context: "k must be positive".into(),
+        });
+    }
+    if g.num_vertices() < k.max(2) {
+        return Err(Error::InvalidRequest {
+            context: format!(
+                "graph with {} vertices cannot be split into {} clusters",
+                g.num_vertices(),
+                k
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Per-run inputs handed to every stage implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageContext {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Effective master seed of this run (pipeline seed or the per-instance
+    /// override from [`GraphInstance`]).
+    pub seed: u64,
+    /// Row-normalize the embedding before clustering.
+    pub normalize_rows: bool,
+}
+
+/// Output of the embedding stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    /// Real feature rows handed to the clusterer (dimension `2·dims_used`).
+    pub rows: Vec<Vec<f64>>,
+    /// Every eigenvalue the stage computed, ascending (full spectrum for
+    /// dense solvers, the `k` lowest for partial ones).
+    pub spectrum: Vec<f64>,
+    /// Eigenvalues of the selected (projected) subspace.
+    pub selected_eigenvalues: Vec<f64>,
+    /// Spectral dimensions used (can exceed `k` when QPE bins collide).
+    pub dims_used: usize,
+    /// Lanczos iterations, for embedders whose cost proxy counts them.
+    pub lanczos_iterations: Option<usize>,
+}
+
+/// A spectral-embedding stage: Laplacian (+ graph) → feature rows.
+///
+/// Implementations: [`DenseEig`](crate::DenseEig) (exact reference),
+/// [`LanczosCsr`](crate::LanczosCsr) (sparse partial eigensolver),
+/// [`LanczosDense`](crate::LanczosDense) (the ablation-A3 dense Lanczos)
+/// and [`QpeTomography`](crate::QpeTomography) (the simulated quantum
+/// path: QPE-binned projection + amplitude estimation + tomography).
+pub trait Embedder: Send + Sync {
+    /// Stage name used in reports and displays.
+    fn name(&self) -> &'static str;
+
+    /// Computes the spectral embedding of `g` from its normalized Hermitian
+    /// Laplacian.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] for inconsistent stage parameters or substrate
+    /// failures.
+    fn embed(
+        &self,
+        g: &MixedGraph,
+        laplacian: &CsrMatrix,
+        ctx: &StageContext,
+    ) -> Result<Embedding, Error>;
+
+    /// The quantum precision parameters, when this embedder simulates the
+    /// quantum path — drives the query-cost model in the diagnostics.
+    fn quantum_params(&self) -> Option<&QuantumParams> {
+        None
+    }
+
+    /// Classical cost proxy of a run that used this embedder (flops).
+    fn classical_cost(
+        &self,
+        n: usize,
+        k: usize,
+        cluster_iterations: usize,
+        embedding: &Embedding,
+    ) -> f64 {
+        let _ = embedding;
+        crate::cost::classical_cost(n, k, cluster_iterations)
+    }
+}
+
+/// The staged (cached) prefix of a run: Laplacian-derived measurements plus
+/// the spectral embedding, ready to be re-clustered any number of times.
+///
+/// Produced by [`Pipeline::embed`]; consumed by [`Pipeline::cluster`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StagedEmbedding {
+    /// The embedding-stage output.
+    pub embedding: Embedding,
+    /// `k` the staging pipeline was configured for.
+    pub k: usize,
+    /// Name of the embedder stage that produced this embedding —
+    /// [`Pipeline::cluster`] refuses a staged embedding from a different
+    /// stage, whose cost model and dimensions would not apply.
+    pub embedder: &'static str,
+    /// Row-norm spread `η` of the embedding.
+    pub eta: f64,
+    /// Condition number of the selected eigenvalues.
+    pub kappa: f64,
+    /// `μ(B)` of the (possibly symmetrized) graph's incidence matrix.
+    pub mu_b: f64,
+    /// Quantum query-cost proxy (`None` for classical embedders).
+    pub quantum_cost: Option<f64>,
+    /// Number of vertices.
+    pub n: usize,
+    /// Wall-clock seconds spent staging (Laplacian + embedding).
+    pub embed_seconds: f64,
+}
+
+/// One graph of a batch, with an optional per-instance seed override.
+///
+/// Borrowed, so building a batch never copies graphs:
+///
+/// ```
+/// use qsc_core::{GraphInstance, Pipeline};
+/// use qsc_graph::generators::{dsbm, DsbmParams};
+///
+/// # fn main() -> Result<(), qsc_core::Error> {
+/// let graphs: Vec<_> = (0..3)
+///     .map(|s| dsbm(&DsbmParams { n: 40, k: 2, seed: s, ..DsbmParams::default() }))
+///     .collect::<Result<_, _>>()?;
+/// let batch: Vec<GraphInstance> = graphs
+///     .iter()
+///     .enumerate()
+///     .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+///     .collect();
+/// let outs = Pipeline::hermitian(2).run_many(&batch)?;
+/// assert_eq!(outs.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GraphInstance<'g> {
+    /// The graph to cluster.
+    pub graph: &'g MixedGraph,
+    /// Seed for this instance (`None` → the pipeline's seed).
+    pub seed: Option<u64>,
+}
+
+impl<'g> GraphInstance<'g> {
+    /// An instance clustered under the pipeline's own seed.
+    pub fn new(graph: &'g MixedGraph) -> Self {
+        Self { graph, seed: None }
+    }
+
+    /// An instance with its own master seed.
+    pub fn with_seed(graph: &'g MixedGraph, seed: u64) -> Self {
+        Self {
+            graph,
+            seed: Some(seed),
+        }
+    }
+}
+
+impl<'g> From<&'g MixedGraph> for GraphInstance<'g> {
+    fn from(graph: &'g MixedGraph) -> Self {
+        Self::new(graph)
+    }
+}
+
+/// The staged spectral-clustering pipeline.
+///
+/// Construction starts from [`Pipeline::hermitian`] (or
+/// [`Pipeline::symmetrized`] for the direction-blind baseline), followed by
+/// builder calls; the configured pipeline is immutable and cheap to clone
+/// (stages are shared through `Arc`), so variants for a sweep are one
+/// `.clone().clusterer(...)` away.
+#[derive(Clone)]
+pub struct Pipeline {
+    laplacian: LaplacianConfig,
+    embedding: EmbeddingConfig,
+    clustering: ClusteringConfig,
+    seed: u64,
+    embedder: Arc<dyn Embedder>,
+    clusterer: Arc<dyn Clusterer>,
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("laplacian", &self.laplacian)
+            .field("embedding", &self.embedding)
+            .field("clustering", &self.clustering)
+            .field("seed", &self.seed)
+            .field("embedder", &self.embedder.name())
+            .field("clusterer", &self.clusterer.name())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// A Hermitian pipeline for `k` clusters with the reference stages:
+    /// `q = `[`Q_CLASSICAL`](qsc_graph::Q_CLASSICAL), dense exact
+    /// eigensolver, classical k-means, seed 0.
+    pub fn hermitian(k: usize) -> Self {
+        Self {
+            laplacian: LaplacianConfig::default(),
+            embedding: EmbeddingConfig {
+                k,
+                ..EmbeddingConfig::default()
+            },
+            clustering: ClusteringConfig::default(),
+            seed: 0,
+            embedder: Arc::new(crate::classical::DenseEig),
+            clusterer: Arc::new(KMeans),
+        }
+    }
+
+    /// The direction-blind baseline for `k` clusters: the graph is
+    /// symmetrized (arcs become edges) and encoded with `q = 0`.
+    pub fn symmetrized(k: usize) -> Self {
+        Self {
+            laplacian: LaplacianConfig {
+                q: 0.0,
+                symmetrize: true,
+            },
+            ..Self::hermitian(k)
+        }
+    }
+
+    /// A pipeline matching a legacy [`SpectralConfig`] (the flat bundle the
+    /// deprecated free functions take): `eigensolver` picks the embedder,
+    /// the other fields map onto the per-stage configs.
+    pub fn from_config(config: &SpectralConfig) -> Self {
+        let (laplacian, embedding, clustering) = config.split();
+        let embedder: Arc<dyn Embedder> = match config.eigensolver {
+            EigenSolver::Dense => Arc::new(crate::classical::DenseEig),
+            EigenSolver::LanczosCsr => Arc::new(crate::classical::LanczosCsr),
+        };
+        Self {
+            laplacian,
+            embedding,
+            clustering,
+            seed: config.seed,
+            embedder,
+            clusterer: Arc::new(KMeans),
+        }
+    }
+
+    /// Sets the rotation parameter `q`.
+    pub fn q(mut self, q: f64) -> Self {
+        self.laplacian.q = q;
+        self
+    }
+
+    /// Symmetrizes the graph before building the Laplacian (and forces
+    /// `q = 0`, under which the Hermitian encoding is direction-blind).
+    pub fn symmetrize(mut self) -> Self {
+        self.laplacian.q = 0.0;
+        self.laplacian.symmetrize = true;
+        self
+    }
+
+    /// Sets the master seed of every random stream in the run.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Row-normalizes the embedding (Ng–Jordan–Weiss) before clustering.
+    pub fn normalize_rows(mut self, yes: bool) -> Self {
+        self.embedding.normalize_rows = yes;
+        self
+    }
+
+    /// Sets the clustering restart count.
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.clustering.restarts = restarts;
+        self
+    }
+
+    /// Sets the clustering iteration budget per restart.
+    pub fn max_iter(mut self, max_iter: usize) -> Self {
+        self.clustering.max_iter = max_iter;
+        self
+    }
+
+    /// Swaps in an embedding stage.
+    pub fn embedder(mut self, embedder: impl Embedder + 'static) -> Self {
+        self.embedder = Arc::new(embedder);
+        self
+    }
+
+    /// Swaps in a clustering stage.
+    pub fn clusterer(mut self, clusterer: impl Clusterer + 'static) -> Self {
+        self.clusterer = Arc::new(clusterer);
+        self
+    }
+
+    /// Configures the simulated quantum path in one call:
+    /// [`QpeTomography`](crate::QpeTomography) embedding plus
+    /// [`QMeans`] clustering at the parameter set's
+    /// `δ`.
+    pub fn quantum(self, params: &QuantumParams) -> Self {
+        let delta = params.delta;
+        self.embedder(crate::quantum::QpeTomography::new(params.clone()))
+            .clusterer(QMeans::new(delta))
+    }
+
+    /// Number of clusters `k` this pipeline produces.
+    pub fn k(&self) -> usize {
+        self.embedding.k
+    }
+
+    /// Stage names, for reports: `(embedder, clusterer)`.
+    pub fn stage_names(&self) -> (&'static str, &'static str) {
+        (self.embedder.name(), self.clusterer.name())
+    }
+
+    fn context(&self, seed: u64) -> StageContext {
+        StageContext {
+            k: self.embedding.k,
+            seed,
+            normalize_rows: self.embedding.normalize_rows,
+        }
+    }
+
+    fn embed_seeded(&self, g: &MixedGraph, seed: u64) -> Result<StagedEmbedding, Error> {
+        validate_request(g, self.embedding.k)?;
+        let start = Instant::now();
+        let symmetrized;
+        let g_eff = if self.laplacian.symmetrize {
+            symmetrized = g.symmetrized();
+            &symmetrized
+        } else {
+            g
+        };
+        let laplacian = normalized_hermitian_laplacian_csr(g_eff, self.laplacian.q);
+        let embedding = self
+            .embedder
+            .embed(g_eff, &laplacian, &self.context(seed))?;
+        let eta = eta_of_embedding(&embedding.rows);
+        let kappa =
+            condition_number_from_eigenvalues(&embedding.selected_eigenvalues, ZERO_EIG_TOL);
+        let mu_b = incidence_mu(g_eff);
+        let n = g_eff.num_vertices();
+        let quantum = self.embedder.quantum_params().map(|params| {
+            quantum_cost(
+                &QuantumCostInputs {
+                    n,
+                    k_selected: embedding.dims_used,
+                    mu_b,
+                    kappa,
+                    eta_embedding: eta,
+                },
+                params,
+            )
+        });
+        Ok(StagedEmbedding {
+            embedding,
+            k: self.embedding.k,
+            embedder: self.embedder.name(),
+            eta,
+            kappa,
+            mu_b,
+            quantum_cost: quantum,
+            n,
+            embed_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Runs the staged prefix only: Laplacian construction plus the
+    /// embedding stage. The result can be handed to [`Pipeline::cluster`]
+    /// repeatedly — the idiom for sweeping clusterers (e.g. q-means `δ`)
+    /// without recomputing the embedding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] for inconsistent requests and
+    /// propagates stage failures.
+    pub fn embed(&self, g: &MixedGraph) -> Result<StagedEmbedding, Error> {
+        self.embed_seeded(g, self.seed)
+    }
+
+    /// Clusters a staged embedding with this pipeline's clustering stage,
+    /// assembling the full [`ClusteringOutcome`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] when `staged` came from a
+    /// pipeline with a different `k` or embedder stage (its dimensions and
+    /// cost model would not apply here), and propagates clustering
+    /// failures.
+    pub fn cluster(&self, staged: &StagedEmbedding) -> Result<ClusteringOutcome, Error> {
+        self.cluster_seeded(staged, self.seed)
+    }
+
+    fn cluster_seeded(
+        &self,
+        staged: &StagedEmbedding,
+        seed: u64,
+    ) -> Result<ClusteringOutcome, Error> {
+        if staged.k != self.embedding.k || staged.embedder != self.embedder.name() {
+            return Err(Error::InvalidRequest {
+                context: format!(
+                    "staged embedding (k = {}, embedder {}) is incompatible with \
+                     this pipeline (k = {}, embedder {})",
+                    staged.k,
+                    staged.embedder,
+                    self.embedding.k,
+                    self.embedder.name()
+                ),
+            });
+        }
+        let start = Instant::now();
+        let k = self.embedding.k;
+        let result = self.clusterer.cluster(
+            &staged.embedding.rows,
+            &KMeansConfig {
+                k,
+                max_iter: self.clustering.max_iter,
+                tol: self.clustering.tol,
+                restarts: self.clustering.restarts,
+                seed,
+            },
+        )?;
+        let classical_cost =
+            self.embedder
+                .classical_cost(staged.n, k, result.iterations, &staged.embedding);
+        Ok(ClusteringOutcome {
+            labels: result.labels,
+            embedding: staged.embedding.rows.clone(),
+            selected_eigenvalues: staged.embedding.selected_eigenvalues.clone(),
+            diagnostics: Diagnostics {
+                kappa: staged.kappa,
+                mu_b: staged.mu_b,
+                eta_embedding: staged.eta,
+                classical_cost,
+                quantum_cost: staged.quantum_cost,
+                kmeans_iterations: result.iterations,
+                dims_used: staged.embedding.dims_used,
+                wall_seconds: staged.embed_seconds + start.elapsed().as_secs_f64(),
+            },
+            spectrum: staged.embedding.spectrum.clone(),
+        })
+    }
+
+    fn run_seeded(&self, g: &MixedGraph, seed: u64) -> Result<ClusteringOutcome, Error> {
+        let staged = self.embed_seeded(g, seed)?;
+        self.cluster_seeded(&staged, seed)
+    }
+
+    /// Runs the full pipeline on one graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] for inconsistent requests and
+    /// propagates stage failures.
+    pub fn run(&self, g: &MixedGraph) -> Result<ClusteringOutcome, Error> {
+        self.run_seeded(g, self.seed)
+    }
+
+    /// Runs the pipeline on a batch of graphs, rayon-parallel over
+    /// instances. Results are in instance order and — because every
+    /// instance is computed independently from its own seed over
+    /// thread-count-independent kernels — identical to a sequential
+    /// [`Pipeline::run`] loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first instance error in batch order, if any.
+    pub fn run_many(
+        &self,
+        instances: &[GraphInstance<'_>],
+    ) -> Result<Vec<ClusteringOutcome>, Error> {
+        // Ordered parallel collection via an indexed slot vector: the rayon
+        // compat shim only exposes the par_chunks(_mut) surface (no
+        // par_iter), and this shape is also valid under real rayon, keeping
+        // the planned shim→rayon swap a pure dependency change.
+        let mut slots: Vec<Option<Result<ClusteringOutcome, Error>>> =
+            (0..instances.len()).map(|_| None).collect();
+        slots.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+            let inst = &instances[i];
+            slot[0] = Some(self.run_seeded(inst.graph, inst.seed.unwrap_or(self.seed)));
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("batch slot filled"))
+            .collect()
+    }
+
+    /// Batch runner for clusterer sweeps: every instance's Laplacian and
+    /// embedding are computed **once**, then re-clustered with each stage
+    /// in `clusterers`. Parallel over instances; the result is indexed
+    /// `[instance][clusterer]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in `(instance, clusterer)` order, if any.
+    pub fn run_many_clusterers(
+        &self,
+        instances: &[GraphInstance<'_>],
+        clusterers: &[Arc<dyn Clusterer>],
+    ) -> Result<Vec<Vec<ClusteringOutcome>>, Error> {
+        let mut slots: Vec<Option<Result<Vec<ClusteringOutcome>, Error>>> =
+            (0..instances.len()).map(|_| None).collect();
+        slots.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+            let inst = &instances[i];
+            let seed = inst.seed.unwrap_or(self.seed);
+            let per_instance = self.embed_seeded(inst.graph, seed).and_then(|staged| {
+                clusterers
+                    .iter()
+                    .map(|c| {
+                        self.clone()
+                            .clusterer_arc(c.clone())
+                            .cluster_seeded(&staged, seed)
+                    })
+                    .collect()
+            });
+            slot[0] = Some(per_instance);
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("batch slot filled"))
+            .collect()
+    }
+
+    fn clusterer_arc(mut self, clusterer: Arc<dyn Clusterer>) -> Self {
+        self.clusterer = clusterer;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsc_cluster::metrics::matched_accuracy;
+    use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
+
+    fn flow_instance(n: usize, seed: u64) -> qsc_graph::generators::PlantedGraph {
+        dsbm(&DsbmParams {
+            n,
+            k: 3,
+            p_intra: 0.25,
+            p_inter: 0.25,
+            eta_flow: 1.0,
+            meta: MetaGraph::Cycle,
+            seed,
+            ..DsbmParams::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn builder_runs_end_to_end() {
+        let inst = flow_instance(90, 11);
+        let out = Pipeline::hermitian(3).seed(4).run(&inst.graph).unwrap();
+        let acc = matched_accuracy(&inst.labels, &out.labels);
+        assert!(acc > 0.9, "accuracy {acc}");
+        assert_eq!(out.diagnostics.dims_used, 3);
+        assert!(out.diagnostics.quantum_cost.is_none());
+    }
+
+    #[test]
+    fn symmetrized_baseline_is_direction_blind() {
+        let inst = flow_instance(120, 12);
+        let herm = Pipeline::hermitian(3).seed(4).run(&inst.graph).unwrap();
+        let blind = Pipeline::symmetrized(3).seed(4).run(&inst.graph).unwrap();
+        let acc_h = matched_accuracy(&inst.labels, &herm.labels);
+        let acc_b = matched_accuracy(&inst.labels, &blind.labels);
+        assert!(acc_h > acc_b + 0.2, "hermitian {acc_h} vs blind {acc_b}");
+    }
+
+    #[test]
+    fn staged_embedding_reclusters_without_reembedding() {
+        let inst = flow_instance(60, 13);
+        let pl = Pipeline::hermitian(3)
+            .seed(9)
+            .quantum(&QuantumParams::default());
+        let staged = pl.embed(&inst.graph).unwrap();
+        // Sweeping δ over the same staged embedding must match full runs.
+        for delta in [0.05, 0.5] {
+            let swept = pl
+                .clone()
+                .clusterer(QMeans::new(delta))
+                .cluster(&staged)
+                .unwrap();
+            let full = pl
+                .clone()
+                .clusterer(QMeans::new(delta))
+                .run(&inst.graph)
+                .unwrap();
+            assert_eq!(swept.labels, full.labels);
+            assert_eq!(swept.embedding, full.embedding);
+        }
+    }
+
+    #[test]
+    fn run_many_matches_sequential_loop() {
+        let graphs: Vec<_> = (0..4).map(|s| flow_instance(50, 20 + s)).collect();
+        let batch: Vec<GraphInstance> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+            .collect();
+        let pl = Pipeline::hermitian(3);
+        let batched = pl.run_many(&batch).unwrap();
+        for (i, inst) in graphs.iter().enumerate() {
+            let single = pl.clone().seed(i as u64).run(&inst.graph).unwrap();
+            assert_eq!(batched[i].labels, single.labels);
+            assert_eq!(batched[i].spectrum, single.spectrum);
+        }
+    }
+
+    #[test]
+    fn run_many_clusterers_shares_the_embedding() {
+        let graphs: Vec<_> = (0..2).map(|s| flow_instance(50, 30 + s)).collect();
+        let batch: Vec<GraphInstance> = graphs
+            .iter()
+            .map(|inst| GraphInstance::new(&inst.graph))
+            .collect();
+        let pl = Pipeline::hermitian(3)
+            .seed(5)
+            .quantum(&QuantumParams::default());
+        let deltas: Vec<Arc<dyn Clusterer>> =
+            vec![Arc::new(QMeans::new(0.05)), Arc::new(QMeans::new(0.5))];
+        let outs = pl.run_many_clusterers(&batch, &deltas).unwrap();
+        assert_eq!(outs.len(), 2);
+        for per_instance in &outs {
+            assert_eq!(per_instance.len(), 2);
+            // Same staged embedding behind both outcomes.
+            assert_eq!(per_instance[0].embedding, per_instance[1].embedding);
+        }
+        // And each outcome matches its own full run.
+        for (i, inst) in graphs.iter().enumerate() {
+            let full = pl
+                .clone()
+                .clusterer(QMeans::new(0.5))
+                .run(&inst.graph)
+                .unwrap();
+            assert_eq!(outs[i][1].labels, full.labels);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let g = MixedGraph::new(3);
+        assert!(Pipeline::hermitian(0).run(&g).is_err());
+        assert!(Pipeline::hermitian(5).run(&g).is_err());
+    }
+
+    #[test]
+    fn cluster_rejects_mismatched_staged_embedding() {
+        let inst = flow_instance(50, 14);
+        let from_lanczos = Pipeline::hermitian(3)
+            .embedder(crate::model_selection::LanczosDense)
+            .embed(&inst.graph)
+            .unwrap();
+        // Different embedder: the DenseEig cost model would not apply.
+        assert!(Pipeline::hermitian(3).cluster(&from_lanczos).is_err());
+        // Different k: labels would contradict the staged dimensions.
+        let staged = Pipeline::hermitian(3).embed(&inst.graph).unwrap();
+        assert!(Pipeline::hermitian(4).cluster(&staged).is_err());
+        // Same recipe (clusterer swaps allowed): fine.
+        assert!(Pipeline::hermitian(3)
+            .clusterer(QMeans::new(0.1))
+            .cluster(&staged)
+            .is_ok());
+    }
+
+    #[test]
+    fn debug_names_the_stages() {
+        let pl = Pipeline::hermitian(3).quantum(&QuantumParams::default());
+        let dbg = format!("{pl:?}");
+        assert!(dbg.contains("qpe_tomography"), "{dbg}");
+        assert!(dbg.contains("qmeans"), "{dbg}");
+    }
+}

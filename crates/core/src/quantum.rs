@@ -1,11 +1,13 @@
-//! The simulated end-to-end quantum pipeline.
+//! The simulated quantum embedding stage and gate-level reference circuit.
 //!
-//! The quantum algorithm performs the same steps as the classical one while
-//! introducing the noise its quantum subroutines would: QPE bins every
-//! eigenvalue to `t` bits before the threshold decides which eigenvectors
-//! form the projected subspace; amplitude estimation perturbs the projected
-//! row norms; tomography perturbs their directions; q-means perturbs every
-//! distance and centroid. Each channel is driven by the corresponding
+//! [`QpeTomography`] performs the same steps as the classical embedders
+//! while introducing the noise its quantum subroutines would: QPE bins
+//! every eigenvalue to `t` bits before the threshold decides which
+//! eigenvectors form the projected subspace; amplitude estimation perturbs
+//! the projected row norms; tomography perturbs their directions. The
+//! matching clustering stage is `qsc_cluster::QMeans`, which perturbs every
+//! distance and centroid — [`Pipeline::quantum`](crate::Pipeline::quantum)
+//! wires both in one call. Each channel is driven by the corresponding
 //! `qsc-sim` routine so the injected noise has exactly the magnitude the
 //! theory assigns to it.
 //!
@@ -14,227 +16,232 @@
 //! eigenprojection the fast path uses.
 
 use crate::config::{QuantumParams, SpectralConfig};
-use crate::cost::{classical_cost, incidence_mu, quantum_cost, QuantumCostInputs};
-use crate::embedding::{eta_of_embedding, normalize_rows};
-use crate::error::PipelineError;
-use crate::outcome::{ClusteringOutcome, Diagnostics};
-use qsc_cluster::{qmeans, KMeansConfig, QMeansConfig};
-use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
-use qsc_linalg::params::condition_number_from_eigenvalues;
+use crate::embedding::normalize_rows;
+use crate::error::Error;
+use crate::outcome::ClusteringOutcome;
+use crate::pipeline::{Embedder, Embedding, Pipeline, StageContext};
+use qsc_graph::MixedGraph;
 use qsc_linalg::vector::interleave_re_im;
-use qsc_linalg::{eigh, CMatrix, Complex64};
+use qsc_linalg::{eigh, CMatrix, Complex64, CsrMatrix};
 use qsc_sim::amplitude::estimate_norm;
 use qsc_sim::tomography::tomography_complex;
 use qsc_sim::PhaseEstimator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+
+/// The simulated quantum embedding stage: QPE-binned soft spectral
+/// projection, amplitude-estimated row norms, tomography-read directions.
+///
+/// The stage owns the full [`QuantumParams`] precision set; its `δ` field
+/// is consumed by the matching `QMeans` clusterer (see
+/// [`Pipeline::quantum`](crate::Pipeline::quantum)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QpeTomography {
+    /// Precision parameters of every quantum subroutine.
+    pub params: QuantumParams,
+}
+
+impl QpeTomography {
+    /// Creates the stage from a precision parameter set.
+    pub fn new(params: QuantumParams) -> Self {
+        Self { params }
+    }
+}
+
+impl Default for QpeTomography {
+    fn default() -> Self {
+        Self::new(QuantumParams::default())
+    }
+}
+
+impl Embedder for QpeTomography {
+    fn name(&self) -> &'static str {
+        "qpe_tomography"
+    }
+
+    fn quantum_params(&self) -> Option<&QuantumParams> {
+        Some(&self.params)
+    }
+
+    fn embed(
+        &self,
+        g: &MixedGraph,
+        laplacian: &CsrMatrix,
+        ctx: &StageContext,
+    ) -> Result<Embedding, Error> {
+        let params = &self.params;
+        if params.qpe_scale <= 2.0 {
+            return Err(Error::InvalidRequest {
+                context: format!(
+                    "qpe_scale = {} must exceed the Laplacian spectral bound 2",
+                    params.qpe_scale
+                ),
+            });
+        }
+        // Mix the user seed so the quantum-noise stream differs from the
+        // k-means stream derived from the same seed.
+        let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x517c_c1b7_2722_0a95);
+
+        // The simulator's privilege: the exact spectrum is available; the
+        // algorithmic noise is injected downstream exactly where the quantum
+        // subroutines would introduce it.
+        let eig = eigh(&laplacian.to_dense())?;
+
+        // --- QPE: every eigenvalue is known only at t-bit resolution. The
+        // threshold ν is placed just above the bin of the k-th smallest
+        // rounded eigenvalue, which is all the algorithm can resolve. ---
+        let estimator = PhaseEstimator::new(params.qpe_scale, params.qpe_bits)?;
+        let mut rounded: Vec<f64> = eig
+            .eigenvalues
+            .iter()
+            .map(|&l| estimator.round(l))
+            .collect();
+        rounded.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let nu = rounded[ctx.k - 1] + estimator.resolution() * 0.5;
+
+        // --- Post-selecting on the thresholded phase register is a *soft*
+        // spectral filter: eigencomponent j survives with amplitude √p_j where
+        // p_j is the QPE outcome mass in bins below ν. Components with exact
+        // bins below ν get p_j ≈ 1; far eigenvalues are suppressed by the
+        // Fejér-kernel tails; only boundary eigenvalues are genuinely fuzzy. ---
+        let bins = 1usize << params.qpe_bits;
+        let survival: Vec<f64> = eig
+            .eigenvalues
+            .iter()
+            .map(|&l| {
+                let dist =
+                    qsc_sim::qpe::qpe_phase_distribution(l / params.qpe_scale, params.qpe_bits);
+                (0..bins)
+                    .filter(|&m| params.qpe_scale * m as f64 / bins as f64 <= nu)
+                    .map(|m| dist[m])
+                    .sum::<f64>()
+            })
+            .collect();
+
+        // Dimensions with non-negligible survival form the embedding; bound
+        // the blow-up from bin collisions.
+        const SURVIVAL_FLOOR: f64 = 0.01;
+        let mut selected: Vec<usize> = (0..survival.len())
+            .filter(|&j| survival[j] >= SURVIVAL_FLOOR)
+            .collect();
+        selected.sort_by(|&a, &b| {
+            survival[b].partial_cmp(&survival[a]).expect("finite").then(
+                eig.eigenvalues[a]
+                    .partial_cmp(&eig.eigenvalues[b])
+                    .expect("finite"),
+            )
+        });
+        let cap = (ctx.k * params.max_dims_factor).max(ctx.k);
+        selected.truncate(cap);
+        selected.sort_unstable();
+
+        // --- Project rows through the soft filter, read them out through AE
+        // (norms) + tomography (directions). ---
+        let sub = eig.eigenvectors.select_columns(&selected);
+        let weights: Vec<f64> = selected.iter().map(|&j| survival[j].sqrt()).collect();
+        let n = g.num_vertices();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let row: Vec<Complex64> = sub
+                .row(i)
+                .iter()
+                .zip(&weights)
+                .map(|(z, &w)| z.scale(w))
+                .collect();
+            let true_norm: f64 = row.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            if true_norm <= f64::EPSILON {
+                rows.push(vec![0.0; 2 * selected.len()]);
+                continue;
+            }
+            // Row of a unitary submatrix: norm ≤ 1, so AE with scale 1 applies.
+            let est_norm = estimate_norm(
+                true_norm.min(1.0),
+                1.0,
+                params.norm_estimation_iters,
+                &mut rng,
+            )?;
+            let direction = tomography_complex(&row, params.tomography_shots, &mut rng)?;
+            // Tomography preserves the exact input norm; rescale so the norm
+            // carries the AE error instead.
+            let dir_norm: f64 = direction.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            let scale = if dir_norm > 0.0 {
+                est_norm / dir_norm
+            } else {
+                0.0
+            };
+            let noisy: Vec<Complex64> = direction.iter().map(|z| z.scale(scale)).collect();
+            rows.push(interleave_re_im(&noisy));
+        }
+        if ctx.normalize_rows {
+            normalize_rows(&mut rows);
+        } else {
+            // The q-means analysis states δ relative to data whose smallest
+            // non-zero row norm is 1 (Definition 3's convention). Rescale the
+            // embedding to that unit — a pure unit change k-means itself is
+            // invariant to, but which gives the absolute δ noise its intended
+            // relative meaning.
+            let min_norm = rows
+                .iter()
+                .map(|row| row.iter().map(|x| x * x).sum::<f64>().sqrt())
+                .filter(|&n| n > f64::EPSILON)
+                .fold(f64::INFINITY, f64::min);
+            if min_norm.is_finite() && min_norm > 0.0 {
+                for row in &mut rows {
+                    for x in row.iter_mut() {
+                        *x /= min_norm;
+                    }
+                }
+            }
+        }
+
+        let selected_eigenvalues: Vec<f64> = selected.iter().map(|&j| eig.eigenvalues[j]).collect();
+        let dims_used = selected.len();
+        Ok(Embedding {
+            rows,
+            spectrum: eig.eigenvalues,
+            selected_eigenvalues,
+            dims_used,
+            lanczos_iterations: None,
+        })
+    }
+}
 
 /// Runs the simulated quantum spectral-clustering pipeline on a mixed
 /// graph.
 ///
 /// # Errors
 ///
-/// Returns [`PipelineError::InvalidRequest`] for inconsistent requests and
+/// Returns [`Error::InvalidRequest`] for inconsistent requests and
 /// propagates substrate failures.
 ///
 /// # Examples
 ///
+/// The replacement builder call:
+///
 /// ```
-/// use qsc_core::{quantum_spectral_clustering, QuantumParams, SpectralConfig};
+/// use qsc_core::{Pipeline, QuantumParams};
 /// use qsc_graph::generators::{dsbm, DsbmParams};
 ///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # fn main() -> Result<(), qsc_core::Error> {
 /// let inst = dsbm(&DsbmParams { n: 45, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = quantum_spectral_clustering(
-///     &inst.graph,
-///     &SpectralConfig { k: 3, seed: 1, ..SpectralConfig::default() },
-///     &QuantumParams::default(),
-/// )?;
+/// let out = Pipeline::hermitian(3)
+///     .seed(1)
+///     .quantum(&QuantumParams::default())
+///     .run(&inst.graph)?;
 /// assert_eq!(out.labels.len(), 45);
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use the staged builder: `Pipeline::from_config(config).quantum(params).run(g)`"
+)]
 pub fn quantum_spectral_clustering(
     g: &MixedGraph,
     config: &SpectralConfig,
     params: &QuantumParams,
-) -> Result<ClusteringOutcome, PipelineError> {
-    crate::classical::validate_request(g, config.k)?;
-    if params.qpe_scale <= 2.0 {
-        return Err(PipelineError::InvalidRequest {
-            context: format!(
-                "qpe_scale = {} must exceed the Laplacian spectral bound 2",
-                params.qpe_scale
-            ),
-        });
-    }
-    let start = Instant::now();
-    // Mix the user seed so the quantum-noise stream differs from the
-    // k-means stream derived from the same seed.
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x517c_c1b7_2722_0a95);
-
-    // Built sparse in O(m), densified only for the full eigendecomposition
-    // the survival computation needs.
-    let laplacian = normalized_hermitian_laplacian_csr(g, config.q);
-    // The simulator's privilege: the exact spectrum is available; the
-    // algorithmic noise is injected downstream exactly where the quantum
-    // subroutines would introduce it.
-    let eig = eigh(&laplacian.to_dense())?;
-
-    // --- QPE: every eigenvalue is known only at t-bit resolution. The
-    // threshold ν is placed just above the bin of the k-th smallest rounded
-    // eigenvalue, which is all the algorithm can resolve. ---
-    let estimator = PhaseEstimator::new(params.qpe_scale, params.qpe_bits)?;
-    let mut rounded: Vec<f64> = eig
-        .eigenvalues
-        .iter()
-        .map(|&l| estimator.round(l))
-        .collect();
-    rounded.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let nu = rounded[config.k - 1] + estimator.resolution() * 0.5;
-
-    // --- Post-selecting on the thresholded phase register is a *soft*
-    // spectral filter: eigencomponent j survives with amplitude √p_j where
-    // p_j is the QPE outcome mass in bins below ν. Components with exact
-    // bins below ν get p_j ≈ 1; far eigenvalues are suppressed by the
-    // Fejér-kernel tails; only boundary eigenvalues are genuinely fuzzy. ---
-    let bins = 1usize << params.qpe_bits;
-    let survival: Vec<f64> = eig
-        .eigenvalues
-        .iter()
-        .map(|&l| {
-            let dist = qsc_sim::qpe::qpe_phase_distribution(l / params.qpe_scale, params.qpe_bits);
-            (0..bins)
-                .filter(|&m| params.qpe_scale * m as f64 / bins as f64 <= nu)
-                .map(|m| dist[m])
-                .sum::<f64>()
-        })
-        .collect();
-
-    // Dimensions with non-negligible survival form the embedding; bound the
-    // blow-up from bin collisions.
-    const SURVIVAL_FLOOR: f64 = 0.01;
-    let mut selected: Vec<usize> = (0..survival.len())
-        .filter(|&j| survival[j] >= SURVIVAL_FLOOR)
-        .collect();
-    selected.sort_by(|&a, &b| {
-        survival[b].partial_cmp(&survival[a]).expect("finite").then(
-            eig.eigenvalues[a]
-                .partial_cmp(&eig.eigenvalues[b])
-                .expect("finite"),
-        )
-    });
-    let cap = (config.k * params.max_dims_factor).max(config.k);
-    selected.truncate(cap);
-    selected.sort_unstable();
-
-    // --- Project rows through the soft filter, read them out through AE
-    // (norms) + tomography (directions). ---
-    let sub = eig.eigenvectors.select_columns(&selected);
-    let weights: Vec<f64> = selected.iter().map(|&j| survival[j].sqrt()).collect();
-    let n = g.num_vertices();
-    let mut embedding: Vec<Vec<f64>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let row: Vec<Complex64> = sub
-            .row(i)
-            .iter()
-            .zip(&weights)
-            .map(|(z, &w)| z.scale(w))
-            .collect();
-        let true_norm: f64 = row.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-        if true_norm <= f64::EPSILON {
-            embedding.push(vec![0.0; 2 * selected.len()]);
-            continue;
-        }
-        // Row of a unitary submatrix: norm ≤ 1, so AE with scale 1 applies.
-        let est_norm = estimate_norm(
-            true_norm.min(1.0),
-            1.0,
-            params.norm_estimation_iters,
-            &mut rng,
-        )?;
-        let direction = tomography_complex(&row, params.tomography_shots, &mut rng)?;
-        // Tomography preserves the exact input norm; rescale so the norm
-        // carries the AE error instead.
-        let dir_norm: f64 = direction.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
-        let scale = if dir_norm > 0.0 {
-            est_norm / dir_norm
-        } else {
-            0.0
-        };
-        let noisy: Vec<Complex64> = direction.iter().map(|z| z.scale(scale)).collect();
-        embedding.push(interleave_re_im(&noisy));
-    }
-    if config.normalize_rows {
-        normalize_rows(&mut embedding);
-    } else {
-        // The q-means analysis states δ relative to data whose smallest
-        // non-zero row norm is 1 (Definition 3's convention). Rescale the
-        // embedding to that unit — a pure unit change k-means itself is
-        // invariant to, but which gives the absolute δ noise its intended
-        // relative meaning.
-        let min_norm = embedding
-            .iter()
-            .map(|row| row.iter().map(|x| x * x).sum::<f64>().sqrt())
-            .filter(|&n| n > f64::EPSILON)
-            .fold(f64::INFINITY, f64::min);
-        if min_norm.is_finite() && min_norm > 0.0 {
-            for row in &mut embedding {
-                for x in row.iter_mut() {
-                    *x /= min_norm;
-                }
-            }
-        }
-    }
-    let eta = eta_of_embedding(&embedding);
-
-    // --- q-means in the spectral space. ---
-    let qm = qmeans(
-        &embedding,
-        &QMeansConfig {
-            base: KMeansConfig {
-                k: config.k,
-                max_iter: config.max_iter,
-                tol: 1e-9,
-                restarts: config.restarts,
-                seed: config.seed,
-            },
-            delta: params.delta,
-        },
-    )?;
-
-    let selected_eigenvalues: Vec<f64> = selected.iter().map(|&j| eig.eigenvalues[j]).collect();
-    let kappa =
-        condition_number_from_eigenvalues(&selected_eigenvalues, crate::classical::ZERO_EIG_TOL);
-    let mu_b = incidence_mu(g);
-    let cost = quantum_cost(
-        &QuantumCostInputs {
-            n,
-            k_selected: selected.len(),
-            mu_b,
-            kappa,
-            eta_embedding: eta,
-        },
-        params,
-    );
-
-    Ok(ClusteringOutcome {
-        labels: qm.labels,
-        embedding,
-        selected_eigenvalues,
-        diagnostics: Diagnostics {
-            kappa,
-            mu_b,
-            eta_embedding: eta,
-            classical_cost: classical_cost(n, config.k, qm.iterations),
-            quantum_cost: Some(cost),
-            kmeans_iterations: qm.iterations,
-            dims_used: selected.len(),
-            wall_seconds: start.elapsed().as_secs_f64(),
-        },
-        spectrum: eig.eigenvalues,
-    })
+) -> Result<ClusteringOutcome, Error> {
+    Pipeline::from_config(config).quantum(params).run(g)
 }
 
 /// Runs the *actual* QPE-projection circuit for one vertex of a small
@@ -256,7 +263,7 @@ pub fn gate_level_projected_row(
     t: usize,
     scale: f64,
     nu: f64,
-) -> Result<Vec<Complex64>, PipelineError> {
+) -> Result<Vec<Complex64>, Error> {
     use qsc_linalg::eig::UnitaryEigen;
     use qsc_sim::qft::{apply_inverse_qft, apply_qft};
     use qsc_sim::qpe::apply_phase_cascade;
@@ -265,12 +272,12 @@ pub fn gate_level_projected_row(
 
     let n = laplacian.nrows();
     if !n.is_power_of_two() || n > 256 {
-        return Err(PipelineError::InvalidRequest {
+        return Err(Error::InvalidRequest {
             context: format!("gate-level path needs a power-of-two dimension ≤ 256, got {n}"),
         });
     }
     if vertex >= n {
-        return Err(PipelineError::InvalidRequest {
+        return Err(Error::InvalidRequest {
             context: format!("vertex {vertex} out of range"),
         });
     }
@@ -331,6 +338,7 @@ pub fn gate_level_projected_row(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
     use qsc_cluster::metrics::matched_accuracy;

@@ -204,8 +204,7 @@ mod tests {
 
     #[test]
     fn improves_spectral_output_or_leaves_it() {
-        use crate::classical::classical_spectral_clustering;
-        use crate::config::SpectralConfig;
+        use crate::pipeline::Pipeline;
         use qsc_graph::generators::{netlist, NetlistParams};
         let inst = netlist(&NetlistParams {
             num_modules: 4,
@@ -214,15 +213,7 @@ mod tests {
             ..NetlistParams::default()
         })
         .unwrap();
-        let out = classical_spectral_clustering(
-            &inst.graph,
-            &SpectralConfig {
-                k: 4,
-                seed: 1,
-                ..SpectralConfig::default()
-            },
-        )
-        .unwrap();
+        let out = Pipeline::hermitian(4).seed(1).run(&inst.graph).unwrap();
         let before = cut_weight(&inst.graph, &out.labels);
         let (refined, _) = refine_partition(&inst.graph, &out.labels, 4, &RefineConfig::default());
         let after = cut_weight(&inst.graph, &refined);

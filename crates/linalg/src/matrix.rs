@@ -96,6 +96,30 @@ impl CMatrix {
         Ok(Self { nrows, ncols, data })
     }
 
+    /// Builds a matrix from a row-major data vector without copying.
+    ///
+    /// This is the zero-cost bridge that lets callers view an existing flat
+    /// buffer (e.g. a state vector of `2^t · 2^s` amplitudes) as a
+    /// `2^t × 2^s` matrix and hand it to the blocked kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `data.len() != nrows · ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<Complex64>) -> Result<Self, LinalgError> {
+        if data.len() != nrows * ncols {
+            return Err(LinalgError::ShapeMismatch {
+                context: format!("from_vec: {} elements into {nrows}×{ncols}", data.len()),
+            });
+        }
+        Ok(Self { nrows, ncols, data })
+    }
+
+    /// Consumes the matrix, returning its row-major data vector (the inverse
+    /// of [`from_vec`](Self::from_vec), also without copying).
+    pub fn into_vec(self) -> Vec<Complex64> {
+        self.data
+    }
+
     /// Builds a diagonal matrix from the given diagonal entries.
     pub fn from_diag(diag: &[Complex64]) -> Self {
         let n = diag.len();

@@ -438,11 +438,32 @@ impl QuantumState {
     /// This is the workhorse of matrix-level QPE, where the "system"
     /// register lives in the low qubits and the phase register above it.
     ///
+    /// Large states take the cache-blocked matmul route: the state vector
+    /// on `t + s` qubits is viewed (for free, no copy) as a `2^t × 2^s`
+    /// matrix `S` whose row `b` is amplitude block `b`, and `U ⊗ I` is the
+    /// product `S·Uᵀ` — one call into the rayon-parallel, k-tiled kernel
+    /// instead of a scratch-buffer loop over blocks. Small states keep the
+    /// direct per-block path.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::DimensionMismatch`] if `u` is not square with a
     /// power-of-two dimension dividing the state dimension.
     pub fn apply_block_unitary(&mut self, u: &CMatrix) -> Result<(), SimError> {
+        let block = u.nrows();
+        let dim = self.amps.len();
+        if u.is_square() && block.is_power_of_two() && dim.is_multiple_of(block) {
+            let num_blocks = dim / block;
+            if num_blocks > 1 && parallel::should_parallelize(num_blocks * block * block) {
+                // (S·Uᵀ)[b][i] = Σ_k S[b][k]·U[i][k]: identical sums, in the
+                // same ascending-k order, as the per-block path below.
+                let amps = std::mem::take(&mut self.amps);
+                let s = CMatrix::from_vec(num_blocks, block, amps)
+                    .expect("state dimension is a multiple of the block size");
+                self.amps = s.matmul(&u.transpose()).into_vec();
+                return Ok(());
+            }
+        }
         self.apply_controlled_block_unitary(u, None)
     }
 

@@ -6,10 +6,7 @@
 //! ```
 
 use qsc_suite::cluster::metrics::matched_accuracy;
-use qsc_suite::core::{
-    classical_spectral_clustering, quantum_spectral_clustering, symmetrized_spectral_clustering,
-    QuantumParams, SpectralConfig,
-};
+use qsc_suite::core::{Pipeline, QuantumParams};
 use qsc_suite::graph::generators::{netlist, NetlistParams};
 use qsc_suite::graph::stats::{cut_weight, flow_matrix, mean_flow_imbalance};
 
@@ -33,15 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inst.graph.num_arcs()
     );
 
-    let config = SpectralConfig {
-        k,
-        seed: 11,
-        ..SpectralConfig::default()
-    };
+    let pipeline = Pipeline::hermitian(k).seed(11);
 
-    let hermitian = classical_spectral_clustering(&inst.graph, &config)?;
-    let blind = symmetrized_spectral_clustering(&inst.graph, &config)?;
-    let quantum = quantum_spectral_clustering(&inst.graph, &config, &QuantumParams::default())?;
+    let hermitian = pipeline.run(&inst.graph)?;
+    let blind = Pipeline::symmetrized(k).seed(11).run(&inst.graph)?;
+    let quantum = pipeline
+        .quantum(&QuantumParams::default())
+        .run(&inst.graph)?;
 
     for (name, labels) in [
         ("hermitian (classical)", &hermitian.labels),

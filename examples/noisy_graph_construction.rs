@@ -10,7 +10,7 @@
 //! ```
 
 use qsc_suite::cluster::metrics::matched_accuracy;
-use qsc_suite::core::{classical_spectral_clustering, SpectralConfig};
+use qsc_suite::core::Pipeline;
 use qsc_suite::graph::dot::to_dot;
 use qsc_suite::graph::generators::{circles, CirclesParams};
 use qsc_suite::graph::similarity::{edge_disagreement, quantum_similarity_graph, similarity_graph};
@@ -36,30 +36,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n  ε_dist   edge disagreement   clustering accuracy");
+    let pipeline = Pipeline::hermitian(2).seed(1).normalize_rows(true);
     let mut rng = StdRng::seed_from_u64(99);
     for eps in [0.0, 0.005, 0.01, 0.02, 0.05, 0.1] {
         let noisy = quantum_similarity_graph(&points, params.d_min, eps, &mut rng)?;
         let disagreement = edge_disagreement(&exact, &noisy);
-        let cfg = SpectralConfig {
-            k: 2,
-            seed: 1,
-            normalize_rows: true,
-            ..SpectralConfig::default()
-        };
-        let out = classical_spectral_clustering(&noisy, &cfg)?;
+        let out = pipeline.run(&noisy)?;
         let acc = matched_accuracy(&inst.labels, &out.labels);
         println!("  {eps:<8} {disagreement:<19.4} {acc:.3}");
     }
 
     // Render one moderately noisy instance for visual inspection.
     let noisy = quantum_similarity_graph(&points, params.d_min, 0.02, &mut rng)?;
-    let cfg = SpectralConfig {
-        k: 2,
-        seed: 1,
-        normalize_rows: true,
-        ..SpectralConfig::default()
-    };
-    let out = classical_spectral_clustering(&noisy, &cfg)?;
+    let out = pipeline.run(&noisy)?;
     std::fs::create_dir_all("results")?;
     std::fs::write(
         "results/noisy_circles.dot",

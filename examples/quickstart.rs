@@ -6,9 +6,7 @@
 //! ```
 
 use qsc_suite::cluster::metrics::{adjusted_rand_index, matched_accuracy};
-use qsc_suite::core::{
-    classical_spectral_clustering, quantum_spectral_clustering, QuantumParams, SpectralConfig,
-};
+use qsc_suite::core::{Pipeline, QuantumParams};
 use qsc_suite::graph::generators::{dsbm, DsbmParams, MetaGraph};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,14 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         inst.graph.num_arcs()
     );
 
-    let config = SpectralConfig {
-        k: 3,
-        seed: 7,
-        ..SpectralConfig::default()
-    };
+    // Every recipe is one staged Pipeline; stages (embedder, clusterer)
+    // are swappable builder calls.
+    let pipeline = Pipeline::hermitian(3).seed(7);
 
     // Classical Hermitian spectral clustering (exact eigendecomposition).
-    let classical = classical_spectral_clustering(&inst.graph, &config)?;
+    let classical = pipeline.run(&inst.graph)?;
     println!(
         "classical : accuracy {:.3}, ARI {:.3}, cost proxy {:.2e} flops",
         matched_accuracy(&inst.labels, &classical.labels),
@@ -49,8 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Simulated quantum pipeline: QPE-binned projection, tomography
     // readout, q-means — all noise channels at their default precisions.
-    let qparams = QuantumParams::default();
-    let quantum = quantum_spectral_clustering(&inst.graph, &config, &qparams)?;
+    // `.quantum(...)` swaps in the QpeTomography embedder + QMeans stage.
+    let quantum = pipeline
+        .clone()
+        .quantum(&QuantumParams::default())
+        .run(&inst.graph)?;
     println!(
         "quantum   : accuracy {:.3}, ARI {:.3}, cost proxy {:.2e} queries",
         matched_accuracy(&inst.labels, &quantum.labels),

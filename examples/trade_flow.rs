@@ -11,9 +11,7 @@
 //! ```
 
 use qsc_suite::cluster::metrics::matched_accuracy;
-use qsc_suite::core::{
-    classical_spectral_clustering, symmetrized_spectral_clustering, SpectralConfig,
-};
+use qsc_suite::core::Pipeline;
 use qsc_suite::graph::io::{from_edge_list, to_edge_list};
 use qsc_suite::graph::stats::{flow_imbalance, flow_matrix};
 use qsc_suite::graph::MixedGraph;
@@ -62,13 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let serialized = to_edge_list(&graph);
     let graph = from_edge_list(&serialized)?;
 
-    let config = SpectralConfig {
-        k: 3,
-        seed: 5,
-        ..SpectralConfig::default()
-    };
-    let hermitian = classical_spectral_clustering(&graph, &config)?;
-    let blind = symmetrized_spectral_clustering(&graph, &config)?;
+    let hermitian = Pipeline::hermitian(3).seed(5).run(&graph)?;
+    let blind = Pipeline::symmetrized(3).seed(5).run(&graph)?;
 
     println!(
         "hermitian spectral clustering : tier accuracy {:.3}",

@@ -19,7 +19,7 @@
 use qsc_suite::cluster::metrics::matched_accuracy;
 use qsc_suite::cluster::{kmeans, KMeansConfig};
 use qsc_suite::core::report::Table;
-use qsc_suite::core::{classical_spectral_clustering, SpectralConfig};
+use qsc_suite::core::Pipeline;
 use qsc_suite::graph::generators::{circles, CirclesParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,12 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         matched_accuracy(&inst.labels, &raw.labels)
     );
 
-    let config = SpectralConfig {
-        k: 2,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let spectral = classical_spectral_clustering(&inst.graph, &config)?;
+    let spectral = Pipeline::hermitian(2).seed(1).run(&inst.graph)?;
     println!(
         "spectral on similarity graph: accuracy {:.3}",
         matched_accuracy(&inst.labels, &spectral.labels)
@@ -79,14 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("q = 1/4 (direction as signal)", 0.25),
         ("q = 0   (direction ignored)", 0.0),
     ] {
-        let cfg = SpectralConfig {
-            k: 2,
-            q,
-            seed: 1,
-            normalize_rows: true,
-            ..SpectralConfig::default()
-        };
-        let out = classical_spectral_clustering(&noisy.graph, &cfg)?;
+        let out = Pipeline::hermitian(2)
+            .q(q)
+            .seed(1)
+            .normalize_rows(true)
+            .run(&noisy.graph)?;
         println!(
             "  {label}: accuracy {:.3}",
             matched_accuracy(&noisy.labels, &out.labels)

@@ -9,7 +9,8 @@
 //! * [`graph`] — mixed graphs, Hermitian Laplacians, workload generators,
 //! * [`sim`] — quantum state-vector simulator (QPE, tomography, AE),
 //! * [`cluster`] — k-means / q-means and validity metrics,
-//! * [`core`] — the classical and simulated-quantum clustering pipelines.
+//! * [`core`] — the staged `Pipeline` (classical and simulated-quantum
+//!   clustering recipes).
 //!
 //! See `README.md` for the quickstart and `DESIGN.md` for the system
 //! inventory.
@@ -17,12 +18,12 @@
 //! # Examples
 //!
 //! ```
-//! use qsc_suite::core::{classical_spectral_clustering, SpectralConfig};
+//! use qsc_suite::core::Pipeline;
 //! use qsc_suite::graph::generators::{dsbm, DsbmParams};
 //!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), qsc_suite::core::Error> {
 //! let inst = dsbm(&DsbmParams { n: 30, k: 3, seed: 1, ..DsbmParams::default() })?;
-//! let out = classical_spectral_clustering(&inst.graph, &SpectralConfig::with_k(3))?;
+//! let out = Pipeline::hermitian(3).run(&inst.graph)?;
 //! assert_eq!(out.labels.len(), 30);
 //! # Ok(())
 //! # }

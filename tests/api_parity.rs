@@ -1,0 +1,221 @@
+//! API-parity tests for the staged-pipeline redesign: the `Pipeline`
+//! builder must reproduce the deprecated free functions **exactly** (same
+//! labels, spectra, embeddings — the wrappers delegate, and these tests
+//! pin the builder translation of every legacy config), and the
+//! rayon-parallel `run_many` batch runner must be indistinguishable from a
+//! sequential loop under a multi-threaded pool.
+//!
+//! The worker count is pinned to 4 before any pipeline runs (same
+//! mechanism as `parallel_kernels.rs`), so the batch runner actually
+//! exercises its parallel path even on single-core CI runners.
+#![allow(deprecated)] // the legacy entry points are one side of the parity
+
+use qsc_suite::core::{
+    classical_spectral_clustering, lanczos_spectral_clustering, quantum_spectral_clustering,
+    symmetrized_spectral_clustering, Clusterer, ClusteringOutcome, EigenSolver, GraphInstance,
+    LanczosDense, Pipeline, QMeans, QuantumParams, SpectralConfig,
+};
+use qsc_suite::graph::generators::{dsbm, DsbmParams, MetaGraph, PlantedGraph};
+use std::sync::Arc;
+use std::sync::Once;
+
+fn setup() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        // Must precede the first kernel invocation in this process: the
+        // worker count is latched on first use.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+    });
+}
+
+fn flow_instance(n: usize, seed: u64) -> PlantedGraph {
+    dsbm(&DsbmParams {
+        n,
+        k: 3,
+        p_intra: 0.25,
+        p_inter: 0.25,
+        eta_flow: 0.95,
+        meta: MetaGraph::Cycle,
+        seed,
+        ..DsbmParams::default()
+    })
+    .expect("valid params")
+}
+
+/// Everything except wall-clock must agree bit-for-bit.
+fn assert_outcomes_identical(a: &ClusteringOutcome, b: &ClusteringOutcome, what: &str) {
+    assert_eq!(a.labels, b.labels, "{what}: labels");
+    assert_eq!(a.embedding, b.embedding, "{what}: embedding");
+    assert_eq!(a.spectrum, b.spectrum, "{what}: spectrum");
+    assert_eq!(
+        a.selected_eigenvalues, b.selected_eigenvalues,
+        "{what}: selected eigenvalues"
+    );
+    assert_eq!(
+        a.diagnostics.classical_cost, b.diagnostics.classical_cost,
+        "{what}: classical cost"
+    );
+    assert_eq!(
+        a.diagnostics.quantum_cost, b.diagnostics.quantum_cost,
+        "{what}: quantum cost"
+    );
+    assert_eq!(a.diagnostics.kappa, b.diagnostics.kappa, "{what}: kappa");
+    assert_eq!(
+        a.diagnostics.dims_used, b.diagnostics.dims_used,
+        "{what}: dims"
+    );
+}
+
+#[test]
+fn builder_reproduces_classical_free_function() {
+    setup();
+    let inst = flow_instance(90, 1);
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 7,
+        ..SpectralConfig::default()
+    };
+    let legacy = classical_spectral_clustering(&inst.graph, &cfg).expect("legacy");
+    let staged = Pipeline::hermitian(3)
+        .seed(7)
+        .run(&inst.graph)
+        .expect("staged");
+    assert_outcomes_identical(&legacy, &staged, "classical dense");
+}
+
+#[test]
+fn builder_reproduces_lanczos_csr_config() {
+    setup();
+    let inst = flow_instance(90, 2);
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 5,
+        eigensolver: EigenSolver::LanczosCsr,
+        ..SpectralConfig::default()
+    };
+    let legacy = classical_spectral_clustering(&inst.graph, &cfg).expect("legacy");
+    let staged = Pipeline::from_config(&cfg)
+        .run(&inst.graph)
+        .expect("staged");
+    assert_outcomes_identical(&legacy, &staged, "classical lanczos-csr");
+}
+
+#[test]
+fn builder_reproduces_quantum_free_function() {
+    setup();
+    let inst = flow_instance(60, 3);
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 9,
+        ..SpectralConfig::default()
+    };
+    let params = QuantumParams::default();
+    let legacy = quantum_spectral_clustering(&inst.graph, &cfg, &params).expect("legacy");
+    let staged = Pipeline::hermitian(3)
+        .seed(9)
+        .quantum(&params)
+        .run(&inst.graph)
+        .expect("staged");
+    assert_outcomes_identical(&legacy, &staged, "quantum");
+}
+
+#[test]
+fn builder_reproduces_symmetrized_free_function() {
+    setup();
+    let inst = flow_instance(80, 4);
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 3,
+        ..SpectralConfig::default()
+    };
+    let legacy = symmetrized_spectral_clustering(&inst.graph, &cfg).expect("legacy");
+    let staged = Pipeline::symmetrized(3)
+        .seed(3)
+        .run(&inst.graph)
+        .expect("staged");
+    assert_outcomes_identical(&legacy, &staged, "symmetrized");
+}
+
+#[test]
+fn builder_reproduces_lanczos_dense_free_function() {
+    setup();
+    let inst = flow_instance(70, 5);
+    let cfg = SpectralConfig {
+        k: 3,
+        seed: 11,
+        ..SpectralConfig::default()
+    };
+    let legacy = lanczos_spectral_clustering(&inst.graph, &cfg).expect("legacy");
+    let staged = Pipeline::hermitian(3)
+        .seed(11)
+        .embedder(LanczosDense)
+        .run(&inst.graph)
+        .expect("staged");
+    assert_outcomes_identical(&legacy, &staged, "lanczos dense");
+}
+
+#[test]
+fn run_many_is_deterministic_under_four_workers() {
+    setup();
+    let graphs: Vec<PlantedGraph> = (0..6).map(|s| flow_instance(60, 40 + s)).collect();
+    let batch: Vec<GraphInstance> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+        .collect();
+    let pl = Pipeline::hermitian(3).quantum(&QuantumParams::default());
+
+    // Sequential reference: one run() per instance, in order.
+    let sequential: Vec<ClusteringOutcome> = batch
+        .iter()
+        .map(|inst| {
+            pl.clone()
+                .seed(inst.seed.expect("seeded batch"))
+                .run(inst.graph)
+                .expect("sequential run")
+        })
+        .collect();
+
+    // The parallel batch must agree exactly, run after run.
+    for round in 0..2 {
+        let batched = pl.run_many(&batch).expect("run_many");
+        assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            assert_outcomes_identical(b, s, &format!("round {round}, instance {i}"));
+        }
+    }
+}
+
+#[test]
+fn run_many_clusterers_matches_independent_full_runs() {
+    setup();
+    let graphs: Vec<PlantedGraph> = (0..3).map(|s| flow_instance(50, 60 + s)).collect();
+    let batch: Vec<GraphInstance> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+        .collect();
+    let params = QuantumParams::default();
+    let pl = Pipeline::hermitian(3).quantum(&params);
+    let deltas = [0.05, 0.9];
+    let clusterers: Vec<Arc<dyn Clusterer>> = deltas
+        .iter()
+        .map(|&d| Arc::new(QMeans::new(d)) as Arc<dyn Clusterer>)
+        .collect();
+    let swept = pl.run_many_clusterers(&batch, &clusterers).expect("sweep");
+    for (i, per_instance) in swept.iter().enumerate() {
+        for (j, &delta) in deltas.iter().enumerate() {
+            let full = pl
+                .clone()
+                .seed(i as u64)
+                .clusterer(QMeans::new(delta))
+                .run(&graphs[i].graph)
+                .expect("full run");
+            assert_outcomes_identical(
+                &per_instance[j],
+                &full,
+                &format!("instance {i}, delta {delta}"),
+            );
+        }
+    }
+}

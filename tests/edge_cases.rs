@@ -1,6 +1,12 @@
 //! Boundary and failure-injection tests across the stack: tiny graphs,
 //! isolated vertices, degenerate requests, weighted graphs, and the
 //! error-path contracts a downstream user will hit first.
+//!
+//! Runs deliberately through the deprecated free-function entry points:
+//! they must keep honoring the same error contracts until removal (the
+//! builder-API equivalents are covered in `api_parity.rs` and
+//! `pipeline_integration.rs`).
+#![allow(deprecated)]
 
 use qsc_suite::cluster::{kmeans, KMeansConfig};
 use qsc_suite::core::{

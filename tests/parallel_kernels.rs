@@ -288,6 +288,33 @@ fn parallel_block_unitary_matches_serial_blocks() {
 }
 
 #[test]
+fn matmul_routed_block_unitary_matches_serial_blocks() {
+    setup();
+    let mut rng = StdRng::seed_from_u64(520);
+    // Large enough that the uncontrolled path takes the S·Uᵀ matmul route
+    // (num_blocks · block² = 2^22 ≫ the parallel threshold).
+    let block_qubits = 6;
+    let total_qubits = 16;
+    let u = CMatrix::random_unitary(1 << block_qubits, &mut rng);
+    let state = random_state(total_qubits, 521);
+    let mut fast = state.clone();
+    fast.apply_block_unitary(&u).unwrap();
+    // Reference: per-block dense matvec, sequentially.
+    let block = 1usize << block_qubits;
+    let mut amps = state.amplitudes().to_vec();
+    for chunk in amps.chunks_mut(block) {
+        let applied = u.matvec(chunk);
+        chunk.copy_from_slice(&applied);
+    }
+    let slow = QuantumState::from_amplitudes(amps).unwrap();
+    assert!(
+        max_amp_diff(&fast, &slow) <= 1e-12,
+        "matmul-routed block unitary diff {}",
+        max_amp_diff(&fast, &slow)
+    );
+}
+
+#[test]
 fn qpe_phase_distribution_unchanged_by_eigendecompose_once_rewrite() {
     setup();
     let mut rng = StdRng::seed_from_u64(600);

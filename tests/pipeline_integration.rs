@@ -3,10 +3,7 @@
 //! metrics, with seeded accuracy floors.
 
 use qsc_suite::cluster::metrics::{adjusted_rand_index, matched_accuracy};
-use qsc_suite::core::{
-    baseline::adjacency_kmeans, classical_spectral_clustering, quantum_spectral_clustering,
-    symmetrized_spectral_clustering, QuantumParams, SpectralConfig,
-};
+use qsc_suite::core::{baseline::adjacency_kmeans, Pipeline, QuantumParams, SpectralConfig};
 use qsc_suite::graph::generators::{dsbm, netlist, DsbmParams, MetaGraph, NetlistParams};
 use qsc_suite::graph::io::{from_edge_list, to_edge_list};
 use qsc_suite::graph::stats::{cut_weight, mean_flow_imbalance};
@@ -29,31 +26,21 @@ fn flow_instance(n: usize, seed: u64) -> qsc_suite::graph::generators::PlantedGr
 #[test]
 fn classical_pipeline_accuracy_floor() {
     let inst = flow_instance(150, 1);
-    let out = classical_spectral_clustering(
-        &inst.graph,
-        &SpectralConfig {
-            k: 3,
-            seed: 2,
-            ..SpectralConfig::default()
-        },
-    )
-    .expect("pipeline");
+    let out = Pipeline::hermitian(3)
+        .seed(2)
+        .run(&inst.graph)
+        .expect("pipeline");
     assert!(matched_accuracy(&inst.labels, &out.labels) > 0.95);
 }
 
 #[test]
 fn quantum_pipeline_accuracy_floor() {
     let inst = flow_instance(150, 1);
-    let out = quantum_spectral_clustering(
-        &inst.graph,
-        &SpectralConfig {
-            k: 3,
-            seed: 2,
-            ..SpectralConfig::default()
-        },
-        &QuantumParams::default(),
-    )
-    .expect("pipeline");
+    let out = Pipeline::hermitian(3)
+        .seed(2)
+        .quantum(&QuantumParams::default())
+        .run(&inst.graph)
+        .expect("pipeline");
     assert!(matched_accuracy(&inst.labels, &out.labels) > 0.85);
 }
 
@@ -62,15 +49,17 @@ fn method_ordering_on_flow_clusters() {
     // The evaluation's headline ordering: Hermitian (classical ≈ quantum)
     // ≫ symmetrized on flow-defined clusters.
     let inst = flow_instance(120, 3);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 5,
-        ..SpectralConfig::default()
-    };
-    let herm = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
-    let quan =
-        quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default()).expect("quantum");
-    let blind = symmetrized_spectral_clustering(&inst.graph, &cfg).expect("baseline");
+    let pl = Pipeline::hermitian(3).seed(5);
+    let herm = pl.run(&inst.graph).expect("classical");
+    let quan = pl
+        .clone()
+        .quantum(&QuantumParams::default())
+        .run(&inst.graph)
+        .expect("quantum");
+    let blind = Pipeline::symmetrized(3)
+        .seed(5)
+        .run(&inst.graph)
+        .expect("baseline");
 
     let acc_h = matched_accuracy(&inst.labels, &herm.labels);
     let acc_q = matched_accuracy(&inst.labels, &quan.labels);
@@ -92,12 +81,10 @@ fn netlist_module_recovery() {
         ..NetlistParams::default()
     };
     let inst = netlist(&params).expect("netlist");
-    let cfg = SpectralConfig {
-        k: 4,
-        seed: 2,
-        ..SpectralConfig::default()
-    };
-    let herm = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
+    let herm = Pipeline::hermitian(4)
+        .seed(2)
+        .run(&inst.graph)
+        .expect("classical");
     let acc = matched_accuracy(&inst.labels, &herm.labels);
     assert!(acc > 0.7, "netlist module accuracy {acc}");
     // The recovered partition must have strongly oriented boundaries.
@@ -146,7 +133,9 @@ fn adjacency_baseline_is_weaker_than_spectral() {
         seed: 4,
         ..SpectralConfig::default()
     };
-    let spectral = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
+    let spectral = Pipeline::from_config(&cfg)
+        .run(&inst.graph)
+        .expect("classical");
     let naive_labels = adjacency_kmeans(&inst.graph, &cfg).expect("naive");
     let acc_s = matched_accuracy(&inst.labels, &spectral.labels);
     let acc_n = matched_accuracy(&inst.labels, &naive_labels);
@@ -159,12 +148,10 @@ fn adjacency_baseline_is_weaker_than_spectral() {
 #[test]
 fn ari_and_accuracy_agree_on_perfect_runs() {
     let inst = flow_instance(90, 17);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 8,
-        ..SpectralConfig::default()
-    };
-    let out = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
+    let out = Pipeline::hermitian(3)
+        .seed(8)
+        .run(&inst.graph)
+        .expect("classical");
     let acc = matched_accuracy(&inst.labels, &out.labels);
     let ari = adjusted_rand_index(&inst.labels, &out.labels);
     if acc == 1.0 {
@@ -185,12 +172,10 @@ fn cut_weight_lower_for_recovered_partition_than_random() {
         ..DsbmParams::default()
     })
     .expect("dsbm");
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 3,
-        ..SpectralConfig::default()
-    };
-    let out = classical_spectral_clustering(&inst.graph, &cfg).expect("classical");
+    let out = Pipeline::hermitian(3)
+        .seed(3)
+        .run(&inst.graph)
+        .expect("classical");
     let recovered_cut = cut_weight(&inst.graph, &out.labels);
     let random_labels: Vec<usize> = (0..90).map(|i| (i * 7 + 3) % 3).collect();
     let random_cut = cut_weight(&inst.graph, &random_labels);
@@ -203,13 +188,11 @@ fn cut_weight_lower_for_recovered_partition_than_random() {
 #[test]
 fn diagnostics_cost_models_positive_and_ordered() {
     let inst = flow_instance(100, 23);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let q =
-        quantum_spectral_clustering(&inst.graph, &cfg, &QuantumParams::default()).expect("quantum");
+    let q = Pipeline::hermitian(3)
+        .seed(1)
+        .quantum(&QuantumParams::default())
+        .run(&inst.graph)
+        .expect("quantum");
     assert!(q.diagnostics.classical_cost > 0.0);
     assert!(q.diagnostics.quantum_cost.expect("set") > 0.0);
     assert!(q.diagnostics.kappa >= 1.0);
