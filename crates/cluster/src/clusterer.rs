@@ -8,7 +8,8 @@
 
 use crate::error::ClusterError;
 use crate::kmeans::{kmeans, KMeansConfig, KMeansResult};
-use crate::qmeans::{qmeans, QMeansConfig};
+use crate::qmeans::{qmeans, qmeans_with_backend, QMeansConfig};
+use qsc_sim::backend::Backend;
 
 /// A clustering algorithm usable as the final stage of a spectral pipeline.
 pub trait Clusterer: Send + Sync {
@@ -23,6 +24,26 @@ pub trait Clusterer: Send + Sync {
     /// degenerate data.
     fn cluster(&self, data: &[Vec<f64>], base: &KMeansConfig)
         -> Result<KMeansResult, ClusterError>;
+
+    /// Clusters `data` with this stage's quantum measurement statistics
+    /// drawn through an execution `backend` (finite-shot distance
+    /// estimation, readout bias). Classical stages, and quantum stages on a
+    /// backend with exact statistics, behave exactly like
+    /// [`cluster`](Clusterer::cluster) — which is also the default
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`cluster`](Clusterer::cluster).
+    fn cluster_with_backend(
+        &self,
+        data: &[Vec<f64>],
+        base: &KMeansConfig,
+        backend: &dyn Backend,
+    ) -> Result<KMeansResult, ClusterError> {
+        let _ = backend;
+        self.cluster(data, base)
+    }
 }
 
 /// Classical Lloyd's k-means with k-means++ seeding and restarts — the
@@ -81,6 +102,22 @@ impl Clusterer for QMeans {
                 base: base.clone(),
                 delta: self.delta,
             },
+        )
+    }
+
+    fn cluster_with_backend(
+        &self,
+        data: &[Vec<f64>],
+        base: &KMeansConfig,
+        backend: &dyn Backend,
+    ) -> Result<KMeansResult, ClusterError> {
+        qmeans_with_backend(
+            data,
+            &QMeansConfig {
+                base: base.clone(),
+                delta: self.delta,
+            },
+            backend,
         )
     }
 }

@@ -41,4 +41,4 @@ pub mod scores;
 pub use clusterer::{Clusterer, KMeans, QMeans};
 pub use error::ClusterError;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
-pub use qmeans::{qmeans, QMeansConfig};
+pub use qmeans::{qmeans, qmeans_with_backend, QMeansConfig};

@@ -12,9 +12,17 @@
 //!
 //! The simulation injects uniformly distributed errors of those magnitudes,
 //! which is the standard classical stand-in used by this line of work.
+//!
+//! On top of the δ channels, [`qmeans_with_backend`] routes every distance
+//! estimate through an execution
+//! [`Backend`]'s measurement statistics: with a
+//! `ShotSampler` the squared distances become finite-shot frequencies
+//! (shot-based distance estimation); with a `NoisyStatevector` they pick up
+//! the readout bias. An exact backend leaves the estimates untouched.
 
 use crate::error::ClusterError;
 use crate::kmeans::{lloyd_run, KMeansConfig, KMeansResult, NoiseModel};
+use qsc_sim::backend::Backend;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -39,29 +47,72 @@ impl Default for QMeansConfig {
     }
 }
 
-/// The δ-bounded noise channel of q-means.
-#[derive(Debug)]
-pub struct QMeansNoise {
+/// The δ-bounded noise channel of q-means, optionally composed with an
+/// execution backend's measurement statistics for the distance estimates.
+pub struct QMeansNoise<'b> {
     delta: f64,
     rng: StdRng,
+    /// Measurement-statistics model for the distance estimates; `None`
+    /// keeps the pure δ channel (the historical behavior, bit-identical).
+    backend: Option<&'b dyn Backend>,
+    /// Upper bound on the squared distances, normalizing them into the
+    /// `[0, 1]` probability the backend's estimator observes.
+    distance_scale: f64,
 }
 
-impl QMeansNoise {
-    /// Creates the noise channel with its own RNG stream.
+impl<'b> QMeansNoise<'b> {
+    /// Creates the pure δ noise channel with its own RNG stream.
     pub fn new(delta: f64, seed: u64) -> Self {
         Self {
             delta,
             rng: StdRng::seed_from_u64(seed),
+            backend: None,
+            distance_scale: 1.0,
+        }
+    }
+
+    /// Creates the channel with distance estimates additionally drawn
+    /// through `backend` (shot statistics / readout bias), with squared
+    /// distances normalized by `distance_scale` (an upper bound on them).
+    pub fn with_backend(
+        delta: f64,
+        seed: u64,
+        backend: &'b dyn Backend,
+        distance_scale: f64,
+    ) -> Self {
+        Self {
+            delta,
+            rng: StdRng::seed_from_u64(seed),
+            backend: Some(backend),
+            distance_scale: distance_scale.max(f64::MIN_POSITIVE),
         }
     }
 }
 
-impl NoiseModel for QMeansNoise {
+impl std::fmt::Debug for QMeansNoise<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QMeansNoise")
+            .field("delta", &self.delta)
+            .field("backend", &self.backend.map(|b| b.name()))
+            .field("distance_scale", &self.distance_scale)
+            .finish()
+    }
+}
+
+impl NoiseModel for QMeansNoise<'_> {
     fn distance_sq(&mut self, exact: f64) -> f64 {
-        if self.delta == 0.0 {
-            return exact;
+        let mut est = exact;
+        if self.delta > 0.0 {
+            est = (est + self.rng.gen_range(-self.delta..self.delta)).max(0.0);
         }
-        (exact + self.rng.gen_range(-self.delta..self.delta)).max(0.0)
+        if let Some(backend) = self.backend {
+            // Shot-based distance estimation: the (δ-perturbed) squared
+            // distance, normalized to a probability, observed through the
+            // backend's measurement statistics.
+            let p = (est / self.distance_scale).clamp(0.0, 1.0);
+            est = backend.estimate_probability(p, &mut self.rng) * self.distance_scale;
+        }
+        est.max(0.0)
     }
 
     fn centroid(&mut self, centroid: &mut [f64]) {
@@ -117,6 +168,47 @@ impl NoiseModel for QMeansNoise {
 /// # }
 /// ```
 pub fn qmeans(data: &[Vec<f64>], config: &QMeansConfig) -> Result<KMeansResult, ClusterError> {
+    qmeans_inner(data, config, None)
+}
+
+/// Runs q-means with the distance estimates drawn through an execution
+/// backend's measurement statistics (finite shots / readout bias) on top of
+/// the δ channels.
+///
+/// With a backend whose statistics are exact
+/// ([`Backend::exact_statistics`]), this is numerically identical to
+/// [`qmeans`].
+///
+/// # Errors
+///
+/// Same contract as [`qmeans`].
+pub fn qmeans_with_backend(
+    data: &[Vec<f64>],
+    config: &QMeansConfig,
+    backend: &dyn Backend,
+) -> Result<KMeansResult, ClusterError> {
+    if backend.exact_statistics() {
+        return qmeans(data, config);
+    }
+    qmeans_inner(data, config, Some(backend))
+}
+
+/// Upper bound on the squared distance between a point and any centroid in
+/// the data's convex hull: `(2·max‖x‖)²` (δ perturbations are clamped into
+/// this range, which only saturates the probability).
+fn distance_scale(data: &[Vec<f64>]) -> f64 {
+    let max_norm = data
+        .iter()
+        .map(|row| row.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .fold(0.0, f64::max);
+    (2.0 * max_norm).powi(2).max(f64::MIN_POSITIVE)
+}
+
+fn qmeans_inner(
+    data: &[Vec<f64>],
+    config: &QMeansConfig,
+    backend: Option<&dyn Backend>,
+) -> Result<KMeansResult, ClusterError> {
     if config.delta < 0.0 {
         return Err(ClusterError::InvalidConfig {
             context: format!("delta = {} must be non-negative", config.delta),
@@ -145,7 +237,11 @@ pub fn qmeans(data: &[Vec<f64>], config: &QMeansConfig) -> Result<KMeansResult, 
     }
 
     let mut rng = StdRng::seed_from_u64(config.base.seed);
-    let mut noise = QMeansNoise::new(config.delta, config.base.seed.wrapping_add(0x9e37_79b9));
+    let noise_seed = config.base.seed.wrapping_add(0x9e37_79b9);
+    let mut noise = match backend {
+        Some(b) => QMeansNoise::with_backend(config.delta, noise_seed, b, distance_scale(data)),
+        None => QMeansNoise::new(config.delta, noise_seed),
+    };
     let mut best: Option<KMeansResult> = None;
     for _ in 0..config.base.restarts {
         let run = lloyd_run(
@@ -268,6 +364,62 @@ mod tests {
         let mut noise = QMeansNoise::new(1.0, 2);
         for _ in 0..200 {
             assert!(noise.distance_sq(0.01) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exact_backend_matches_plain_qmeans() {
+        use qsc_sim::backend::Statevector;
+        let data = blobs();
+        let cfg = QMeansConfig {
+            base: KMeansConfig {
+                k: 2,
+                seed: 4,
+                ..Default::default()
+            },
+            delta: 0.2,
+        };
+        let plain = qmeans(&data, &cfg).unwrap();
+        let via_backend = qmeans_with_backend(&data, &cfg, &Statevector::new()).unwrap();
+        assert_eq!(plain, via_backend);
+    }
+
+    #[test]
+    fn shot_backend_is_deterministic_and_still_separates() {
+        use qsc_sim::backend::ShotSampler;
+        let data = blobs();
+        let cfg = QMeansConfig {
+            base: KMeansConfig {
+                k: 2,
+                seed: 4,
+                ..Default::default()
+            },
+            delta: 0.05,
+        };
+        let backend = ShotSampler::new(512);
+        let a = qmeans_with_backend(&data, &cfg, &backend).unwrap();
+        let b = qmeans_with_backend(&data, &cfg, &backend).unwrap();
+        assert_eq!(a, b, "seeded shot statistics must be reproducible");
+        // The blobs are far apart; 512 shots resolve them.
+        assert!(a.labels[..25].windows(2).all(|w| w[0] == w[1]));
+        assert!(a.labels[25..].windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(a.labels[0], a.labels[30]);
+    }
+
+    #[test]
+    fn shot_backend_distance_estimates_are_quantized() {
+        use qsc_sim::backend::ShotSampler;
+        let backend = ShotSampler::new(100);
+        let mut noise = QMeansNoise::with_backend(0.0, 7, &backend, 4.0);
+        for _ in 0..50 {
+            let est = noise.distance_sq(1.0);
+            // Estimates are multiples of scale/shots = 0.04.
+            let quantum = 4.0 / 100.0;
+            assert!(
+                (est / quantum - (est / quantum).round()).abs() < 1e-9,
+                "est {est}"
+            );
+            assert!((0.0..=4.0).contains(&est));
         }
     }
 }

@@ -4,9 +4,10 @@
 //! The build environment is fully offline, so the data-parallel kernels in
 //! `qsc-linalg` and `qsc-sim` are written against this crate: the same
 //! `par_chunks{,_mut}` / `for_each` / `map` / `reduce` surface as real
-//! rayon, implemented on `std::thread::scope` with a shared work queue.
-//! Swapping the path dependency for the real rayon requires no source
-//! changes in the kernels.
+//! rayon, executed on a **persistent worker pool** (spawned once, shared by
+//! every parallel call through a global [`registry`]) with a shared work
+//! queue per call. Swapping the path dependency for the real rayon
+//! requires no source changes in the kernels.
 //!
 //! Two properties the kernels rely on:
 //!
@@ -19,14 +20,23 @@
 //! * **Inline fallback** — with one available thread (or one chunk) the work
 //!   runs on the calling thread with no spawn, so small inputs pay nothing.
 //!
+//! Like real rayon, a thread waiting for its call to finish **helps**: it
+//! executes jobs from the global injector instead of blocking, so nested
+//! parallel calls (a batch runner whose instances run parallel kernels)
+//! cannot deadlock the fixed-size pool.
+//!
 //! Thread count comes from `RAYON_NUM_THREADS` when set, else
-//! `std::thread::available_parallelism()`.
+//! `std::thread::available_parallelism()`; it is latched on first use.
 
 #![warn(missing_docs)]
 
-use std::sync::{Mutex, OnceLock};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
-/// Number of worker threads the pool-equivalent will use.
+/// Number of worker threads the pool will use.
 pub fn current_num_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
     *N.get_or_init(|| {
@@ -41,7 +51,160 @@ pub fn current_num_threads() -> usize {
     })
 }
 
-/// Runs `a` and `b`, potentially in parallel, returning both results.
+/// A type-erased unit of work queued on the global injector.
+type Job = Box<dyn FnOnce() + Send>;
+
+struct Shared {
+    injector: Mutex<VecDeque<Job>>,
+    /// Signaled when a job is injected or a call's helper set drains.
+    work_available: Condvar,
+}
+
+/// The persistent worker pool: `current_num_threads() − 1` daemon threads
+/// (the calling thread is always the n-th worker of its own call) pulling
+/// type-erased jobs from one global injector queue.
+pub struct Registry {
+    shared: Arc<Shared>,
+    workers: usize,
+}
+
+impl Registry {
+    /// Number of pool threads (excluding callers).
+    pub fn num_pool_threads(&self) -> usize {
+        self.workers
+    }
+
+    fn inject(&self, job: Job) {
+        let mut q = self
+            .shared
+            .injector
+            .lock()
+            .expect("rayon-compat: poisoned injector");
+        q.push_back(job);
+        drop(q);
+        self.shared.work_available.notify_all();
+    }
+
+    /// Wakes every thread parked on the injector (used by finishing calls
+    /// so their waiting caller re-checks its completion condition).
+    fn notify(&self) {
+        self.shared.work_available.notify_all();
+    }
+
+    /// Runs injector jobs until `done()` — the cooperative wait that makes
+    /// nested parallel calls safe on a fixed-size pool.
+    fn wait_until(&self, done: &dyn Fn() -> bool) {
+        loop {
+            if done() {
+                return;
+            }
+            let job = {
+                let mut q = self
+                    .shared
+                    .injector
+                    .lock()
+                    .expect("rayon-compat: poisoned injector");
+                match q.pop_front() {
+                    Some(job) => Some(job),
+                    None => {
+                        // Nothing to steal: park until new work arrives or a
+                        // helper finishes (timeout guards lost wakeups).
+                        let (guard, _) = self
+                            .shared
+                            .work_available
+                            .wait_timeout(q, Duration::from_millis(1))
+                            .expect("rayon-compat: poisoned injector");
+                        drop(guard);
+                        None
+                    }
+                }
+            };
+            if let Some(job) = job {
+                job();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared
+                .injector
+                .lock()
+                .expect("rayon-compat: poisoned injector");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = shared
+                    .work_available
+                    .wait(q)
+                    .expect("rayon-compat: poisoned injector");
+            }
+        };
+        job();
+    }
+}
+
+/// The global worker-pool registry, spawned on first use and reused by
+/// every parallel call for the life of the process.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            work_available: Condvar::new(),
+        });
+        // The calling thread always participates in its own call, so the
+        // pool only needs n − 1 standing workers.
+        let workers = current_num_threads().saturating_sub(1);
+        for i in 0..workers {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("rayon-compat-{i}"))
+                .spawn(move || worker_loop(shared))
+                .expect("rayon-compat: failed to spawn pool worker");
+        }
+        Registry { shared, workers }
+    })
+}
+
+/// Shared state of one `run_tasks` call, referenced by its helper jobs.
+struct CallState<I, F> {
+    queue: Mutex<std::vec::IntoIter<I>>,
+    f: F,
+    pending_helpers: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<I, F: Fn(I) + Sync> CallState<I, F> {
+    /// Drains the item queue on the current thread, trapping panics so
+    /// sibling helpers keep the queue moving.
+    fn drain(&self) {
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
+            let next = self
+                .queue
+                .lock()
+                .expect("rayon-compat: poisoned queue")
+                .next();
+            match next {
+                Some(item) => (self.f)(item),
+                None => break,
+            }
+        }));
+        if let Err(payload) = result {
+            let mut slot = self
+                .panic
+                .lock()
+                .expect("rayon-compat: poisoned panic slot");
+            slot.get_or_insert(payload);
+        }
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel on the pool, returning both
+/// results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -54,18 +217,48 @@ where
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        let rb = hb.join().expect("rayon-compat: joined task panicked");
-        (ra, rb)
-    })
+    let reg = registry();
+    let rb_slot: Mutex<Option<std::thread::Result<RB>>> = Mutex::new(None);
+    let done = AtomicUsize::new(0);
+    // Erase the borrow lifetimes: `join` only returns after `done` is set,
+    // so the references stay valid for the job's whole life.
+    let boxed: Box<dyn FnOnce() + Send + '_> = {
+        let rb_slot = &rb_slot;
+        let done = &done;
+        let reg_ref = reg;
+        Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(b));
+            *rb_slot.lock().expect("rayon-compat: poisoned join slot") = Some(result);
+            done.store(1, Ordering::SeqCst);
+            reg_ref.notify();
+        })
+    };
+    let job: Job = unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+            boxed,
+        )
+    };
+    reg.inject(job);
+    // Trap a caller-side panic until the injected job is done with its
+    // borrows, then propagate it.
+    let ra_result = catch_unwind(AssertUnwindSafe(a));
+    reg.wait_until(&|| done.load(Ordering::SeqCst) == 1);
+    let ra = ra_result.unwrap_or_else(|payload| resume_unwind(payload));
+    let rb = rb_slot
+        .lock()
+        .expect("rayon-compat: poisoned join slot")
+        .take()
+        .expect("rayon-compat: join slot filled")
+        .unwrap_or_else(|payload| resume_unwind(payload));
+    (ra, rb)
 }
 
-/// Distributes `items` over the worker threads, calling `f` on each.
+/// Distributes `items` over the persistent worker pool, calling `f` on
+/// each.
 ///
-/// Items are pulled from a shared queue so uneven task costs balance; with
-/// one worker (or one item) everything runs inline on the caller.
+/// Items are pulled from a shared queue so uneven task costs balance; the
+/// calling thread participates, and with one worker (or one item)
+/// everything runs inline on the caller with no queueing at all.
 fn run_tasks<I, F>(items: Vec<I>, f: F)
 where
     I: Send,
@@ -78,20 +271,50 @@ where
         }
         return;
     }
-    let queue = Mutex::new(items.into_iter());
-    let f = &f;
-    let queue = &queue;
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(move || loop {
-                let next = queue.lock().expect("rayon-compat: poisoned queue").next();
-                match next {
-                    Some(item) => f(item),
-                    None => break,
-                }
-            });
-        }
-    });
+    let reg = registry();
+    let state = CallState {
+        queue: Mutex::new(items.into_iter()),
+        f,
+        pending_helpers: AtomicUsize::new(workers - 1),
+        panic: Mutex::new(None),
+    };
+
+    // Submit `workers − 1` helper jobs; each drains the shared queue, then
+    // reports in. Lifetimes are erased: this call only returns once every
+    // helper has finished, so `state` outlives every job.
+    for _ in 0..workers - 1 {
+        let boxed: Box<dyn FnOnce() + Send + '_> = {
+            let state = &state;
+            let reg_ref = reg;
+            Box::new(move || {
+                state.drain();
+                state.pending_helpers.fetch_sub(1, Ordering::SeqCst);
+                reg_ref.notify();
+            })
+        };
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Box<dyn FnOnce() + Send + 'static>>(
+                boxed,
+            )
+        };
+        reg.inject(job);
+    }
+
+    // The caller is the last worker of its own call, then helps the pool
+    // until its helpers are done (they may still be queued behind other
+    // calls' jobs — executing those here is what prevents deadlock under
+    // nesting).
+    state.drain();
+    reg.wait_until(&|| state.pending_helpers.load(Ordering::SeqCst) == 0);
+
+    let payload = state
+        .panic
+        .lock()
+        .expect("rayon-compat: poisoned panic slot")
+        .take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
 }
 
 /// Like [`run_tasks`] but collects one result per item, **in item order**.
@@ -353,5 +576,86 @@ mod tests {
     fn empty_input_is_fine() {
         let mut data: Vec<u8> = Vec::new();
         data.par_chunks_mut(8).for_each(|_| unreachable!());
+    }
+
+    #[test]
+    fn pool_threads_are_persistent_across_calls() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // The registry is a single global instance, and its workers are
+        // long-lived named threads — every non-caller thread observed
+        // running our tasks must be one of them. (Counting *distinct* ids
+        // would be flaky: other concurrently running tests' callers can
+        // legitimately steal our jobs while they wait on their own.)
+        assert!(std::ptr::eq(registry(), registry()), "one global registry");
+        let names = Mutex::new(HashSet::new());
+        for _ in 0..4 {
+            let mut data = vec![0u8; 4096];
+            data.par_chunks_mut(64).for_each(|chunk| {
+                // Enough work per task that the woken pool workers get a
+                // share before the caller drains the queue alone.
+                for _ in 0..20_000 {
+                    std::hint::black_box(&mut *chunk);
+                }
+                let name = std::thread::current()
+                    .name()
+                    .map(str::to_owned)
+                    .unwrap_or_default();
+                names.lock().unwrap().insert(name);
+            });
+        }
+        if registry().num_pool_threads() > 0 {
+            // With standing workers available, at least one task of the
+            // four calls must have run on a persistent pool thread.
+            let names = names.lock().unwrap();
+            assert!(
+                names.iter().any(|n| n.starts_with("rayon-compat-")),
+                "no pool thread ever ran a task: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_parallel_calls_complete() {
+        // A parallel call whose tasks run parallel calls themselves: on a
+        // fixed-size pool this deadlocks unless waiting threads help. The
+        // shape mirrors run_many (outer) over parallel kernels (inner).
+        let mut outer: Vec<u64> = vec![0; 64];
+        outer.par_chunks_mut(4).for_each(|chunk| {
+            for slot in chunk.iter_mut() {
+                let inner: Vec<u64> = (0..512).collect();
+                *slot = inner
+                    .par_chunks(32)
+                    .map(|c| c.iter().sum::<u64>())
+                    .reduce(|| 0, |a, b| a + b);
+            }
+        });
+        let expect: u64 = (0..512).sum();
+        assert!(outer.iter().all(|&x| x == expect));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            let data: Vec<usize> = (0..1000).collect();
+            let _ = data
+                .par_chunks(10)
+                .map(|c| {
+                    if c[0] == 500 {
+                        panic!("boom in worker");
+                    }
+                    c[0]
+                })
+                .collect_vec();
+        });
+        assert!(result.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn join_propagates_b_panic() {
+        let result = std::panic::catch_unwind(|| {
+            join(|| 1, || -> usize { panic!("boom in join") });
+        });
+        assert!(result.is_err());
     }
 }

@@ -1,56 +1,19 @@
 //! Comparison baselines.
 //!
-//! * [`symmetrized_spectral_clustering`] — the direction-blind classical
-//!   method: arcs become undirected edges, then ordinary (real) normalized
-//!   spectral clustering. Equivalent to running the Hermitian pipeline at
-//!   `q = 0`; in the staged API this is
+//! * The direction-blind classical method — arcs become undirected edges,
+//!   then ordinary (real) normalized spectral clustering — is
 //!   [`Pipeline::symmetrized`](crate::Pipeline::symmetrized) (or the
-//!   [`symmetrize`](crate::Pipeline::symmetrize) builder flag), so the
-//!   baseline is literally "what a user without Hermitian machinery would
-//!   run".
+//!   [`symmetrize`](crate::Pipeline::symmetrize) builder flag), equivalent
+//!   to running the Hermitian pipeline at `q = 0`: literally "what a user
+//!   without Hermitian machinery would run".
 //! * [`adjacency_kmeans`] — the naive baseline: k-means directly on the
 //!   rows of the Hermitian adjacency (no spectral step).
 
 use crate::config::SpectralConfig;
 use crate::error::Error;
-use crate::outcome::ClusteringOutcome;
-use crate::pipeline::Pipeline;
 use qsc_cluster::{kmeans, KMeansConfig};
 use qsc_graph::{hermitian_adjacency, MixedGraph};
 use qsc_linalg::vector::interleave_re_im;
-
-/// Direction-blind spectral clustering: symmetrize, then cluster.
-///
-/// # Errors
-///
-/// Same contract as [`Pipeline::run`].
-///
-/// # Examples
-///
-/// The replacement builder call:
-///
-/// ```
-/// use qsc_core::Pipeline;
-/// use qsc_graph::generators::{dsbm, DsbmParams};
-///
-/// # fn main() -> Result<(), qsc_core::Error> {
-/// let inst = dsbm(&DsbmParams { n: 30, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = Pipeline::symmetrized(3).run(&inst.graph)?;
-/// assert_eq!(out.labels.len(), 30);
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use the staged builder: `Pipeline::from_config(config).symmetrize().run(g)` \
-            or `Pipeline::symmetrized(k).run(g)`"
-)]
-pub fn symmetrized_spectral_clustering(
-    g: &MixedGraph,
-    config: &SpectralConfig,
-) -> Result<ClusteringOutcome, Error> {
-    Pipeline::from_config(config).symmetrize().run(g)
-}
 
 /// Naive baseline: k-means on the raw rows of the Hermitian adjacency
 /// matrix (each row realized in `R^{2n}`). No spectral dimensionality
@@ -77,9 +40,9 @@ pub fn adjacency_kmeans(g: &MixedGraph, config: &SpectralConfig) -> Result<Vec<u
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
+    use crate::pipeline::Pipeline;
     use qsc_cluster::metrics::matched_accuracy;
     use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
 
@@ -121,13 +84,8 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 3,
-            ..SpectralConfig::default()
-        };
-        let herm = Pipeline::from_config(&cfg).run(&inst.graph).unwrap();
-        let sym = symmetrized_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let herm = Pipeline::hermitian(3).seed(3).run(&inst.graph).unwrap();
+        let sym = Pipeline::symmetrized(3).seed(3).run(&inst.graph).unwrap();
         let acc_h = matched_accuracy(&inst.labels, &herm.labels);
         let acc_s = matched_accuracy(&inst.labels, &sym.labels);
         assert!(

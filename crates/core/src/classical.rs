@@ -1,12 +1,9 @@
 //! Classical embedding stages for the Hermitian spectral pipeline — exact
-//! dense eigendecomposition and the sparse Lanczos partial eigensolver —
-//! plus the deprecated single-call entry point they used to live in.
+//! dense eigendecomposition and the sparse Lanczos partial eigensolver.
 
-use crate::config::SpectralConfig;
 use crate::embedding::{embed_rows, normalize_rows};
 use crate::error::Error;
-use crate::outcome::ClusteringOutcome;
-use crate::pipeline::{Embedder, Embedding, Pipeline, StageContext};
+use crate::pipeline::{Embedder, Embedding, StageContext};
 use qsc_graph::MixedGraph;
 use qsc_linalg::eigh;
 use qsc_linalg::lanczos::lanczos_lowest_k_csr;
@@ -83,44 +80,10 @@ fn finish_classical(
     })
 }
 
-/// Runs classical Hermitian spectral clustering on a mixed graph.
-///
-/// # Errors
-///
-/// Returns [`Error::InvalidRequest`] for inconsistent requests and
-/// propagates eigensolver / clustering failures.
-///
-/// # Examples
-///
-/// The replacement builder call:
-///
-/// ```
-/// use qsc_core::Pipeline;
-/// use qsc_graph::generators::{dsbm, DsbmParams};
-///
-/// # fn main() -> Result<(), qsc_core::Error> {
-/// let inst = dsbm(&DsbmParams { n: 45, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = Pipeline::hermitian(3).seed(1).run(&inst.graph)?;
-/// assert_eq!(out.labels.len(), 45);
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use the staged builder: `Pipeline::from_config(config).run(g)` \
-            or `Pipeline::hermitian(k).seed(s).run(g)`"
-)]
-pub fn classical_spectral_clustering(
-    g: &MixedGraph,
-    config: &SpectralConfig,
-) -> Result<ClusteringOutcome, Error> {
-    Pipeline::from_config(config).run(g)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
+    use crate::pipeline::Pipeline;
     use qsc_cluster::metrics::matched_accuracy;
     use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
 
@@ -138,15 +101,7 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let out = classical_spectral_clustering(
-            &inst.graph,
-            &SpectralConfig {
-                k: 3,
-                seed: 4,
-                ..SpectralConfig::default()
-            },
-        )
-        .unwrap();
+        let out = Pipeline::hermitian(3).seed(4).run(&inst.graph).unwrap();
         let acc = matched_accuracy(&inst.labels, &out.labels);
         assert!(acc > 0.95, "accuracy {acc}");
     }
@@ -166,15 +121,7 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let out = classical_spectral_clustering(
-            &inst.graph,
-            &SpectralConfig {
-                k: 3,
-                seed: 4,
-                ..SpectralConfig::default()
-            },
-        )
-        .unwrap();
+        let out = Pipeline::hermitian(3).seed(4).run(&inst.graph).unwrap();
         let acc = matched_accuracy(&inst.labels, &out.labels);
         assert!(acc > 0.9, "flow clusters should be found, accuracy {acc}");
     }
@@ -194,16 +141,11 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let blind = classical_spectral_clustering(
-            &inst.graph,
-            &SpectralConfig {
-                k: 3,
-                q: 0.0,
-                seed: 4,
-                ..SpectralConfig::default()
-            },
-        )
-        .unwrap();
+        let blind = Pipeline::hermitian(3)
+            .q(0.0)
+            .seed(4)
+            .run(&inst.graph)
+            .unwrap();
         let acc = matched_accuracy(&inst.labels, &blind.labels);
         assert!(acc < 0.75, "direction-blind should struggle, got {acc}");
     }
@@ -251,14 +193,7 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let out = classical_spectral_clustering(
-            &inst.graph,
-            &SpectralConfig {
-                k: 3,
-                ..SpectralConfig::default()
-            },
-        )
-        .unwrap();
+        let out = Pipeline::hermitian(3).run(&inst.graph).unwrap();
         assert!(out.diagnostics.classical_cost > 0.0);
         assert!(out.diagnostics.quantum_cost.is_none());
         assert!(out.diagnostics.mu_b > 0.0);
@@ -270,22 +205,8 @@ mod tests {
     #[test]
     fn rejects_bad_requests() {
         let g = MixedGraph::new(3);
-        assert!(classical_spectral_clustering(
-            &g,
-            &SpectralConfig {
-                k: 0,
-                ..Default::default()
-            }
-        )
-        .is_err());
-        assert!(classical_spectral_clustering(
-            &g,
-            &SpectralConfig {
-                k: 5,
-                ..Default::default()
-            }
-        )
-        .is_err());
+        assert!(Pipeline::hermitian(0).run(&g).is_err());
+        assert!(Pipeline::hermitian(5).run(&g).is_err());
     }
 
     #[test]
@@ -296,13 +217,8 @@ mod tests {
             ..DsbmParams::default()
         })
         .unwrap();
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 21,
-            ..SpectralConfig::default()
-        };
-        let a = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
-        let b = classical_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let a = Pipeline::hermitian(3).seed(21).run(&inst.graph).unwrap();
+        let b = Pipeline::hermitian(3).seed(21).run(&inst.graph).unwrap();
         assert_eq!(a.labels, b.labels);
     }
 }

@@ -15,7 +15,9 @@
 //! take; [`SpectralConfig::split`] converts it into the per-stage configs.
 
 use qsc_graph::Q_CLASSICAL;
+use qsc_sim::backend::{Backend, NoisyStatevector, ShotSampler, Statevector};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration of the Laplacian-construction stage.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -159,6 +161,70 @@ impl SpectralConfig {
     }
 }
 
+/// Config-file form of the execution backend the quantum stages run on —
+/// the serializable counterpart of the
+/// [`Pipeline::backend`](crate::Pipeline::backend) builder call, consumed
+/// by [`Pipeline::backend_config`](crate::Pipeline::backend_config).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum BackendConfig {
+    /// Exact, noiseless state-vector execution (the default).
+    #[default]
+    Statevector,
+    /// Statevector execution with the gate-fusion compile pass enabled.
+    FusedStatevector,
+    /// Depolarizing + readout-error statevector simulation.
+    Noisy {
+        /// Per-gate, per-qubit depolarizing probability.
+        depolarizing: f64,
+        /// Per-bit readout flip probability.
+        readout_flip: f64,
+    },
+    /// Finite-shot measurement statistics replacing exact probabilities.
+    Shots {
+        /// Shots behind every probability estimate.
+        shots: usize,
+    },
+}
+
+impl BackendConfig {
+    /// Instantiates the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`](crate::Error::InvalidRequest) for
+    /// out-of-range parameters (noise probabilities outside `[0, 1]`, a
+    /// zero shot budget) — config files are deserialized unvalidated, so
+    /// the range checks surface here as typed errors rather than panics.
+    pub fn build(&self) -> Result<Arc<dyn Backend>, crate::error::Error> {
+        match *self {
+            BackendConfig::Statevector => Ok(Arc::new(Statevector::new())),
+            BackendConfig::FusedStatevector => Ok(Arc::new(Statevector::fused())),
+            BackendConfig::Noisy {
+                depolarizing,
+                readout_flip,
+            } => {
+                if !(0.0..=1.0).contains(&depolarizing) || !(0.0..=1.0).contains(&readout_flip) {
+                    return Err(crate::error::Error::InvalidRequest {
+                        context: format!(
+                            "noise probabilities must lie in [0, 1], got depolarizing = \
+                             {depolarizing}, readout_flip = {readout_flip}"
+                        ),
+                    });
+                }
+                Ok(Arc::new(NoisyStatevector::new(depolarizing, readout_flip)))
+            }
+            BackendConfig::Shots { shots } => {
+                if shots == 0 {
+                    return Err(crate::error::Error::InvalidRequest {
+                        context: "shot sampler needs a positive shot budget".into(),
+                    });
+                }
+                Ok(Arc::new(ShotSampler::new(shots)))
+            }
+        }
+    }
+}
+
 /// Precision parameters of the simulated quantum pipeline. Field names
 /// mirror the runtime analysis (DESIGN.md §4.2–4.3).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -242,5 +308,37 @@ mod tests {
         let c = SpectralConfig::with_k(5);
         assert_eq!(c.k, 5);
         assert_eq!(c.seed, SpectralConfig::default().seed);
+    }
+
+    #[test]
+    fn backend_config_builds_named_backends() {
+        let name = |cfg: BackendConfig| cfg.build().expect("valid config").name();
+        assert_eq!(name(BackendConfig::default()), "statevector");
+        assert_eq!(name(BackendConfig::FusedStatevector), "statevector_fused");
+        assert_eq!(
+            name(BackendConfig::Noisy {
+                depolarizing: 0.1,
+                readout_flip: 0.0
+            }),
+            "noisy_statevector"
+        );
+        assert_eq!(name(BackendConfig::Shots { shots: 16 }), "shot_sampler");
+    }
+
+    #[test]
+    fn backend_config_rejects_out_of_range_values() {
+        assert!(BackendConfig::Shots { shots: 0 }.build().is_err());
+        assert!(BackendConfig::Noisy {
+            depolarizing: -0.1,
+            readout_flip: 0.0
+        }
+        .build()
+        .is_err());
+        assert!(BackendConfig::Noisy {
+            depolarizing: 0.0,
+            readout_flip: 2.0
+        }
+        .build()
+        .is_err());
     }
 }

@@ -51,12 +51,40 @@
 //! embedding through [`Pipeline::embed`] / [`Pipeline::cluster`] (or the
 //! batched [`Pipeline::run_many_clusterers`]).
 //!
+//! # Execution backends
+//!
+//! The quantum stages compile their work into `qsc_sim` circuit IR and
+//! observe all measurement statistics through the pipeline's execution
+//! [`Backend`] — swappable with [`Pipeline::backend`] (or, from config
+//! files, [`Pipeline::backend_config`] + [`BackendConfig`]):
+//!
+//! | backend | statistics |
+//! |---------|------------|
+//! | [`Statevector`] (default) | exact probabilities, bit-identical to the analytic path |
+//! | [`NoisyStatevector`] | depolarizing + readout-error channels, seeded |
+//! | [`ShotSampler`] | finite-shot frequencies replacing exact probabilities |
+//!
+//! ```
+//! use qsc_core::{NoisyStatevector, Pipeline, QuantumParams};
+//! use qsc_graph::generators::{dsbm, DsbmParams};
+//!
+//! # fn main() -> Result<(), qsc_core::Error> {
+//! let inst = dsbm(&DsbmParams { n: 45, k: 3, seed: 2, ..DsbmParams::default() })?;
+//! let out = Pipeline::hermitian(3)
+//!     .quantum(&QuantumParams::default())
+//!     .backend(NoisyStatevector::new(0.002, 0.01)) // gate + readout error
+//!     .run(&inst.graph)?;
+//! assert_eq!(out.labels.len(), 45);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! # Module map
 //!
 //! * [`pipeline`] — the [`Pipeline`] builder, stage traits and batch
 //!   runner,
 //! * [`classical`] / [`quantum`] / [`model_selection`] — the embedding
-//!   stage implementations (and the deprecated one-call entry points),
+//!   stage implementations,
 //! * [`baseline`] — comparison baselines ([`Pipeline::symmetrized`],
 //!   [`baseline::adjacency_kmeans`]),
 //! * [`cost`] — the classical-flops vs quantum-queries models behind the
@@ -64,18 +92,9 @@
 //! * [`report`] — CSV/table writers for the experiment harness,
 //! * [`error`] — the unified [`Error`] every stage returns.
 //!
-//! # Migrating from the free functions
-//!
-//! The pre-0.2 single-call entry points remain as deprecated wrappers for
-//! one release; they produce identical results (same seeds, same RNG
-//! streams) through the pipeline:
-//!
-//! | deprecated call | staged replacement |
-//! |-----------------|--------------------|
-//! | `classical_spectral_clustering(g, cfg)` | `Pipeline::from_config(cfg).run(g)` |
-//! | `quantum_spectral_clustering(g, cfg, params)` | `Pipeline::from_config(cfg).quantum(params).run(g)` |
-//! | `symmetrized_spectral_clustering(g, cfg)` | `Pipeline::from_config(cfg).symmetrize().run(g)` |
-//! | `lanczos_spectral_clustering(g, cfg)` | `Pipeline::from_config(cfg).embedder(LanczosDense).run(g)` |
+//! The pre-0.2 free-function entry points
+//! (`classical_spectral_clustering` & co.) were deprecated in 0.2 and are
+//! now removed; every recipe is a [`Pipeline`].
 
 #![warn(missing_docs)]
 
@@ -94,24 +113,21 @@ pub mod refine;
 pub mod report;
 pub mod trotter;
 
-#[allow(deprecated)]
-pub use baseline::symmetrized_spectral_clustering;
-#[allow(deprecated)]
-pub use classical::classical_spectral_clustering;
 pub use classical::{DenseEig, LanczosCsr};
 pub use config::{
-    ClusteringConfig, EigenSolver, EmbeddingConfig, LaplacianConfig, QuantumParams, SpectralConfig,
+    BackendConfig, ClusteringConfig, EigenSolver, EmbeddingConfig, LaplacianConfig, QuantumParams,
+    SpectralConfig,
 };
 pub use error::{Error, PipelineError};
-#[allow(deprecated)]
-pub use model_selection::lanczos_spectral_clustering;
 pub use model_selection::{eigengap_k, LanczosDense};
 pub use outcome::{ClusteringOutcome, Diagnostics};
 pub use pipeline::{Embedder, Embedding, GraphInstance, Pipeline, StageContext, StagedEmbedding};
-#[allow(deprecated)]
-pub use quantum::quantum_spectral_clustering;
-pub use quantum::{gate_level_projected_row, QpeTomography};
+pub use quantum::{gate_level_projected_row, gate_level_projected_row_on, QpeTomography};
 
 // The clustering-stage surface, re-exported so pipeline call sites need
 // only this crate.
 pub use qsc_cluster::{Clusterer, KMeans, QMeans};
+
+// The execution-backend surface, re-exported so pipeline call sites need
+// only this crate.
+pub use qsc_sim::backend::{Backend, NoisyStatevector, ShotSampler, Statevector};

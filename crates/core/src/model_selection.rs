@@ -1,11 +1,9 @@
 //! Model selection: choosing `k` from the spectrum (eigengap heuristic)
 //! and the dense-matrix Lanczos embedding stage of ablation A3.
 
-use crate::config::SpectralConfig;
 use crate::embedding::{embed_rows, normalize_rows};
 use crate::error::Error;
-use crate::outcome::ClusteringOutcome;
-use crate::pipeline::{Embedder, Embedding, Pipeline, StageContext};
+use crate::pipeline::{Embedder, Embedding, StageContext};
 use qsc_graph::MixedGraph;
 use qsc_linalg::lanczos::lanczos_lowest_k;
 use qsc_linalg::CsrMatrix;
@@ -107,44 +105,10 @@ impl Embedder for LanczosDense {
     }
 }
 
-/// Classical pipeline using the dense-matrix Lanczos partial eigensolver
-/// for the spectral step.
-///
-/// # Errors
-///
-/// Same contract as the full classical pipeline, plus Lanczos
-/// non-convergence.
-///
-/// # Examples
-///
-/// The replacement builder call:
-///
-/// ```
-/// use qsc_core::{LanczosDense, Pipeline};
-/// use qsc_graph::generators::{dsbm, DsbmParams};
-///
-/// # fn main() -> Result<(), qsc_core::Error> {
-/// let inst = dsbm(&DsbmParams { n: 40, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = Pipeline::hermitian(3).embedder(LanczosDense).run(&inst.graph)?;
-/// assert_eq!(out.spectrum.len(), 3);
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use the staged builder: `Pipeline::from_config(config).embedder(LanczosDense).run(g)`"
-)]
-pub fn lanczos_spectral_clustering(
-    g: &MixedGraph,
-    config: &SpectralConfig,
-) -> Result<ClusteringOutcome, Error> {
-    Pipeline::from_config(config).embedder(LanczosDense).run(g)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
+    use crate::pipeline::Pipeline;
     use qsc_cluster::metrics::matched_accuracy;
     use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
     use qsc_graph::normalized_hermitian_laplacian;
@@ -202,13 +166,12 @@ mod tests {
     #[test]
     fn lanczos_pipeline_matches_full_pipeline() {
         let inst = flow_instance(100, 3, 32);
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 4,
-            ..SpectralConfig::default()
-        };
-        let full = Pipeline::from_config(&cfg).run(&inst.graph).unwrap();
-        let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let full = Pipeline::hermitian(3).seed(4).run(&inst.graph).unwrap();
+        let fast = Pipeline::hermitian(3)
+            .seed(4)
+            .embedder(LanczosDense)
+            .run(&inst.graph)
+            .unwrap();
         let acc_full = matched_accuracy(&inst.labels, &full.labels);
         let acc_fast = matched_accuracy(&inst.labels, &fast.labels);
         assert!(acc_fast > 0.9, "lanczos pipeline accuracy {acc_fast}");
@@ -226,13 +189,12 @@ mod tests {
     #[test]
     fn lanczos_cost_proxy_below_cubic() {
         let inst = flow_instance(100, 3, 33);
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
-        let full = Pipeline::from_config(&cfg).run(&inst.graph).unwrap();
-        let fast = lanczos_spectral_clustering(&inst.graph, &cfg).unwrap();
+        let full = Pipeline::hermitian(3).seed(1).run(&inst.graph).unwrap();
+        let fast = Pipeline::hermitian(3)
+            .seed(1)
+            .embedder(LanczosDense)
+            .run(&inst.graph)
+            .unwrap();
         assert!(fast.diagnostics.classical_cost < full.diagnostics.classical_cost);
     }
 }

@@ -10,6 +10,13 @@
 //! clustering stage is any [`Clusterer`]
 //! ([`KMeans`] / [`QMeans`]).
 //!
+//! The quantum stages *compile then execute*: their circuits and
+//! measurement statistics run on the pipeline's execution
+//! [`Backend`] — [`Statevector`] (exact, the
+//! default), `NoisyStatevector` (depolarizing + readout error) or
+//! `ShotSampler` (finite-shot statistics) — selected with
+//! [`Pipeline::backend`].
+//!
 //! For parameter sweeps, [`Pipeline::embed`] stages the expensive prefix
 //! (Laplacian + embedding) once and [`Pipeline::cluster`] re-clusters it —
 //! so e.g. a q-means `δ` sweep never recomputes its QPE inputs. For many
@@ -37,8 +44,8 @@
 //! # }
 //! ```
 
-use crate::config::{ClusteringConfig, EmbeddingConfig, LaplacianConfig, SpectralConfig};
-use crate::config::{EigenSolver, QuantumParams};
+use crate::config::{BackendConfig, ClusteringConfig, EmbeddingConfig, LaplacianConfig};
+use crate::config::{EigenSolver, QuantumParams, SpectralConfig};
 use crate::cost::{incidence_mu, quantum_cost, QuantumCostInputs};
 use crate::embedding::eta_of_embedding;
 use crate::error::Error;
@@ -47,6 +54,7 @@ use qsc_cluster::{Clusterer, KMeans, KMeansConfig, QMeans};
 use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
 use qsc_linalg::params::condition_number_from_eigenvalues;
 use qsc_linalg::CsrMatrix;
+use qsc_sim::backend::{Backend, Statevector};
 use rayon::prelude::*;
 use std::fmt;
 use std::sync::Arc;
@@ -74,7 +82,7 @@ pub(crate) fn validate_request(g: &MixedGraph, k: usize) -> Result<(), Error> {
 }
 
 /// Per-run inputs handed to every stage implementation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone)]
 pub struct StageContext {
     /// Number of clusters `k`.
     pub k: usize,
@@ -83,6 +91,19 @@ pub struct StageContext {
     pub seed: u64,
     /// Row-normalize the embedding before clustering.
     pub normalize_rows: bool,
+    /// Execution backend the stage's quantum subroutines run on.
+    pub backend: Arc<dyn Backend>,
+}
+
+impl fmt::Debug for StageContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StageContext")
+            .field("k", &self.k)
+            .field("seed", &self.seed)
+            .field("normalize_rows", &self.normalize_rows)
+            .field("backend", &self.backend.name())
+            .finish()
+    }
 }
 
 /// Output of the embedding stage.
@@ -239,6 +260,7 @@ pub struct Pipeline {
     seed: u64,
     embedder: Arc<dyn Embedder>,
     clusterer: Arc<dyn Clusterer>,
+    backend: Arc<dyn Backend>,
 }
 
 impl fmt::Debug for Pipeline {
@@ -250,6 +272,7 @@ impl fmt::Debug for Pipeline {
             .field("seed", &self.seed)
             .field("embedder", &self.embedder.name())
             .field("clusterer", &self.clusterer.name())
+            .field("backend", &self.backend.name())
             .finish()
     }
 }
@@ -269,6 +292,7 @@ impl Pipeline {
             seed: 0,
             embedder: Arc::new(crate::classical::DenseEig),
             clusterer: Arc::new(KMeans),
+            backend: Arc::new(Statevector::new()),
         }
     }
 
@@ -300,6 +324,7 @@ impl Pipeline {
             seed: config.seed,
             embedder,
             clusterer: Arc::new(KMeans),
+            backend: Arc::new(Statevector::new()),
         }
     }
 
@@ -353,6 +378,35 @@ impl Pipeline {
         self
     }
 
+    /// Swaps in the execution backend the quantum stages run on
+    /// ([`Statevector`] by default; see
+    /// [`NoisyStatevector`](qsc_sim::backend::NoisyStatevector) and
+    /// [`ShotSampler`](qsc_sim::backend::ShotSampler)). The backend drives
+    /// the QPE outcome statistics of
+    /// [`QpeTomography`](crate::QpeTomography) and the distance-estimation
+    /// statistics of [`QMeans`]; classical stages ignore it.
+    pub fn backend(mut self, backend: impl Backend + 'static) -> Self {
+        self.backend = Arc::new(backend);
+        self
+    }
+
+    /// Like [`Pipeline::backend`] but sharing an existing backend (and its
+    /// state-buffer pool) across pipelines.
+    pub fn backend_shared(mut self, backend: Arc<dyn Backend>) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the backend from its serializable [`BackendConfig`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] for out-of-range backend
+    /// parameters (deserialized configs arrive unvalidated).
+    pub fn backend_config(self, config: &BackendConfig) -> Result<Self, Error> {
+        Ok(self.backend_shared(config.build()?))
+    }
+
     /// Configures the simulated quantum path in one call:
     /// [`QpeTomography`](crate::QpeTomography) embedding plus
     /// [`QMeans`] clustering at the parameter set's
@@ -373,11 +427,17 @@ impl Pipeline {
         (self.embedder.name(), self.clusterer.name())
     }
 
+    /// Name of the execution backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
     fn context(&self, seed: u64) -> StageContext {
         StageContext {
             k: self.embedding.k,
             seed,
             normalize_rows: self.embedding.normalize_rows,
+            backend: self.backend.clone(),
         }
     }
 
@@ -470,7 +530,7 @@ impl Pipeline {
         }
         let start = Instant::now();
         let k = self.embedding.k;
-        let result = self.clusterer.cluster(
+        let result = self.clusterer.cluster_with_backend(
             &staged.embedding.rows,
             &KMeansConfig {
                 k,
@@ -479,6 +539,7 @@ impl Pipeline {
                 restarts: self.clustering.restarts,
                 seed,
             },
+            self.backend.as_ref(),
         )?;
         let classical_cost =
             self.embedder
@@ -730,5 +791,71 @@ mod tests {
         let dbg = format!("{pl:?}");
         assert!(dbg.contains("qpe_tomography"), "{dbg}");
         assert!(dbg.contains("qmeans"), "{dbg}");
+        assert!(dbg.contains("statevector"), "{dbg}");
+    }
+
+    #[test]
+    fn default_backend_is_explicit_statevector() {
+        use qsc_sim::backend::Statevector;
+        let inst = flow_instance(60, 15);
+        let params = QuantumParams::default();
+        let implicit = Pipeline::hermitian(3)
+            .seed(2)
+            .quantum(&params)
+            .run(&inst.graph)
+            .unwrap();
+        let explicit = Pipeline::hermitian(3)
+            .seed(2)
+            .quantum(&params)
+            .backend(Statevector::new())
+            .run(&inst.graph)
+            .unwrap();
+        assert_eq!(implicit.labels, explicit.labels);
+        assert_eq!(implicit.embedding, explicit.embedding);
+        assert_eq!(implicit.spectrum, explicit.spectrum);
+    }
+
+    #[test]
+    fn shot_backend_is_deterministic_and_degrades_gracefully() {
+        use qsc_cluster::metrics::matched_accuracy;
+        use qsc_sim::backend::ShotSampler;
+        let inst = flow_instance(60, 16);
+        let params = QuantumParams::default();
+        let mk = || {
+            Pipeline::hermitian(3)
+                .seed(2)
+                .quantum(&params)
+                .backend(ShotSampler::new(2048))
+                .run(&inst.graph)
+                .unwrap()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.labels, b.labels, "seeded finite shots are reproducible");
+        let acc = matched_accuracy(&inst.labels, &a.labels);
+        assert!(acc > 0.6, "2048-shot accuracy collapsed: {acc}");
+    }
+
+    #[test]
+    fn backend_config_round_trips_through_builder() {
+        use crate::config::BackendConfig;
+        let pl = Pipeline::hermitian(2)
+            .backend_config(&BackendConfig::Noisy {
+                depolarizing: 0.01,
+                readout_flip: 0.02,
+            })
+            .unwrap();
+        assert_eq!(pl.backend_name(), "noisy_statevector");
+        // Out-of-range deserialized configs surface as typed errors, not
+        // panics.
+        assert!(Pipeline::hermitian(2)
+            .backend_config(&BackendConfig::Noisy {
+                depolarizing: 1.5,
+                readout_flip: 0.0,
+            })
+            .is_err());
+        assert!(Pipeline::hermitian(2)
+            .backend_config(&BackendConfig::Shots { shots: 0 })
+            .is_err());
     }
 }

@@ -11,19 +11,27 @@
 //! `qsc-sim` routine so the injected noise has exactly the magnitude the
 //! theory assigns to it.
 //!
-//! For small systems [`gate_level_projected_row`] runs the *actual circuit*
-//! (QPE → threshold flag → uncompute) and is tested to agree with the exact
+//! The stage's QPE outcome statistics are produced by the pipeline's
+//! execution [`Backend`] (selected with
+//! [`Pipeline::backend`](crate::Pipeline::backend)): the default
+//! `Statevector` reads exact Fejér-kernel probabilities, a `ShotSampler`
+//! replaces them with finite-shot frequencies, and a `NoisyStatevector`
+//! degrades them through depolarizing + readout channels.
+//!
+//! For small systems [`gate_level_projected_row`] *compiles the actual
+//! circuit* (QPE → threshold → uncompute) into `qsc_sim` circuit IR,
+//! executes it on a backend, and is tested to agree with the exact
 //! eigenprojection the fast path uses.
 
-use crate::config::{QuantumParams, SpectralConfig};
+use crate::config::QuantumParams;
 use crate::embedding::normalize_rows;
 use crate::error::Error;
-use crate::outcome::ClusteringOutcome;
-use crate::pipeline::{Embedder, Embedding, Pipeline, StageContext};
+use crate::pipeline::{Embedder, Embedding, StageContext};
 use qsc_graph::MixedGraph;
 use qsc_linalg::vector::interleave_re_im;
 use qsc_linalg::{eigh, CMatrix, Complex64, CsrMatrix};
 use qsc_sim::amplitude::estimate_norm;
+use qsc_sim::backend::{Backend, Statevector};
 use qsc_sim::tomography::tomography_complex;
 use qsc_sim::PhaseEstimator;
 use rand::rngs::StdRng;
@@ -109,8 +117,14 @@ impl Embedder for QpeTomography {
             .eigenvalues
             .iter()
             .map(|&l| {
+                // The phase-register statistics come from the execution
+                // backend: exact Fejér probabilities on `Statevector`
+                // (bit-identical to the analytic path), finite-shot
+                // frequencies on `ShotSampler`, noise-degraded on
+                // `NoisyStatevector`.
                 let dist =
-                    qsc_sim::qpe::qpe_phase_distribution(l / params.qpe_scale, params.qpe_bits);
+                    ctx.backend
+                        .phase_distribution(l / params.qpe_scale, params.qpe_bits, &mut rng);
                 (0..bins)
                     .filter(|&m| params.qpe_scale * m as f64 / bins as f64 <= nu)
                     .map(|m| dist[m])
@@ -206,52 +220,16 @@ impl Embedder for QpeTomography {
     }
 }
 
-/// Runs the simulated quantum spectral-clustering pipeline on a mixed
-/// graph.
-///
-/// # Errors
-///
-/// Returns [`Error::InvalidRequest`] for inconsistent requests and
-/// propagates substrate failures.
-///
-/// # Examples
-///
-/// The replacement builder call:
-///
-/// ```
-/// use qsc_core::{Pipeline, QuantumParams};
-/// use qsc_graph::generators::{dsbm, DsbmParams};
-///
-/// # fn main() -> Result<(), qsc_core::Error> {
-/// let inst = dsbm(&DsbmParams { n: 45, k: 3, seed: 2, ..DsbmParams::default() })?;
-/// let out = Pipeline::hermitian(3)
-///     .seed(1)
-///     .quantum(&QuantumParams::default())
-///     .run(&inst.graph)?;
-/// assert_eq!(out.labels.len(), 45);
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.2.0",
-    note = "use the staged builder: `Pipeline::from_config(config).quantum(params).run(g)`"
-)]
-pub fn quantum_spectral_clustering(
-    g: &MixedGraph,
-    config: &SpectralConfig,
-    params: &QuantumParams,
-) -> Result<ClusteringOutcome, Error> {
-    Pipeline::from_config(config).quantum(params).run(g)
-}
-
-/// Runs the *actual* QPE-projection circuit for one vertex of a small
-/// graph: prepare `|i⟩`, QPE with `t` bits on `U = e^{i·2π·𝓛/scale}`, zero
-/// the amplitudes whose phase bin exceeds `ν`, uncompute the QPE, and read
-/// the (unnormalized) system register where the phase register returned to
-/// `|0⟩`.
+/// Compiles and runs the *actual* QPE-projection circuit for one vertex of
+/// a small graph on the default [`Statevector`] backend: prepare `|i⟩`, QPE
+/// with `t` bits on `U = e^{i·2π·𝓛/scale}`, zero the amplitudes whose phase
+/// bin exceeds `ν`, uncompute the QPE, and read the (unnormalized) system
+/// register where the phase register returned to `|0⟩`.
 ///
 /// The result approximates `P_{λ≤ν}·e_i`, the exact eigenprojection — the
-/// agreement is ablation A2 of the evaluation.
+/// agreement is ablation A2 of the evaluation. See
+/// [`gate_level_projected_row_on`] to execute the same compiled circuits on
+/// a different backend (e.g. a noise model).
 ///
 /// # Errors
 ///
@@ -264,9 +242,41 @@ pub fn gate_level_projected_row(
     scale: f64,
     nu: f64,
 ) -> Result<Vec<Complex64>, Error> {
+    // The exact backend draws nothing from the RNG.
+    let mut rng = StdRng::seed_from_u64(0);
+    gate_level_projected_row_on(
+        &Statevector::new(),
+        &mut rng,
+        laplacian,
+        vertex,
+        t,
+        scale,
+        nu,
+    )
+}
+
+/// [`gate_level_projected_row`] on an explicit execution backend: the
+/// forward pass (Hadamard wall, diagonalized controlled-power cascade,
+/// inverse QFT) and the uncompute pass (forward QFT, inverse cascade,
+/// Hadamard wall) are compiled into `qsc_sim` circuit IR and handed to
+/// `backend.run`; the threshold between them is classical post-selection on
+/// the phase register.
+///
+/// # Errors
+///
+/// Same contract as [`gate_level_projected_row`].
+pub fn gate_level_projected_row_on(
+    backend: &dyn Backend,
+    rng: &mut StdRng,
+    laplacian: &CMatrix,
+    vertex: usize,
+    t: usize,
+    scale: f64,
+    nu: f64,
+) -> Result<Vec<Complex64>, Error> {
     use qsc_linalg::eig::UnitaryEigen;
-    use qsc_sim::qft::{apply_inverse_qft, apply_qft};
-    use qsc_sim::qpe::apply_phase_cascade;
+    use qsc_sim::circuit::{Circuit, Op};
+    use qsc_sim::qpe::push_phase_cascade_ops;
     use qsc_sim::QuantumState;
     use std::f64::consts::TAU;
 
@@ -293,19 +303,20 @@ pub fn gate_level_projected_row(
         eigenvectors: leig.eigenvectors,
     };
 
-    let input = QuantumState::basis_state(s, vertex);
-    let mut amps = vec![qsc_linalg::C_ZERO; 1 << (s + t)];
-    amps[..input.dim()].copy_from_slice(input.amplitudes());
-    let mut state = QuantumState::from_amplitudes(amps).expect("valid");
+    // Compile the forward pass and execute it on the backend.
+    let mut forward = Circuit::new(s + t);
     for j in 0..t {
-        state.apply_h(s + j)?;
+        forward.push(Op::H(s + j))?;
     }
-    apply_phase_cascade(&mut state, &ueig, s, 1.0)?;
-    apply_inverse_qft(&mut state, s..s + t)?;
+    push_phase_cascade_ops(&mut forward, &ueig, 1.0)?;
+    forward.push_inverse_qft(s..s + t)?;
+    let mut state = backend.prepare(s + t, vertex);
+    backend.run(&forward, &mut state, rng)?;
 
     // Threshold: zero every amplitude whose phase bin maps to λ > ν.
     let bins = 1usize << t;
     let mut kept = Vec::from(state.amplitudes());
+    backend.recycle(state);
     for (idx, amp) in kept.iter_mut().enumerate() {
         let m = idx >> s;
         let lambda = scale * m as f64 / bins as f64;
@@ -321,12 +332,14 @@ pub fn gate_level_projected_row(
     }
     let mut state = QuantumState::from_amplitudes(kept).expect("non-zero");
 
-    // Uncompute: forward QFT, inverse controlled-power cascade, Hadamards.
-    apply_qft(&mut state, s..s + t)?;
-    apply_phase_cascade(&mut state, &ueig, s, -1.0)?;
+    // Compile the uncompute pass: forward QFT, inverse cascade, Hadamards.
+    let mut uncompute = Circuit::new(s + t);
+    uncompute.push_qft(s..s + t)?;
+    push_phase_cascade_ops(&mut uncompute, &ueig, -1.0)?;
     for j in 0..t {
-        state.apply_h(s + j)?;
+        uncompute.push(Op::H(s + j))?;
     }
+    backend.run(&uncompute, &mut state, rng)?;
 
     // Read the system register where the phase register is |0⟩, restoring
     // the pre-normalization scale.
@@ -334,13 +347,14 @@ pub fn gate_level_projected_row(
         .iter()
         .map(|z| z.scale(norm))
         .collect();
+    backend.recycle(state);
     Ok(out)
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the wrapper is the unit under test; it delegates to Pipeline
 mod tests {
     use super::*;
+    use crate::pipeline::Pipeline;
     use qsc_cluster::metrics::matched_accuracy;
     use qsc_graph::generators::{dsbm, DsbmParams, MetaGraph};
 
@@ -358,16 +372,15 @@ mod tests {
         .unwrap()
     }
 
+    fn quantum_pipeline(seed: u64, params: &QuantumParams) -> Pipeline {
+        Pipeline::hermitian(3).seed(seed).quantum(params)
+    }
+
     #[test]
     fn quantum_matches_classical_closely() {
         let inst = flow_instance(90, 5);
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 2,
-            ..SpectralConfig::default()
-        };
         let qp = QuantumParams::default();
-        let q = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        let q = quantum_pipeline(2, &qp).run(&inst.graph).unwrap();
         let acc = matched_accuracy(&inst.labels, &q.labels);
         assert!(acc > 0.85, "quantum accuracy {acc}");
         assert!(q.diagnostics.quantum_cost.is_some());
@@ -376,31 +389,21 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let inst = flow_instance(60, 6);
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 9,
-            ..SpectralConfig::default()
-        };
         let qp = QuantumParams::default();
-        let a = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
-        let b = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        let a = quantum_pipeline(9, &qp).run(&inst.graph).unwrap();
+        let b = quantum_pipeline(9, &qp).run(&inst.graph).unwrap();
         assert_eq!(a.labels, b.labels);
     }
 
     #[test]
     fn dims_used_at_least_k_and_capped() {
         let inst = flow_instance(60, 7);
-        let cfg = SpectralConfig {
-            k: 3,
-            seed: 1,
-            ..SpectralConfig::default()
-        };
         let qp = QuantumParams {
             qpe_bits: 2,
             ..QuantumParams::default()
         };
         // Coarse bins force collisions.
-        let out = quantum_spectral_clustering(&inst.graph, &cfg, &qp).unwrap();
+        let out = quantum_pipeline(1, &qp).run(&inst.graph).unwrap();
         assert!(out.diagnostics.dims_used >= 3);
         assert!(out.diagnostics.dims_used <= 3 * qp.max_dims_factor);
     }
@@ -408,15 +411,47 @@ mod tests {
     #[test]
     fn rejects_scale_within_spectral_bound() {
         let inst = flow_instance(30, 8);
-        let cfg = SpectralConfig {
-            k: 3,
-            ..SpectralConfig::default()
-        };
         let qp = QuantumParams {
             qpe_scale: 1.5,
             ..QuantumParams::default()
         };
-        assert!(quantum_spectral_clustering(&inst.graph, &cfg, &qp).is_err());
+        assert!(quantum_pipeline(0, &qp).run(&inst.graph).is_err());
+    }
+
+    #[test]
+    fn noisy_backend_at_zero_noise_is_bit_identical() {
+        use qsc_sim::backend::NoisyStatevector;
+        let inst = flow_instance(60, 9);
+        let qp = QuantumParams::default();
+        let ideal = quantum_pipeline(3, &qp).run(&inst.graph).unwrap();
+        let zero_noise = quantum_pipeline(3, &qp)
+            .backend(NoisyStatevector::new(0.0, 0.0))
+            .run(&inst.graph)
+            .unwrap();
+        assert_eq!(ideal.labels, zero_noise.labels);
+        assert_eq!(ideal.embedding, zero_noise.embedding);
+        assert_eq!(ideal.spectrum, zero_noise.spectrum);
+    }
+
+    #[test]
+    fn noisy_backend_degrades_accuracy_monotonically_on_average() {
+        use qsc_sim::backend::NoisyStatevector;
+        let inst = flow_instance(90, 10);
+        let qp = QuantumParams::default();
+        let acc_at = |dep: f64| {
+            let out = quantum_pipeline(4, &qp)
+                .backend(NoisyStatevector::new(dep, dep))
+                .run(&inst.graph)
+                .unwrap();
+            matched_accuracy(&inst.labels, &out.labels)
+        };
+        let clean = acc_at(0.0);
+        let brutal = acc_at(0.2);
+        assert!(clean > 0.85, "clean accuracy {clean}");
+        assert!(
+            brutal <= clean,
+            "strong noise should not beat the clean run: {brutal} vs {clean}"
+        );
     }
 
     #[test]

@@ -1,0 +1,728 @@
+//! Pluggable execution backends for compiled circuits.
+//!
+//! The quantum stages *compile* their work into [`Circuit`] IR and hand it
+//! to a [`Backend`] for execution. Three backends ship:
+//!
+//! * [`Statevector`] — exact, noiseless state-vector execution on the
+//!   cache-blocked kernels; the default, and bit-identical to applying the
+//!   ops directly.
+//! * [`NoisyStatevector`] — the same execution with a per-gate depolarizing
+//!   channel (Monte-Carlo Pauli insertion during [`Backend::run`]) and a
+//!   per-bit readout-flip channel on measurement; its distribution-level
+//!   methods degrade the exact statistics analytically. Seeded and
+//!   deterministic: all randomness comes from the caller's RNG.
+//! * [`ShotSampler`] — exact execution, but every *probability read* is
+//!   replaced by finite-shot measurement statistics (`shots` draws), the
+//!   regime a real device operates in.
+//!
+//! State buffers are drawn from a per-backend [`BufferPool`] via
+//! [`Backend::prepare`] and returned with [`Backend::recycle`], so batched
+//! runs (`Pipeline::run_many` fan-outs) reuse allocations instead of
+//! re-allocating `2^n`-amplitude vectors per instance.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsc_sim::backend::{Backend, NoisyStatevector, Statevector};
+//! use qsc_sim::circuit::{Circuit, Op};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), qsc_sim::SimError> {
+//! let mut bell = Circuit::new(2);
+//! bell.push(Op::H(0))?;
+//! bell.push(Op::Cnot { control: 0, target: 1 })?;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let ideal = Statevector::new();
+//! let state = ideal.execute(&bell, 0, &mut rng)?;
+//! assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+//!
+//! // The same circuit on a noisy device model: sampled outcomes now
+//! // include readout errors.
+//! let noisy = NoisyStatevector::new(0.01, 0.02);
+//! let state = noisy.execute(&bell, 0, &mut rng)?;
+//! let counts = noisy.sample(&state, 100, &mut rng);
+//! assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 100);
+//! ideal.recycle(state);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::Circuit;
+use crate::compile::fuse_single_qubit;
+use crate::error::SimError;
+use crate::gates;
+use crate::qpe::qpe_phase_distribution;
+use crate::state::QuantumState;
+use qsc_linalg::{Complex64, C_ONE, C_ZERO};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::Mutex;
+
+/// Upper bound on buffers a pool retains (excess is dropped on recycle).
+const MAX_POOLED: usize = 32;
+
+/// A pool of amplitude buffers shared across executions; `prepare` pops a
+/// buffer (re-using its allocation), `recycle` pushes it back.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    buffers: Mutex<Vec<Vec<Complex64>>>,
+}
+
+impl BufferPool {
+    /// Pops a zeroed buffer of length `dim`, reusing a pooled allocation
+    /// when one is large enough.
+    pub fn acquire(&self, dim: usize) -> Vec<Complex64> {
+        let mut pool = self.buffers.lock().expect("buffer pool poisoned");
+        if let Some(pos) = pool.iter().position(|b| b.capacity() >= dim) {
+            let mut buf = pool.swap_remove(pos);
+            drop(pool);
+            buf.clear();
+            buf.resize(dim, C_ZERO);
+            buf
+        } else {
+            drop(pool);
+            vec![C_ZERO; dim]
+        }
+    }
+
+    /// Returns a buffer to the pool (dropped if the pool is full).
+    pub fn release(&self, buf: Vec<Complex64>) {
+        let mut pool = self.buffers.lock().expect("buffer pool poisoned");
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.buffers.lock().expect("buffer pool poisoned").len()
+    }
+}
+
+/// Gate count of one `t`-bit QPE register pass (H wall, one controlled
+/// power per bit, inverse QFT) — the depth proxy the noisy backend's
+/// analytic depolarizing model uses.
+pub fn qpe_register_gate_count(t: usize) -> usize {
+    // H wall + controlled powers + inverse-QFT (cphases + swaps + H's).
+    t + t + t * t.saturating_sub(1) / 2 + t / 2 + t
+}
+
+/// An execution backend: prepares (pooled) states, runs compiled circuits,
+/// and produces the measurement statistics every probability read in the
+/// pipeline goes through.
+///
+/// All randomness is drawn from the caller's RNG, so any backend is
+/// deterministic given a seed. Implementations must be `Send + Sync`; the
+/// batch runner shares one backend (and its buffer pool) across worker
+/// threads.
+pub trait Backend: Send + Sync {
+    /// Backend name used in reports and displays.
+    fn name(&self) -> &'static str;
+
+    /// Prepares the basis state `|basis_index⟩` on `num_qubits` qubits,
+    /// drawing the amplitude buffer from the backend's pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `basis_index >= 2^num_qubits`.
+    fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState;
+
+    /// Executes a compiled circuit on a prepared state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DimensionMismatch`] on a register-width mismatch
+    /// and propagates gate errors.
+    fn run(
+        &self,
+        circuit: &Circuit,
+        state: &mut QuantumState,
+        rng: &mut StdRng,
+    ) -> Result<(), SimError>;
+
+    /// Draws `shots` full-register measurements (state not collapsed),
+    /// returning sparse `(basis_state, count)` pairs through this backend's
+    /// readout model.
+    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)>;
+
+    /// Returns a state's buffer to the pool for reuse.
+    fn recycle(&self, state: QuantumState);
+
+    /// `true` when this backend reproduces exact probabilities (no noise,
+    /// no finite-shot resampling) — callers may then keep bit-exact fast
+    /// paths.
+    fn exact_statistics(&self) -> bool;
+
+    /// Outcome distribution of a `t`-bit QPE phase register for one
+    /// eigenphase `phi ∈ [0, 1)`, as this backend observes it (exact Fejér
+    /// kernel, shot-resampled, or noise-degraded).
+    fn phase_distribution(&self, phi: f64, t: usize, rng: &mut StdRng) -> Vec<f64>;
+
+    /// How this backend observes a success probability `p ∈ [0, 1]`:
+    /// exactly, through readout bias, or as a finite-shot frequency.
+    fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> f64;
+
+    /// Convenience: [`prepare`](Backend::prepare) then
+    /// [`run`](Backend::run), returning the final state.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`run`](Backend::run).
+    fn execute(
+        &self,
+        circuit: &Circuit,
+        basis_index: usize,
+        rng: &mut StdRng,
+    ) -> Result<QuantumState, SimError> {
+        let mut state = self.prepare(circuit.num_qubits(), basis_index);
+        self.run(circuit, &mut state, rng)?;
+        Ok(state)
+    }
+}
+
+fn prepare_pooled(pool: &BufferPool, num_qubits: usize, basis_index: usize) -> QuantumState {
+    let dim = 1usize << num_qubits;
+    assert!(basis_index < dim, "basis index out of range");
+    let mut amps = pool.acquire(dim);
+    amps[basis_index] = C_ONE;
+    QuantumState::from_amplitudes(amps).expect("unit basis vector")
+}
+
+/// Exact, noiseless state-vector execution — the default backend, and the
+/// reference the others are validated against. Runs circuits verbatim
+/// (bit-identical to applying the ops directly); construct with
+/// [`Statevector::fused`] to apply the single-qubit gate-fusion pass before
+/// execution.
+#[derive(Debug, Default)]
+pub struct Statevector {
+    pool: BufferPool,
+    fuse: bool,
+}
+
+impl Statevector {
+    /// The bit-exact backend (no fusion).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A statevector backend that gate-fuses circuits before running them
+    /// (same unitary, amplitudes equal to rounding).
+    pub fn fused() -> Self {
+        Self {
+            pool: BufferPool::default(),
+            fuse: true,
+        }
+    }
+
+    /// The backend's buffer pool (for reuse diagnostics).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+}
+
+impl Backend for Statevector {
+    fn name(&self) -> &'static str {
+        if self.fuse {
+            "statevector_fused"
+        } else {
+            "statevector"
+        }
+    }
+
+    fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState {
+        prepare_pooled(&self.pool, num_qubits, basis_index)
+    }
+
+    fn run(
+        &self,
+        circuit: &Circuit,
+        state: &mut QuantumState,
+        _rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        if self.fuse {
+            fuse_single_qubit(circuit).run(state)
+        } else {
+            circuit.run(state)
+        }
+    }
+
+    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+        state.sample_counts(shots, rng)
+    }
+
+    fn recycle(&self, state: QuantumState) {
+        self.pool.release(state.into_amplitudes());
+    }
+
+    fn exact_statistics(&self) -> bool {
+        true
+    }
+
+    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
+        qpe_phase_distribution(phi, t)
+    }
+
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
+        p
+    }
+}
+
+/// State-vector execution through a depolarizing + readout-error noise
+/// model.
+///
+/// * During [`Backend::run`], every gate is followed by a Monte-Carlo
+///   depolarizing event on each touched qubit: with probability
+///   `depolarizing`, a uniformly random Pauli (X/Y/Z) is inserted.
+/// * [`Backend::sample`] flips each readout bit independently with
+///   probability `readout_flip`.
+/// * The distribution-level methods apply the same two channels
+///   analytically: the QPE register distribution is contracted toward
+///   uniform by the survival probability of a [`qpe_register_gate_count`]
+///   gate pass, then convolved with the per-bit flip channel.
+///
+/// With both probabilities zero this backend is exactly [`Statevector`]
+/// (same results, same RNG stream — no draws are made).
+#[derive(Debug)]
+pub struct NoisyStatevector {
+    pool: BufferPool,
+    /// Per-gate, per-touched-qubit depolarizing probability.
+    pub depolarizing: f64,
+    /// Per-bit readout flip probability.
+    pub readout_flip: f64,
+    fuse: bool,
+}
+
+impl NoisyStatevector {
+    /// Creates the noisy backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both probabilities lie in `[0, 1]`.
+    pub fn new(depolarizing: f64, readout_flip: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&depolarizing) && (0.0..=1.0).contains(&readout_flip),
+            "noise probabilities must lie in [0, 1]"
+        );
+        Self {
+            pool: BufferPool::default(),
+            depolarizing,
+            readout_flip,
+            fuse: false,
+        }
+    }
+
+    /// Enables the gate-fusion pass before **circuit execution**
+    /// ([`Backend::run`]): fused circuits have fewer gates, so Monte-Carlo
+    /// depolarizing events are inserted at fewer points — as on hardware.
+    /// The analytic distribution-level methods
+    /// ([`Backend::phase_distribution`], [`Backend::estimate_probability`])
+    /// model the textbook *unfused* register pass either way.
+    pub fn with_fusion(mut self) -> Self {
+        self.fuse = true;
+        self
+    }
+
+    fn depolarize(
+        &self,
+        state: &mut QuantumState,
+        qubits: &[usize],
+        rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        for &q in qubits {
+            if rng.gen::<f64>() < self.depolarizing {
+                let pauli = match rng.gen_range(0usize..3) {
+                    0 => gates::x(),
+                    1 => gates::y(),
+                    _ => gates::z(),
+                };
+                state.apply_single(&pauli, q)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Backend for NoisyStatevector {
+    fn name(&self) -> &'static str {
+        if self.fuse {
+            "noisy_statevector_fused"
+        } else {
+            "noisy_statevector"
+        }
+    }
+
+    fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState {
+        prepare_pooled(&self.pool, num_qubits, basis_index)
+    }
+
+    fn run(
+        &self,
+        circuit: &Circuit,
+        state: &mut QuantumState,
+        rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        let fused_storage;
+        let to_run = if self.fuse {
+            fused_storage = fuse_single_qubit(circuit);
+            &fused_storage
+        } else {
+            circuit
+        };
+        if state.num_qubits() != to_run.num_qubits() {
+            return Err(SimError::DimensionMismatch {
+                context: format!(
+                    "circuit on {} qubits, state on {}",
+                    to_run.num_qubits(),
+                    state.num_qubits()
+                ),
+            });
+        }
+        let all_qubits: Vec<usize> = (0..to_run.num_qubits()).collect();
+        for op in to_run.ops() {
+            op.apply(state)?;
+            if self.depolarizing > 0.0 {
+                let touched = if op.spans_register() {
+                    all_qubits.clone()
+                } else {
+                    op.qubits()
+                };
+                self.depolarize(state, &touched, rng)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            let mut outcome = state.sample(rng);
+            if self.readout_flip > 0.0 {
+                for q in 0..state.num_qubits() {
+                    if rng.gen::<f64>() < self.readout_flip {
+                        outcome ^= 1usize << q;
+                    }
+                }
+            }
+            *counts.entry(outcome).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    fn recycle(&self, state: QuantumState) {
+        self.pool.release(state.into_amplitudes());
+    }
+
+    fn exact_statistics(&self) -> bool {
+        self.depolarizing == 0.0 && self.readout_flip == 0.0
+    }
+
+    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
+        let mut probs = qpe_phase_distribution(phi, t);
+        if self.depolarizing > 0.0 {
+            // Depolarizing survival of the register pass mixes the ideal
+            // distribution with the maximally mixed one.
+            let survive = (1.0 - self.depolarizing).powi(qpe_register_gate_count(t) as i32);
+            let uniform = (1.0 - survive) / probs.len() as f64;
+            for p in &mut probs {
+                *p = survive * *p + uniform;
+            }
+        }
+        if self.readout_flip > 0.0 {
+            // Independent per-bit flips: one pairwise convolution per bit.
+            let e = self.readout_flip;
+            for b in 0..t {
+                let bit = 1usize << b;
+                let prev = probs.clone();
+                for (m, p) in probs.iter_mut().enumerate() {
+                    *p = (1.0 - e) * prev[m] + e * prev[m ^ bit];
+                }
+            }
+        }
+        probs
+    }
+
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
+        if self.readout_flip == 0.0 {
+            return p;
+        }
+        // A flipped readout reports the complementary outcome.
+        p * (1.0 - self.readout_flip) + (1.0 - p) * self.readout_flip
+    }
+}
+
+/// Exact execution, finite-shot statistics: every probability read is
+/// replaced by the empirical frequency over `shots` measurements — the
+/// regime an actual device (or a decoder with a finite sample budget)
+/// operates in. Estimates concentrate as `O(1/√shots)`.
+#[derive(Debug)]
+pub struct ShotSampler {
+    pool: BufferPool,
+    /// Shots behind every probability estimate.
+    pub shots: usize,
+    fuse: bool,
+}
+
+impl ShotSampler {
+    /// Creates the sampler with a per-estimate shot budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shots == 0`.
+    pub fn new(shots: usize) -> Self {
+        assert!(shots > 0, "shot sampler needs at least one shot");
+        Self {
+            pool: BufferPool::default(),
+            shots,
+            fuse: false,
+        }
+    }
+
+    /// Enables the gate-fusion pass before execution.
+    pub fn with_fusion(mut self) -> Self {
+        self.fuse = true;
+        self
+    }
+}
+
+impl Backend for ShotSampler {
+    fn name(&self) -> &'static str {
+        if self.fuse {
+            "shot_sampler_fused"
+        } else {
+            "shot_sampler"
+        }
+    }
+
+    fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState {
+        prepare_pooled(&self.pool, num_qubits, basis_index)
+    }
+
+    fn run(
+        &self,
+        circuit: &Circuit,
+        state: &mut QuantumState,
+        _rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        if self.fuse {
+            fuse_single_qubit(circuit).run(state)
+        } else {
+            circuit.run(state)
+        }
+    }
+
+    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+        state.sample_counts(shots, rng)
+    }
+
+    fn recycle(&self, state: QuantumState) {
+        self.pool.release(state.into_amplitudes());
+    }
+
+    fn exact_statistics(&self) -> bool {
+        false
+    }
+
+    fn phase_distribution(&self, phi: f64, t: usize, rng: &mut StdRng) -> Vec<f64> {
+        let ideal = qpe_phase_distribution(phi, t);
+        let mut counts = vec![0usize; ideal.len()];
+        for _ in 0..self.shots {
+            let mut target = rng.gen::<f64>();
+            let mut chosen = ideal.len() - 1;
+            for (m, &p) in ideal.iter().enumerate() {
+                if target < p {
+                    chosen = m;
+                    break;
+                }
+                target -= p;
+            }
+            counts[chosen] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / self.shots as f64)
+            .collect()
+    }
+
+    fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> f64 {
+        let mut hits = 0usize;
+        for _ in 0..self.shots {
+            if rng.gen::<f64>() < p {
+                hits += 1;
+            }
+        }
+        hits as f64 / self.shots as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Op;
+    use rand::SeedableRng;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Op::H(0)).unwrap();
+        c.push(Op::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn statevector_matches_direct_execution() {
+        let c = bell();
+        let backend = Statevector::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let via_backend = backend.execute(&c, 0, &mut rng).unwrap();
+        let mut direct = QuantumState::zero_state(2);
+        c.run(&mut direct).unwrap();
+        assert_eq!(via_backend.amplitudes(), direct.amplitudes());
+    }
+
+    #[test]
+    fn buffer_pool_reuses_allocations() {
+        let backend = Statevector::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(backend.pool().pooled(), 0);
+        let state = backend.execute(&bell(), 0, &mut rng).unwrap();
+        backend.recycle(state);
+        assert_eq!(backend.pool().pooled(), 1);
+        let state = backend.execute(&bell(), 0, &mut rng).unwrap();
+        // The pooled buffer was taken back out.
+        assert_eq!(backend.pool().pooled(), 0);
+        assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+        backend.recycle(state);
+    }
+
+    #[test]
+    fn pool_acquire_zeroes_recycled_buffers() {
+        let pool = BufferPool::default();
+        let mut buf = pool.acquire(4);
+        buf[2] = C_ONE;
+        pool.release(buf);
+        let buf = pool.acquire(4);
+        assert!(buf.iter().all(|a| *a == C_ZERO));
+    }
+
+    #[test]
+    fn zero_noise_equals_ideal_including_rng_stream() {
+        let c = bell();
+        let ideal = Statevector::new();
+        let noisy = NoisyStatevector::new(0.0, 0.0);
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let a = ideal.execute(&c, 0, &mut rng_a).unwrap();
+        let b = noisy.execute(&c, 0, &mut rng_b).unwrap();
+        assert_eq!(a.amplitudes(), b.amplitudes());
+        // No draws were made by either backend.
+        assert_eq!(rng_a, rng_b);
+        assert!(noisy.exact_statistics());
+    }
+
+    #[test]
+    fn depolarizing_noise_perturbs_the_state_deterministically() {
+        let c = bell();
+        let noisy = NoisyStatevector::new(0.3, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = noisy.execute(&c, 0, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let b = noisy.execute(&c, 0, &mut rng).unwrap();
+        assert_eq!(a.amplitudes(), b.amplitudes(), "seeded determinism");
+        // Norm is preserved (Pauli insertions are unitary).
+        assert!((a.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn readout_flips_move_counts_off_the_support() {
+        // Bell state: ideal outcomes are only 00 and 11; readout errors
+        // must populate 01/10.
+        let c = bell();
+        let noisy = NoisyStatevector::new(0.0, 0.25);
+        let mut rng = StdRng::seed_from_u64(5);
+        let state = noisy.execute(&c, 0, &mut rng).unwrap();
+        let counts = noisy.sample(&state, 4000, &mut rng);
+        let off_support: usize = counts
+            .iter()
+            .filter(|(m, _)| *m == 0b01 || *m == 0b10)
+            .map(|(_, c)| *c)
+            .sum();
+        // Expected ≈ 2·0.25·0.75 = 37.5% of shots.
+        assert!(
+            (off_support as f64 / 4000.0 - 0.375).abs() < 0.05,
+            "off-support fraction {off_support}"
+        );
+    }
+
+    #[test]
+    fn noisy_phase_distribution_flattens_toward_uniform() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = 4;
+        let ideal = Statevector::new().phase_distribution(0.25, t, &mut rng);
+        let noisy = NoisyStatevector::new(0.05, 0.0).phase_distribution(0.25, t, &mut rng);
+        let peak = |d: &[f64]| d.iter().cloned().fold(0.0, f64::max);
+        assert!(peak(&noisy) < peak(&ideal));
+        assert!((noisy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Zero noise reproduces the ideal distribution exactly.
+        let zero = NoisyStatevector::new(0.0, 0.0).phase_distribution(0.25, t, &mut rng);
+        assert_eq!(zero, ideal);
+    }
+
+    #[test]
+    fn shot_sampler_statistics_concentrate_with_shots() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = 3;
+        let ideal = qpe_phase_distribution(0.3, t);
+        let l1 = |shots: usize, rng: &mut StdRng| {
+            let emp = ShotSampler::new(shots).phase_distribution(0.3, t, rng);
+            emp.iter()
+                .zip(&ideal)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        };
+        let coarse: f64 = (0..20).map(|_| l1(32, &mut rng)).sum::<f64>() / 20.0;
+        let fine: f64 = (0..20).map(|_| l1(8192, &mut rng)).sum::<f64>() / 20.0;
+        assert!(
+            fine < coarse / 3.0,
+            "finite-shot error should shrink: {coarse} vs {fine}"
+        );
+    }
+
+    #[test]
+    fn shot_sampler_probability_estimates_are_frequencies() {
+        let backend = ShotSampler::new(1000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let est = backend.estimate_probability(0.37, &mut rng);
+        assert!((est - 0.37).abs() < 0.06, "estimate {est}");
+        assert!((est * 1000.0).round() / 1000.0 == est, "a /shots frequency");
+        assert!(!backend.exact_statistics());
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_named() {
+        let backends: Vec<Box<dyn Backend>> = vec![
+            Box::new(Statevector::new()),
+            Box::new(Statevector::fused()),
+            Box::new(NoisyStatevector::new(0.01, 0.01)),
+            Box::new(ShotSampler::new(64)),
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        for b in &backends {
+            assert!(!b.name().is_empty());
+            let state = b.execute(&bell(), 0, &mut rng).unwrap();
+            assert!((state.norm() - 1.0).abs() < 1e-9);
+            b.recycle(state);
+        }
+    }
+
+    #[test]
+    fn gate_count_model_is_monotone() {
+        assert!(qpe_register_gate_count(1) > 0);
+        for t in 1..10 {
+            assert!(qpe_register_gate_count(t + 1) > qpe_register_gate_count(t));
+        }
+    }
+}

@@ -3,14 +3,31 @@
 //! The quantum substrate of the *Quantum Spectral Clustering of Mixed
 //! Graphs* reproduction. No external quantum crates are used; everything is
 //! simulated exactly on the state vector, with the physically meaningful
-//! noise (phase-register resolution, finite shots, estimation error)
-//! surfaced explicitly:
+//! noise (phase-register resolution, finite shots, estimation error, gate
+//! and readout errors) surfaced explicitly.
 //!
+//! The execution model is **compile, then execute**: algorithms build
+//! [`circuit::Circuit`] IR (phase cascades, QFT blocks and
+//! controlled-unitary blocks as [`circuit::Op`]s), optionally rewrite it
+//! with the [`compile`] passes (gate fusion), and run it on a pluggable
+//! [`backend::Backend`]:
+//!
+//! * [`Statevector`] — exact, noiseless execution on the cache-blocked
+//!   kernels (the default; bit-identical to direct op application),
+//! * [`NoisyStatevector`] — seeded depolarizing + readout-error channels,
+//! * [`ShotSampler`] — finite-shot measurement statistics replacing exact
+//!   probability reads.
+//!
+//! Module map:
+//!
+//! * [`backend`] — the [`Backend`] trait, the three backends, and the
+//!   reusable state [`BufferPool`],
+//! * [`circuit`] / [`compile`] — the circuit IR and its compile passes,
 //! * [`QuantumState`] — dense state vectors with gates and measurement,
 //! * [`gates`] — standard gate matrices,
 //! * [`qft`] — gate-level quantum Fourier transform,
-//! * [`qpe`] — phase estimation (gate-level circuit and the exact analytic
-//!   outcome distribution, cross-validated),
+//! * [`qpe`] — phase estimation (a circuit compiler, gate-level execution
+//!   and the exact analytic outcome distribution, cross-validated),
 //! * [`tomography`] — finite-shot vector readout,
 //! * [`amplitude`] — amplitude estimation / amplification models,
 //! * [`resources`] — qubit/gate/depth forecasting.
@@ -33,11 +50,33 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Compiling a circuit and running it on a noise-model backend:
+//!
+//! ```
+//! use qsc_sim::backend::{Backend, NoisyStatevector};
+//! use qsc_sim::circuit::{Circuit, Op};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), qsc_sim::SimError> {
+//! let mut c = Circuit::new(2);
+//! c.push(Op::H(0))?;
+//! c.push(Op::Cnot { control: 0, target: 1 })?;
+//! let backend = NoisyStatevector::new(0.01, 0.02); // gate + readout error
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let state = backend.execute(&c, 0, &mut rng)?;
+//! let counts = backend.sample(&state, 1000, &mut rng);
+//! assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), 1000);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod amplitude;
+pub mod backend;
 pub mod circuit;
+pub mod compile;
 pub mod error;
 pub mod gates;
 pub mod qft;
@@ -47,6 +86,8 @@ pub mod state;
 pub mod synthesis;
 pub mod tomography;
 
+pub use backend::{Backend, BufferPool, NoisyStatevector, ShotSampler, Statevector};
+pub use circuit::{Circuit, Op};
 pub use error::SimError;
 pub use qpe::PhaseEstimator;
 pub use resources::ResourceEstimate;

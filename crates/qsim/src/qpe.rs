@@ -1,20 +1,24 @@
 //! Quantum phase estimation, in two cross-validated flavours:
 //!
-//! * [`qpe_gate_level`] — the real circuit: Hadamards on a `t`-bit phase
-//!   register, controlled powers of the unitary, inverse QFT. Exact
-//!   state-vector simulation; used for validation and small systems.
+//! * [`qpe_gate_level`] — the real circuit, *compiled then executed*: the
+//!   [`qpe_circuit`] compiler emits the Hadamard wall, the diagonalized
+//!   controlled-power cascade and the inverse QFT as
+//!   [`Circuit`] IR, which runs on the state
+//!   vector (or any [`Backend`](crate::backend::Backend)). Used for
+//!   validation and small systems.
 //! * [`qpe_phase_distribution`] / [`PhaseEstimator`] — the analytic outcome
 //!   distribution of that circuit (the Fejér/sinc² kernel), used by the
 //!   pipeline at sizes where a full register would be wasteful. The two
 //!   paths agree to machine precision (ablation A2).
 
+use crate::circuit::{Circuit, Op};
 use crate::error::SimError;
-use crate::qft::apply_inverse_qft;
 use crate::state::QuantumState;
 use qsc_linalg::eig::{eig_unitary, UnitaryEigen};
 use qsc_linalg::{CMatrix, C_ZERO};
 use rand::Rng;
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 /// Runs gate-level QPE: given a unitary `u` on `s` qubits (dimension
 /// `2^s`) and an input system state, returns the final joint state with the
@@ -55,16 +59,119 @@ pub fn qpe_gate_level(
     // falls back to the reference construction.
     match eig_unitary(u) {
         Ok(eig) => {
+            let circuit = qpe_circuit(&eig, t)?;
             let mut state = embed_system(input, t);
-            for j in 0..t {
-                state.apply_h(input.num_qubits() + j)?;
-            }
-            apply_phase_cascade(&mut state, &eig, input.num_qubits(), 1.0)?;
-            apply_inverse_qft(&mut state, input.num_qubits()..input.num_qubits() + t)?;
+            circuit.run(&mut state)?;
             Ok(state)
         }
         Err(_) => qpe_gate_level_repeated_squaring(u, input, t),
     }
+}
+
+/// Compiles the QPE circuit for a pre-diagonalized unitary
+/// `U = V·diag(e^{iθ})·V†` on `s` system qubits (where `2^s = eig.dim()`)
+/// with a `t`-bit phase register above it: the Hadamard wall, the
+/// controlled-power cascade in its diagonalized form
+/// (`V†`-rotation, [`Op::PhaseCascade`], `V`-rotation), and the inverse
+/// QFT. Executing the result is bit-identical to the direct
+/// [`apply_phase_cascade`]-based path.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] if `t == 0` or the
+/// eigendecomposition's dimension is not a power of two.
+pub fn qpe_circuit(eig: &UnitaryEigen, t: usize) -> Result<Circuit, SimError> {
+    if t == 0 {
+        return Err(SimError::InvalidParameter {
+            context: "QPE needs at least one phase bit".into(),
+        });
+    }
+    if !eig.dim().is_power_of_two() {
+        return Err(SimError::InvalidParameter {
+            context: format!(
+                "eigendecomposition dimension {} not a power of two",
+                eig.dim()
+            ),
+        });
+    }
+    let s = eig.dim().trailing_zeros() as usize;
+    let mut c = Circuit::new(s + t);
+    for j in 0..t {
+        c.push(Op::H(s + j))?;
+    }
+    push_phase_cascade_ops(&mut c, eig, 1.0)?;
+    c.push_inverse_qft(s..s + t)?;
+    Ok(c)
+}
+
+/// Appends the diagonalized controlled-power cascade
+/// `(I ⊗ V) · Φ^sign · (I ⊗ V†)` to a circuit as three ops.
+///
+/// # Errors
+///
+/// Propagates [`Circuit::push`] validation errors.
+pub fn push_phase_cascade_ops(
+    c: &mut Circuit,
+    eig: &UnitaryEigen,
+    sign: f64,
+) -> Result<(), SimError> {
+    let s = eig.dim().trailing_zeros() as usize;
+    c.push(Op::BlockUnitary {
+        control: None,
+        matrix: Arc::new(eig.eigenvectors.adjoint()),
+    })?;
+    c.push(Op::PhaseCascade {
+        block_qubits: s,
+        phases: Arc::new(eig.phases.clone()),
+        sign,
+    })?;
+    c.push(Op::BlockUnitary {
+        control: None,
+        matrix: Arc::new(eig.eigenvectors.clone()),
+    })?;
+    Ok(())
+}
+
+/// Compiles the reference QPE construction: controlled powers `U^{2^j}`
+/// materialized by repeated matrix squaring, one [`Op::BlockUnitary`] per
+/// phase bit. `2^s = u.nrows()` system qubits, `t` phase bits above.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidParameter`] if `t == 0` and
+/// [`SimError::DimensionMismatch`] for a non-power-of-two unitary.
+pub fn qpe_circuit_repeated_squaring(u: &CMatrix, t: usize) -> Result<Circuit, SimError> {
+    if t == 0 {
+        return Err(SimError::InvalidParameter {
+            context: "QPE needs at least one phase bit".into(),
+        });
+    }
+    if !u.is_square() || !u.nrows().is_power_of_two() {
+        return Err(SimError::DimensionMismatch {
+            context: format!(
+                "QPE unitary must be square power-of-two, got {}×{}",
+                u.nrows(),
+                u.ncols()
+            ),
+        });
+    }
+    let s = u.nrows().trailing_zeros() as usize;
+    let mut c = Circuit::new(s + t);
+    for j in 0..t {
+        c.push(Op::H(s + j))?;
+    }
+    let mut power = u.clone();
+    for j in 0..t {
+        c.push(Op::BlockUnitary {
+            control: Some(s + j),
+            matrix: Arc::new(power.clone()),
+        })?;
+        if j + 1 < t {
+            power = power.matmul(&power);
+        }
+    }
+    c.push_inverse_qft(s..s + t)?;
+    Ok(c)
 }
 
 /// Embeds a system state into a joint register with `t` zeroed phase qubits
@@ -148,21 +255,11 @@ pub fn qpe_gate_level_repeated_squaring(
         let dev = (&u.adjoint().matmul(u) - &CMatrix::identity(u.nrows())).max_norm();
         return Err(SimError::NotUnitary { deviation: dev });
     }
-    let s = input.num_qubits();
-    let mut state = embed_system(input, t);
-    for j in 0..t {
-        state.apply_h(s + j)?;
-    }
     // Controlled-U^{2^j} with control = phase qubit j. Powers are computed
     // by repeated squaring of the matrix (the simulator's privilege).
-    let mut power = u.clone();
-    for j in 0..t {
-        state.apply_controlled_block_unitary(&power, Some(s + j))?;
-        if j + 1 < t {
-            power = power.matmul(&power);
-        }
-    }
-    apply_inverse_qft(&mut state, s..s + t)?;
+    let circuit = qpe_circuit_repeated_squaring(u, t)?;
+    let mut state = embed_system(input, t);
+    circuit.run(&mut state)?;
     Ok(state)
 }
 

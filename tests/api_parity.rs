@@ -1,19 +1,27 @@
-//! API-parity tests for the staged-pipeline redesign: the `Pipeline`
-//! builder must reproduce the deprecated free functions **exactly** (same
-//! labels, spectra, embeddings — the wrappers delegate, and these tests
-//! pin the builder translation of every legacy config), and the
-//! rayon-parallel `run_many` batch runner must be indistinguishable from a
-//! sequential loop under a multi-threaded pool.
+//! Backend-equivalence suite for the execution-backend redesign (the
+//! successor of the PR 2 free-function parity suite, whose deprecated
+//! wrappers are now removed).
+//!
+//! Pins three contracts:
+//!
+//! * the **default** pipeline (implicit `Statevector`) is bit-identical to
+//!   an explicitly selected `Statevector` backend and to a zero-noise
+//!   `NoisyStatevector` — i.e. the backend layer added **zero** numerical
+//!   drift over the PR 2 outputs (the builder runs the same RNG streams and
+//!   kernels as before),
+//! * the legacy `SpectralConfig` translation (`Pipeline::from_config`)
+//!   still reproduces the equivalent builder recipe exactly,
+//! * the rayon-parallel `run_many` batch runner — now on the persistent
+//!   worker pool, with backends shared across instances — remains
+//!   indistinguishable from a sequential loop under a multi-threaded pool.
 //!
 //! The worker count is pinned to 4 before any pipeline runs (same
 //! mechanism as `parallel_kernels.rs`), so the batch runner actually
 //! exercises its parallel path even on single-core CI runners.
-#![allow(deprecated)] // the legacy entry points are one side of the parity
 
 use qsc_suite::core::{
-    classical_spectral_clustering, lanczos_spectral_clustering, quantum_spectral_clustering,
-    symmetrized_spectral_clustering, Clusterer, ClusteringOutcome, EigenSolver, GraphInstance,
-    LanczosDense, Pipeline, QMeans, QuantumParams, SpectralConfig,
+    Clusterer, ClusteringOutcome, EigenSolver, GraphInstance, LanczosCsr, NoisyStatevector,
+    Pipeline, QMeans, QuantumParams, ShotSampler, SpectralConfig, Statevector,
 };
 use qsc_suite::graph::generators::{dsbm, DsbmParams, MetaGraph, PlantedGraph};
 use std::sync::Arc;
@@ -67,91 +75,103 @@ fn assert_outcomes_identical(a: &ClusteringOutcome, b: &ClusteringOutcome, what:
 }
 
 #[test]
-fn builder_reproduces_classical_free_function() {
+fn default_backend_is_bit_identical_to_explicit_statevector() {
     setup();
     let inst = flow_instance(90, 1);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 7,
-        ..SpectralConfig::default()
-    };
-    let legacy = classical_spectral_clustering(&inst.graph, &cfg).expect("legacy");
-    let staged = Pipeline::hermitian(3)
-        .seed(7)
-        .run(&inst.graph)
-        .expect("staged");
-    assert_outcomes_identical(&legacy, &staged, "classical dense");
+    let params = QuantumParams::default();
+    for (name, base) in [
+        ("classical", Pipeline::hermitian(3).seed(7)),
+        ("quantum", Pipeline::hermitian(3).seed(7).quantum(&params)),
+    ] {
+        let implicit = base.clone().run(&inst.graph).expect("implicit");
+        let explicit = base
+            .clone()
+            .backend(Statevector::new())
+            .run(&inst.graph)
+            .expect("explicit");
+        assert_outcomes_identical(&implicit, &explicit, name);
+    }
 }
 
 #[test]
-fn builder_reproduces_lanczos_csr_config() {
+fn zero_noise_backend_is_bit_identical_to_ideal() {
     setup();
-    let inst = flow_instance(90, 2);
+    let inst = flow_instance(60, 2);
+    let params = QuantumParams::default();
+    let ideal = Pipeline::hermitian(3)
+        .seed(9)
+        .quantum(&params)
+        .run(&inst.graph)
+        .expect("ideal");
+    let zero_noise = Pipeline::hermitian(3)
+        .seed(9)
+        .quantum(&params)
+        .backend(NoisyStatevector::new(0.0, 0.0))
+        .run(&inst.graph)
+        .expect("zero noise");
+    assert_outcomes_identical(&ideal, &zero_noise, "zero-noise NoisyStatevector");
+}
+
+#[test]
+fn from_config_reproduces_builder_recipes() {
+    setup();
+    let inst = flow_instance(90, 3);
     let cfg = SpectralConfig {
         k: 3,
         seed: 5,
         eigensolver: EigenSolver::LanczosCsr,
         ..SpectralConfig::default()
     };
-    let legacy = classical_spectral_clustering(&inst.graph, &cfg).expect("legacy");
-    let staged = Pipeline::from_config(&cfg)
+    let via_config = Pipeline::from_config(&cfg)
         .run(&inst.graph)
-        .expect("staged");
-    assert_outcomes_identical(&legacy, &staged, "classical lanczos-csr");
+        .expect("config");
+    let via_builder = Pipeline::hermitian(3)
+        .seed(5)
+        .embedder(LanczosCsr)
+        .run(&inst.graph)
+        .expect("builder");
+    assert_outcomes_identical(&via_config, &via_builder, "lanczos-csr config");
 }
 
 #[test]
-fn builder_reproduces_quantum_free_function() {
+fn nonexact_backends_are_deterministic_but_distinct() {
     setup();
-    let inst = flow_instance(60, 3);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 9,
-        ..SpectralConfig::default()
-    };
+    let inst = flow_instance(60, 4);
     let params = QuantumParams::default();
-    let legacy = quantum_spectral_clustering(&inst.graph, &cfg, &params).expect("legacy");
-    let staged = Pipeline::hermitian(3)
-        .seed(9)
-        .quantum(&params)
-        .run(&inst.graph)
-        .expect("staged");
-    assert_outcomes_identical(&legacy, &staged, "quantum");
-}
+    let base = Pipeline::hermitian(3).seed(11).quantum(&params);
+    let ideal = base.clone().run(&inst.graph).expect("ideal");
 
-#[test]
-fn builder_reproduces_symmetrized_free_function() {
-    setup();
-    let inst = flow_instance(80, 4);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 3,
-        ..SpectralConfig::default()
-    };
-    let legacy = symmetrized_spectral_clustering(&inst.graph, &cfg).expect("legacy");
-    let staged = Pipeline::symmetrized(3)
-        .seed(3)
+    let shots_a = base
+        .clone()
+        .backend(ShotSampler::new(1024))
         .run(&inst.graph)
-        .expect("staged");
-    assert_outcomes_identical(&legacy, &staged, "symmetrized");
-}
+        .expect("shots a");
+    let shots_b = base
+        .clone()
+        .backend(ShotSampler::new(1024))
+        .run(&inst.graph)
+        .expect("shots b");
+    assert_outcomes_identical(&shots_a, &shots_b, "seeded shot sampler");
+    assert_ne!(
+        ideal.embedding, shots_a.embedding,
+        "finite shots must perturb the embedding"
+    );
 
-#[test]
-fn builder_reproduces_lanczos_dense_free_function() {
-    setup();
-    let inst = flow_instance(70, 5);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 11,
-        ..SpectralConfig::default()
-    };
-    let legacy = lanczos_spectral_clustering(&inst.graph, &cfg).expect("legacy");
-    let staged = Pipeline::hermitian(3)
-        .seed(11)
-        .embedder(LanczosDense)
+    let noisy_a = base
+        .clone()
+        .backend(NoisyStatevector::new(0.02, 0.05))
         .run(&inst.graph)
-        .expect("staged");
-    assert_outcomes_identical(&legacy, &staged, "lanczos dense");
+        .expect("noisy a");
+    let noisy_b = base
+        .clone()
+        .backend(NoisyStatevector::new(0.02, 0.05))
+        .run(&inst.graph)
+        .expect("noisy b");
+    assert_outcomes_identical(&noisy_a, &noisy_b, "seeded noisy backend");
+    assert_ne!(
+        ideal.embedding, noisy_a.embedding,
+        "noise must perturb the embedding"
+    );
 }
 
 #[test]
@@ -183,6 +203,37 @@ fn run_many_is_deterministic_under_four_workers() {
         for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
             assert_outcomes_identical(b, s, &format!("round {round}, instance {i}"));
         }
+    }
+}
+
+#[test]
+fn run_many_shares_one_backend_pool_across_instances() {
+    setup();
+    // One ShotSampler (and its buffer pool) shared by the whole parallel
+    // batch: still deterministic and identical to the sequential loop,
+    // because the per-instance RNG streams are independent of scheduling.
+    let graphs: Vec<PlantedGraph> = (0..4).map(|s| flow_instance(50, 70 + s)).collect();
+    let batch: Vec<GraphInstance> = graphs
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+        .collect();
+    let backend = Arc::new(ShotSampler::new(512));
+    let pl = Pipeline::hermitian(3)
+        .quantum(&QuantumParams::default())
+        .backend_shared(backend);
+    let batched = pl.run_many(&batch).expect("run_many");
+    for (i, inst) in batch.iter().enumerate() {
+        let single = pl
+            .clone()
+            .seed(inst.seed.expect("seeded"))
+            .run(inst.graph)
+            .expect("single");
+        assert_outcomes_identical(
+            &batched[i],
+            &single,
+            &format!("shared backend, instance {i}"),
+        );
     }
 }
 

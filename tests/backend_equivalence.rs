@@ -1,0 +1,255 @@
+//! Property tests for the backend execution layer: compiled-circuit
+//! execution on the `Statevector` backend must be **bit-identical** to the
+//! old direct state-mutation path, a `NoisyStatevector` with zero noise
+//! must equal the ideal backend, and the gate-fusion compile pass must
+//! preserve amplitudes. Random circuits are generated from seeded RNG
+//! streams via the proptest harness, so failures are reproducible.
+
+use proptest::prelude::*;
+use qsc_suite::linalg::expm::expi;
+use qsc_suite::linalg::CMatrix;
+use qsc_suite::sim::backend::{Backend, NoisyStatevector, Statevector};
+use qsc_suite::sim::circuit::{Circuit, Op};
+use qsc_suite::sim::compile::fuse_single_qubit;
+use qsc_suite::sim::{gates, QuantumState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Draws one random op on an `n`-qubit register, covering every variant
+/// the compilers emit.
+fn random_op(n: usize, rng: &mut StdRng) -> Op {
+    let q = rng.gen_range(0..n);
+    let q2 = (q + 1 + rng.gen_range(0..n - 1)) % n;
+    match rng.gen_range(0usize..14) {
+        0 => Op::H(q),
+        1 => Op::X(q),
+        2 => Op::Y(q),
+        3 => Op::Z(q),
+        4 => Op::S(q),
+        5 => Op::T(q),
+        6 => Op::Phase {
+            target: q,
+            theta: rng.gen_range(-3.0..3.0),
+        },
+        7 => Op::Rz {
+            target: q,
+            theta: rng.gen_range(-3.0..3.0),
+        },
+        8 => Op::Ry {
+            target: q,
+            theta: rng.gen_range(-3.0..3.0),
+        },
+        9 => Op::Cnot {
+            control: q,
+            target: q2,
+        },
+        10 => Op::CPhase {
+            control: q,
+            target: q2,
+            theta: rng.gen_range(-3.0..3.0),
+        },
+        11 => Op::Swap(q, q2),
+        12 => {
+            // A random 2×2 block unitary on qubit 0 (e^{iH}), controlled by
+            // a high qubit half of the time.
+            let h = CMatrix::random_hermitian(2, rng);
+            let u = expi(&h, rng.gen_range(0.1..1.0)).expect("unitary");
+            let control = if n > 1 && rng.gen::<bool>() {
+                Some(rng.gen_range(1..n))
+            } else {
+                None
+            };
+            Op::BlockUnitary {
+                control,
+                matrix: Arc::new(u),
+            }
+        }
+        _ => {
+            let block_qubits = 1;
+            let phases: Vec<f64> = (0..2).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            Op::PhaseCascade {
+                block_qubits,
+                phases: Arc::new(phases),
+                sign: if rng.gen::<bool>() { 1.0 } else { -1.0 },
+            }
+        }
+    }
+}
+
+fn random_circuit(n: usize, len: usize, seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(n);
+    for _ in 0..len {
+        c.push(random_op(n, &mut rng)).expect("valid op");
+    }
+    c
+}
+
+/// The pre-IR execution style: mutate the state through the `QuantumState`
+/// methods directly, one call per op — the reference the compiled path must
+/// reproduce bit-for-bit.
+fn apply_direct(op: &Op, state: &mut QuantumState) {
+    match *op {
+        Op::H(q) => state.apply_h(q).unwrap(),
+        Op::X(q) => state.apply_single(&gates::x(), q).unwrap(),
+        Op::Y(q) => state.apply_single(&gates::y(), q).unwrap(),
+        Op::Z(q) => state.apply_single(&gates::z(), q).unwrap(),
+        Op::S(q) => state.apply_single(&gates::s(), q).unwrap(),
+        Op::T(q) => state.apply_single(&gates::t(), q).unwrap(),
+        Op::Phase { target, theta } => state.apply_single(&gates::phase(theta), target).unwrap(),
+        Op::Rz { target, theta } => state.apply_single(&gates::rz(theta), target).unwrap(),
+        Op::Ry { target, theta } => state.apply_single(&gates::ry(theta), target).unwrap(),
+        Op::Cnot { control, target } => state.apply_cnot(control, target).unwrap(),
+        Op::CPhase {
+            control,
+            target,
+            theta,
+        } => state
+            .apply_controlled_phase(control, target, theta)
+            .unwrap(),
+        Op::Swap(a, b) => state.apply_swap(a, b).unwrap(),
+        Op::Gate1 { target, ref matrix } => state.apply_single(matrix, target).unwrap(),
+        Op::BlockUnitary {
+            control,
+            ref matrix,
+        } => match control {
+            None => state.apply_block_unitary(matrix).unwrap(),
+            Some(c) => state
+                .apply_controlled_block_unitary(matrix, Some(c))
+                .unwrap(),
+        },
+        Op::PhaseCascade {
+            block_qubits,
+            ref phases,
+            sign,
+        } => {
+            let block = 1usize << block_qubits;
+            state.for_each_block_mut(block, |m, chunk| {
+                let factor = sign * m as f64;
+                for (a, &theta) in chunk.iter_mut().zip(phases.iter()) {
+                    *a *= qsc_suite::linalg::Complex64::cis(theta * factor);
+                }
+            });
+        }
+    }
+}
+
+fn max_amp_diff(a: &QuantumState, b: &QuantumState) -> f64 {
+    a.amplitudes()
+        .iter()
+        .zip(b.amplitudes())
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_execution_is_bit_identical_to_direct_mutation(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..30,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let basis = (seed % (1u64 << n)) as usize;
+
+        // Old style: direct mutation, one apply_* call per op.
+        let mut direct = QuantumState::basis_state(n, basis);
+        for op in circuit.ops() {
+            apply_direct(op, &mut direct);
+        }
+
+        // New style: compile → execute on the Statevector backend.
+        let backend = Statevector::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let state = backend.execute(&circuit, basis, &mut rng).expect("execute");
+
+        prop_assert_eq!(state.amplitudes(), direct.amplitudes());
+        backend.recycle(state);
+    }
+
+    #[test]
+    fn zero_noise_backend_equals_ideal(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..30,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let ideal = Statevector::new();
+        let zero_noise = NoisyStatevector::new(0.0, 0.0);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        let a = ideal.execute(&circuit, 0, &mut rng_a).expect("ideal");
+        let b = zero_noise.execute(&circuit, 0, &mut rng_b).expect("zero noise");
+        prop_assert_eq!(a.amplitudes(), b.amplitudes());
+        // Neither backend consumed randomness.
+        prop_assert_eq!(rng_a, rng_b);
+    }
+
+    #[test]
+    fn gate_fusion_preserves_amplitudes(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..40,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let fused = fuse_single_qubit(&circuit);
+        prop_assert!(fused.gate_count() <= circuit.gate_count());
+        for basis in [0usize, (1 << n) - 1] {
+            let mut a = QuantumState::basis_state(n, basis);
+            let mut b = QuantumState::basis_state(n, basis);
+            circuit.run(&mut a).expect("unfused");
+            fused.run(&mut b).expect("fused");
+            prop_assert!(
+                max_amp_diff(&a, &b) < 1e-12,
+                "fusion drift {} on basis {}", max_amp_diff(&a, &b), basis
+            );
+        }
+    }
+
+    #[test]
+    fn fused_statevector_backend_matches_fusing_manually(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        len in 1usize..25,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let mut rng = StdRng::seed_from_u64(1);
+        let via_backend = Statevector::fused().execute(&circuit, 0, &mut rng).expect("fused backend");
+        let mut manual = QuantumState::zero_state(n);
+        fuse_single_qubit(&circuit).run(&mut manual).expect("manual fuse");
+        prop_assert_eq!(via_backend.amplitudes(), manual.amplitudes());
+    }
+
+    #[test]
+    fn qasm_export_covers_every_random_circuit(
+        seed in 0u64..1_000_000,
+        n in 2usize..5,
+        len in 1usize..25,
+    ) {
+        // No silent lossy export: one gate line per op, every variant.
+        let circuit = random_circuit(n, len, seed);
+        let qasm = circuit.to_qasm();
+        let lines: Vec<&str> = qasm.lines().collect();
+        let qreg = lines.iter().position(|l| l.starts_with("qreg")).expect("qreg");
+        prop_assert_eq!(lines.len() - qreg - 1, circuit.gate_count());
+    }
+}
+
+#[test]
+fn noisy_backend_with_noise_diverges_from_ideal() {
+    // Sanity complement to the zero-noise property: noise must do
+    // *something* on a deep circuit.
+    let circuit = random_circuit(3, 40, 99);
+    let ideal = Statevector::new();
+    let noisy = NoisyStatevector::new(0.2, 0.0);
+    let mut rng = StdRng::seed_from_u64(42);
+    let a = ideal.execute(&circuit, 0, &mut rng).expect("ideal");
+    let b = noisy.execute(&circuit, 0, &mut rng).expect("noisy");
+    assert!(
+        max_amp_diff(&a, &b) > 1e-6,
+        "20% depolarizing left a 40-gate circuit untouched"
+    );
+}

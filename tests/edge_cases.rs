@@ -2,17 +2,11 @@
 //! isolated vertices, degenerate requests, weighted graphs, and the
 //! error-path contracts a downstream user will hit first.
 //!
-//! Runs deliberately through the deprecated free-function entry points:
-//! they must keep honoring the same error contracts until removal (the
-//! builder-API equivalents are covered in `api_parity.rs` and
-//! `pipeline_integration.rs`).
-#![allow(deprecated)]
+//! Everything runs through the staged `Pipeline` builder — the only entry
+//! point since the deprecated free functions were removed.
 
 use qsc_suite::cluster::{kmeans, KMeansConfig};
-use qsc_suite::core::{
-    classical_spectral_clustering, lanczos_spectral_clustering, quantum_spectral_clustering,
-    PipelineError, QuantumParams, SpectralConfig,
-};
+use qsc_suite::core::{LanczosDense, Pipeline, PipelineError, QuantumParams};
 use qsc_suite::graph::{
     hermitian_adjacency, normalized_hermitian_laplacian, GraphError, MixedGraph,
 };
@@ -23,12 +17,7 @@ fn smallest_legal_graph_clusters() {
     // Two vertices, one arc, k = 2.
     let mut g = MixedGraph::new(2);
     g.add_arc(0, 1, 1.0).expect("arc");
-    let cfg = SpectralConfig {
-        k: 2,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let out = classical_spectral_clustering(&g, &cfg).expect("pipeline");
+    let out = Pipeline::hermitian(2).seed(1).run(&g).expect("pipeline");
     assert_eq!(out.labels.len(), 2);
     assert_ne!(out.labels[0], out.labels[1]);
 }
@@ -41,14 +30,12 @@ fn graph_with_isolated_vertices_survives_both_pipelines() {
     g.add_edge(0, 1, 1.0).expect("edge");
     g.add_edge(1, 2, 1.0).expect("edge");
     g.add_edge(0, 2, 1.0).expect("edge");
-    let cfg = SpectralConfig {
-        k: 2,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let classical = classical_spectral_clustering(&g, &cfg).expect("classical");
+    let classical = Pipeline::hermitian(2).seed(1).run(&g).expect("classical");
     assert_eq!(classical.labels.len(), 5);
-    let quantum = quantum_spectral_clustering(&g, &cfg, &QuantumParams::default())
+    let quantum = Pipeline::hermitian(2)
+        .seed(1)
+        .quantum(&QuantumParams::default())
+        .run(&g)
         .expect("quantum with isolated vertices");
     assert_eq!(quantum.labels.len(), 5);
 }
@@ -58,12 +45,7 @@ fn empty_graph_pipelines_do_not_panic() {
     // No connections at all: the Laplacian is the identity, every vertex
     // identical. The pipelines must return *something* labeled, not panic.
     let g = MixedGraph::new(6);
-    let cfg = SpectralConfig {
-        k: 2,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let out = classical_spectral_clustering(&g, &cfg).expect("empty graph");
+    let out = Pipeline::hermitian(2).seed(1).run(&g).expect("empty graph");
     assert_eq!(out.labels.len(), 6);
 }
 
@@ -72,35 +54,19 @@ fn k_equals_n_assigns_every_vertex_its_own_cluster_capacity() {
     let mut g = MixedGraph::new(4);
     g.add_edge(0, 1, 1.0).expect("edge");
     g.add_arc(2, 3, 1.0).expect("arc");
-    let cfg = SpectralConfig {
-        k: 4,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
-    let out = classical_spectral_clustering(&g, &cfg).expect("k = n");
+    let out = Pipeline::hermitian(4).seed(1).run(&g).expect("k = n");
     assert!(out.labels.iter().all(|&l| l < 4));
 }
 
 #[test]
 fn invalid_requests_surface_typed_errors() {
     let g = MixedGraph::new(3);
-    let err = classical_spectral_clustering(
-        &g,
-        &SpectralConfig {
-            k: 0,
-            ..Default::default()
-        },
-    )
-    .unwrap_err();
+    let err = Pipeline::hermitian(0).run(&g).unwrap_err();
     assert!(matches!(err, PipelineError::InvalidRequest { .. }));
-    let err = lanczos_spectral_clustering(
-        &g,
-        &SpectralConfig {
-            k: 9,
-            ..Default::default()
-        },
-    )
-    .unwrap_err();
+    let err = Pipeline::hermitian(9)
+        .embedder(LanczosDense)
+        .run(&g)
+        .unwrap_err();
     assert!(matches!(err, PipelineError::InvalidRequest { .. }));
 }
 
@@ -218,11 +184,6 @@ fn quantum_pipeline_with_extreme_precision_settings() {
     for i in 0..11 {
         g.add_arc(i, i + 1, 1.0).expect("arc");
     }
-    let cfg = SpectralConfig {
-        k: 2,
-        seed: 1,
-        ..SpectralConfig::default()
-    };
     // One QPE bit and one shot: maximally noisy but must not panic.
     let brutal = QuantumParams {
         qpe_bits: 1,
@@ -231,7 +192,11 @@ fn quantum_pipeline_with_extreme_precision_settings() {
         delta: 1.0,
         ..QuantumParams::default()
     };
-    let out = quantum_spectral_clustering(&g, &cfg, &brutal).expect("noisy run");
+    let out = Pipeline::hermitian(2)
+        .seed(1)
+        .quantum(&brutal)
+        .run(&g)
+        .expect("noisy run");
     assert_eq!(out.labels.len(), 12);
     // And very fine settings still work.
     let fine = QuantumParams {
@@ -241,6 +206,10 @@ fn quantum_pipeline_with_extreme_precision_settings() {
         delta: 0.001,
         ..QuantumParams::default()
     };
-    let out = quantum_spectral_clustering(&g, &cfg, &fine).expect("fine run");
+    let out = Pipeline::hermitian(2)
+        .seed(1)
+        .quantum(&fine)
+        .run(&g)
+        .expect("fine run");
     assert_eq!(out.labels.len(), 12);
 }
