@@ -1,156 +1,242 @@
-//! Regenerates every table and figure of the reconstructed evaluation.
-//!
-//! Usage:
+//! Spec interpreter for the evaluation suite: regenerates every table and
+//! figure from the declarative spec files, or runs any custom spec.
 //!
 //! ```text
-//! experiments [--full] [table1..table6|fig1..fig5|a3|all]
+//! experiments [--list] [--scale quick|full] [--out-dir DIR]
+//!             [--spec FILE]... [--only NAME[,NAME...]] [NAME...]
 //! ```
 //!
-//! Prints the paper-style rows and writes machine-readable CSVs to
-//! `results/`.
+//! Prints the paper-style rows and writes each experiment's
+//! machine-readable series (CSV, plus JSON when the spec asks) to the
+//! output directory. Unknown flags and unknown experiment names are
+//! **errors** (usage + exit 2) — a misspelled `--fulll` or `tabel1` never
+//! silently runs the wrong thing again.
 
-use qsc_bench::experiments::{
-    ablation3_lanczos, fig1_embedding, fig2_growth_exponents, fig2_scaling, fig3_qpe,
-    fig4_rotation, fig5_resources, fig6_trotter, table1_accuracy, table2_direction,
-    table3_precision, table4_netlist, table5_clusterability, table6_graph_construction, Scale,
-};
-use qsc_core::report::Table;
+use qsc_bench::builtin::BUILTIN;
+use qsc_bench::{ExperimentSpec, Scale, SweepRunner};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn emit(name: &str, title: &str, table: &Table) {
-    println!("\n=== {name}: {title} ===");
-    print!("{}", table.to_aligned());
-    std::fs::create_dir_all("results").expect("create results dir");
-    let path = format!("results/{name}.csv");
-    std::fs::write(&path, table.to_csv()).expect("write csv");
-    println!("→ {path}");
+const USAGE: &str = "\
+usage: experiments [OPTIONS] [NAME...]
+
+Runs the spec-driven evaluation suite (all built-in experiments by
+default, or the named/loaded ones).
+
+options:
+  --list             list available experiments and exit
+  --scale quick|full scale preset (default: quick); --full is a legacy alias
+  --out-dir DIR      directory for CSV/JSON series (default: results)
+  --spec FILE        load an extra experiment spec file (repeatable);
+                     without NAMEs, only loaded specs run
+  --only NAME[,..]   run only these experiments (same as bare NAMEs)
+  -h, --help         this message
+";
+
+struct Args {
+    list: bool,
+    scale: Scale,
+    out_dir: PathBuf,
+    spec_files: Vec<PathBuf>,
+    only: Vec<String>,
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let scale = if full { Scale::full() } else { Scale::quick() };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    let run_all = wanted.is_empty() || wanted.contains(&"all");
-    let selected = |name: &str| run_all || wanted.contains(&name);
-    let preset = if full { "full (paper-scale)" } else { "quick" };
-    println!(
-        "experiment preset: {preset}; reps = {}, sizes = {:?}",
-        scale.reps, scale.sizes
-    );
-
-    let t0 = Instant::now();
-
-    if selected("table1") {
-        emit(
-            "table1",
-            "accuracy vs n — classical / quantum / symmetrized (flow DSBM)",
-            &table1_accuracy(&scale),
-        );
-    }
-    if selected("table2") {
-        emit(
-            "table2",
-            "direction sensitivity — Hermitian vs symmetrized over η_flow",
-            &table2_direction(&scale),
-        );
-    }
-    if selected("table3") {
-        emit(
-            "table3",
-            "quantum precision sweep — QPE bits / shots / δ",
-            &table3_precision(&scale),
-        );
-    }
-    if selected("table4") {
-        emit(
-            "table4",
-            "netlist module recovery — accuracy / cut / flow imbalance",
-            &table4_netlist(&scale),
-        );
-    }
-    if selected("table5") {
-        emit(
-            "table5",
-            "well-clusterability of the spectral space (Definition-4 parameters)",
-            &table5_clusterability(&scale),
-        );
-    }
-    if selected("table6") {
-        emit(
-            "table6",
-            "quantum graph construction — edge disagreement & accuracy vs ε_dist",
-            &table6_graph_construction(&scale),
-        );
-    }
-    if selected("fig1") {
-        let out = fig1_embedding();
-        println!("\n=== fig1: two-circles embedding (input + spectral space) ===");
-        print!("{}", out.summary.to_aligned());
-        std::fs::create_dir_all("results").expect("create results dir");
-        std::fs::write("results/fig1.csv", out.series.to_csv()).expect("write csv");
-        println!("→ results/fig1.csv ({} coordinate rows)", out.series.len());
-    }
-    if selected("fig2") {
-        let table = fig2_scaling(&scale);
-        emit(
-            "fig2",
-            "runtime scaling — classical vs quantum cost models",
-            &table,
-        );
-        // Summarize the growth exponents from the CSV we just produced.
-        let csv = table.to_csv();
-        let mut ns = Vec::new();
-        let mut c_cost = Vec::new();
-        let mut q_cost = Vec::new();
-        for line in csv.lines().skip(1) {
-            let f: Vec<&str> = line.split(',').collect();
-            ns.push(f[0].parse::<f64>().expect("n"));
-            c_cost.push(f[3].parse::<f64>().expect("classical cost"));
-            q_cost.push(f[4].parse::<f64>().expect("quantum cost"));
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        list: false,
+        scale: Scale::Quick,
+        out_dir: PathBuf::from("results"),
+        spec_files: Vec::new(),
+        only: Vec::new(),
+    };
+    let mut scale_set = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "--list" => args.list = true,
+            "--full" => {
+                // Legacy alias kept from the pre-spec binary.
+                if scale_set && args.scale != Scale::Full {
+                    return Err("conflicting --scale and --full".into());
+                }
+                args.scale = Scale::Full;
+                scale_set = true;
+            }
+            "--scale" => {
+                let value = it.next().ok_or("--scale needs a value (quick | full)")?;
+                let scale = Scale::parse(value)
+                    .ok_or_else(|| format!("unknown scale `{value}` (expected quick | full)"))?;
+                if scale_set && args.scale != scale {
+                    return Err("conflicting --scale and --full".into());
+                }
+                args.scale = scale;
+                scale_set = true;
+            }
+            "--out-dir" => {
+                let value = it.next().ok_or("--out-dir needs a directory")?;
+                args.out_dir = PathBuf::from(value);
+            }
+            "--spec" => {
+                let value = it.next().ok_or("--spec needs a file path")?;
+                args.spec_files.push(PathBuf::from(value));
+            }
+            "--only" => {
+                let value = it.next().ok_or("--only needs experiment name(s)")?;
+                args.only
+                    .extend(value.split(',').map(str::trim).map(String::from));
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            name => args.only.push(name.to_string()),
         }
-        let (ce, qe) = fig2_growth_exponents(&ns, &c_cost, &q_cost);
-        println!("fitted log–log growth: classical n^{ce:.2}, quantum n^{qe:.2}");
     }
-    if selected("fig3") {
-        emit(
-            "fig3",
-            "QPE bits vs eigenvalue estimation error",
-            &fig3_qpe(&scale),
-        );
+    Ok(args)
+}
+
+/// Every available experiment: built-ins first (suite order), then files
+/// loaded with `--spec`. The `bool` marks built-ins.
+fn load_all(args: &Args) -> Result<Vec<(bool, ExperimentSpec)>, String> {
+    let mut specs: Vec<(bool, ExperimentSpec)> = BUILTIN
+        .iter()
+        .map(|(name, text)| {
+            ExperimentSpec::parse(text)
+                .map(|spec| (true, spec))
+                .map_err(|e| format!("embedded spec {name}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    for path in &args.spec_files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let spec = ExperimentSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        if specs.iter().any(|(_, s)| s.name == spec.name) {
+            return Err(format!(
+                "{}: experiment name `{}` is already taken",
+                path.display(),
+                spec.name
+            ));
+        }
+        specs.push((false, spec));
     }
-    if selected("fig4") {
-        emit(
-            "fig4",
-            "rotation parameter q — direction-as-signal vs direction-as-noise",
-            &fig4_rotation(&scale),
-        );
-    }
-    if selected("fig5") {
-        emit(
-            "fig5",
-            "hardware resource forecast — qubits / gates / depth over n",
-            &fig5_resources(&scale),
-        );
-    }
-    if selected("fig6") {
-        emit(
-            "fig6",
-            "edge-local Trotterization — error vs steps (first-order decay)",
-            &fig6_trotter(&scale),
-        );
-    }
-    if selected("a3") {
-        emit(
-            "a3",
-            "ablation — Lanczos partial eigensolver vs full decomposition",
-            &ablation3_lanczos(&scale),
-        );
+    Ok(specs)
+}
+
+/// The experiments this invocation runs, out of everything available.
+fn select(specs: Vec<(bool, ExperimentSpec)>, args: &Args) -> Result<Vec<ExperimentSpec>, String> {
+    if args.only.is_empty() {
+        // No names: run everything loaded via --spec, else the whole
+        // built-in suite.
+        let external_only = !args.spec_files.is_empty();
+        return Ok(specs
+            .into_iter()
+            .filter(|(builtin, _)| !external_only || !builtin)
+            .map(|(_, spec)| spec)
+            .collect());
     }
 
+    // Names given: validate every one against the available set.
+    let available: Vec<&str> = specs.iter().map(|(_, s)| s.name.as_str()).collect();
+    for name in &args.only {
+        if !available.contains(&name.as_str()) {
+            return Err(format!(
+                "unknown experiment `{name}` (available: {})",
+                available.join(", ")
+            ));
+        }
+    }
+    Ok(specs
+        .into_iter()
+        .filter(|(_, spec)| args.only.iter().any(|n| n == &spec.name))
+        .map(|(_, spec)| spec)
+        .collect())
+}
+
+fn write_sinks(
+    out_dir: &Path,
+    output: &qsc_bench::ExperimentOutput,
+) -> Result<Vec<PathBuf>, String> {
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    let mut written = Vec::new();
+    for sink in &output.sinks {
+        let path = out_dir.join(format!("{}.{}", output.name, sink.extension()));
+        std::fs::write(&path, output.primary.render(*sink))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let all = load_all(args)?;
+    if args.list {
+        // The listing always shows the full name-addressable set —
+        // exactly what `--only` validates against.
+        println!("available experiments (scale presets: quick | full):");
+        for (builtin, spec) in &all {
+            let origin = if *builtin { "" } else { " [--spec]" };
+            println!("  {:<12} {}{origin}", spec.name, spec.title);
+        }
+        return Ok(());
+    }
+    let specs = select(all, args)?;
+
+    println!(
+        "experiment preset: {}; out-dir: {}",
+        match args.scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full (paper-scale)",
+        },
+        args.out_dir.display()
+    );
+    let runner = SweepRunner::new(args.scale);
+    let t0 = Instant::now();
+    for spec in &specs {
+        let output = runner
+            .run(spec)
+            .map_err(|e| format!("{}: {e}", spec.name))?;
+        println!("\n=== {}: {} ===", output.name, output.title);
+        print!("{}", output.display.to_aligned());
+        for note in &output.notes {
+            println!("{note}");
+        }
+        for path in write_sinks(&args.out_dir, &output)? {
+            if output.primary.len() == output.display.len() {
+                println!("→ {}", path.display());
+            } else {
+                println!(
+                    "→ {} ({} series rows)",
+                    path.display(),
+                    output.primary.len()
+                );
+            }
+        }
+    }
     println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
 }

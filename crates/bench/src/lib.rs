@@ -1,16 +1,31 @@
-//! # qsc-bench — the benchmark and experiment harness
+//! # qsc-bench — the declarative experiment engine
 //!
-//! One function per table/figure of the reconstructed evaluation (DESIGN.md
-//! §5), shared between the `experiments` binary (which prints paper-style
-//! rows and writes CSV series to `results/`) and the Criterion benches.
+//! The evaluation layer of the suite: every table/figure of the
+//! reconstructed paper (and any scenario you can describe) is a
+//! serializable [`ExperimentSpec`] — workload generator, sweep axes,
+//! pipeline variants, metrics and output columns as *data* — interpreted
+//! by a generic [`SweepRunner`]. The shipped suite lives as JSON files
+//! under `specs/` (embedded in [`builtin`]); adding a scenario means
+//! writing a spec file, not a Rust function.
 //!
 //! ```text
-//! cargo run -p qsc-bench --release --bin experiments            # quick preset
-//! cargo run -p qsc-bench --release --bin experiments -- --full  # paper scale
-//! cargo run -p qsc-bench --release --bin experiments -- table1  # one experiment
-//! cargo bench                                                    # micro-benches
+//! cargo run -p qsc-bench --release --bin experiments                  # quick suite
+//! cargo run -p qsc-bench --release --bin experiments -- --scale full  # paper scale
+//! cargo run -p qsc-bench --release --bin experiments -- --only table1
+//! cargo run -p qsc-bench --release --bin experiments -- --spec specs/noise_shots.json
+//! cargo run -p qsc-bench --release --bin experiments -- --list
+//! cargo bench                                                          # micro-benches
 //! ```
+//!
+//! The runner batches repetitions through `Pipeline::run_many` and routes
+//! clusterer-only axes (q-means `δ`) through `run_many_clusterers`, so a δ
+//! sweep stages each graph's QPE embedding once. Quick-scale output of the
+//! spec suite is pinned bit-identical to the retired hand-written
+//! experiment functions by the golden files under `goldens/`.
 
-pub mod experiments;
+pub mod builtin;
+pub mod runner;
+pub mod spec;
 
-pub use experiments::Scale;
+pub use runner::{BenchError, ExperimentOutput, SweepRunner};
+pub use spec::{ExperimentSpec, Scale};

@@ -1,0 +1,1019 @@
+//! The generic sweep engine: interprets an [`ExperimentSpec`] and produces
+//! the tables the old hand-written experiment functions used to build.
+//!
+//! One [`SweepRunner`] executes any spec at a [`Scale`]:
+//!
+//! * grid layouts expand the cartesian product of the axes; stacked
+//!   layouts sweep each axis independently around the defaults,
+//! * repetition batches fan through [`Pipeline::run_many`] (rayon-parallel
+//!   over instances, results identical to a sequential loop),
+//! * **clusterer-only axes** (q-means `δ`) are routed through
+//!   [`Pipeline::run_many_clusterers`], so each graph's embedding is
+//!   staged once and re-clustered per point,
+//! * metrics aggregate through the registry
+//!   ([`qsc_cluster::registry::MetricKind`]) into formatted columns.
+
+use crate::spec::{
+    AggFormat, Analysis, Axis, AxisPoint, ColumnSource, ColumnSpec, EmbedderChoice, EmbeddingSpec,
+    ExperimentKind, ExperimentSpec, PipelineSpec, QpeResolutionSpec, RecipePatch, ResourcesSpec,
+    RowLayout, Scale, SeedPolicy, SweepLayout, TrotterSpec,
+};
+use qsc_cluster::clusterability::{measure_clusterability, Clusterability};
+use qsc_cluster::registry::MetricKind;
+use qsc_core::config::{set_quantum_field, BackendConfig, QuantumParams};
+use qsc_core::refine::{refine_partition, RefineConfig};
+use qsc_core::report::{fmt, fmt_mean_std, mean, SinkFormat, Table};
+use qsc_core::{
+    Clusterer, ClusteringOutcome, GraphInstance, LanczosCsr, LanczosDense, Pipeline, QMeans,
+};
+use qsc_graph::normalized_hermitian_laplacian;
+use qsc_graph::spec::{GeneratedInstance, GraphSpec};
+use qsc_json::{JsonError, Value};
+use qsc_linalg::eigh;
+use qsc_linalg::expm::expi;
+use qsc_sim::resources::{pipeline_resources, qpe_resources, qubits_for_dimension};
+use qsc_sim::synthesis::{derived_two_qubit_count, two_level_decompose};
+use qsc_sim::PhaseEstimator;
+use std::cell::OnceCell;
+use std::fmt as stdfmt;
+use std::sync::Arc;
+
+/// Errors of the sweep engine: spec-level mistakes plus propagated
+/// pipeline/generator failures.
+#[derive(Debug)]
+pub enum BenchError {
+    /// The spec is malformed or internally inconsistent.
+    Spec(JsonError),
+    /// A workload generator rejected its parameters.
+    Graph(qsc_graph::GraphError),
+    /// A pipeline stage failed.
+    Pipeline(qsc_core::Error),
+}
+
+impl stdfmt::Display for BenchError {
+    fn fmt(&self, f: &mut stdfmt::Formatter<'_>) -> stdfmt::Result {
+        match self {
+            BenchError::Spec(e) => write!(f, "spec: {e}"),
+            BenchError::Graph(e) => write!(f, "graph generation: {e}"),
+            BenchError::Pipeline(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<JsonError> for BenchError {
+    fn from(e: JsonError) -> Self {
+        BenchError::Spec(e)
+    }
+}
+
+impl From<qsc_graph::GraphError> for BenchError {
+    fn from(e: qsc_graph::GraphError) -> Self {
+        BenchError::Graph(e)
+    }
+}
+
+impl From<qsc_core::Error> for BenchError {
+    fn from(e: qsc_core::Error) -> Self {
+        BenchError::Pipeline(e)
+    }
+}
+
+fn spec_err(message: impl Into<String>) -> BenchError {
+    BenchError::Spec(JsonError::msg(message))
+}
+
+/// Non-graph `scale_set` assignments, applied to each resolved recipe.
+type ScaleAssignments<'a> = Vec<(&'a str, &'a Value)>;
+
+/// The result of interpreting one spec: a display table, the primary
+/// machine-readable table (they differ only for coordinate-dump
+/// experiments, where the display is a summary and the primary the long
+/// series), and analysis notes.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Spec name (output file stem).
+    pub name: String,
+    /// Spec title.
+    pub title: String,
+    /// Table to print.
+    pub display: Table,
+    /// Table the sinks write.
+    pub primary: Table,
+    /// Analysis notes to print after the table.
+    pub notes: Vec<String>,
+    /// Sinks the spec requests.
+    pub sinks: Vec<SinkFormat>,
+}
+
+/// Interprets [`ExperimentSpec`]s at a fixed scale.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    scale: Scale,
+}
+
+// ---------------------------------------------------------------------------
+// Recipe resolution
+// ---------------------------------------------------------------------------
+
+/// A fully resolved pipeline recipe (patches merged, axis assignments
+/// applied).
+#[derive(Debug, Clone, PartialEq, Default)]
+struct Recipe {
+    k: usize,
+    q: Option<f64>,
+    symmetrize: bool,
+    normalize_rows: bool,
+    embedder: Option<EmbedderChoice>,
+    quantum: Option<QuantumParams>,
+    delta: Option<f64>,
+    backend: Option<BackendConfig>,
+    refine: bool,
+}
+
+impl Recipe {
+    fn from_patch(patch: &RecipePatch) -> Recipe {
+        Recipe {
+            k: patch.k.unwrap_or(2),
+            q: patch.q,
+            symmetrize: patch.symmetrize.unwrap_or(false),
+            normalize_rows: patch.normalize_rows.unwrap_or(false),
+            embedder: patch.embedder,
+            quantum: patch.quantum.clone(),
+            delta: patch.delta,
+            backend: patch.backend.clone(),
+            refine: patch.refine.unwrap_or(false),
+        }
+    }
+
+    /// Applies one non-graph `set` assignment (`pipeline.*`, `quantum.*`,
+    /// `clusterer.delta`, `backend`).
+    fn apply_path(&mut self, path: &str, value: &Value) -> Result<(), BenchError> {
+        if let Some(field) = path.strip_prefix("quantum.") {
+            let params = self.quantum.get_or_insert_with(QuantumParams::default);
+            set_quantum_field(params, field, value)?;
+            return Ok(());
+        }
+        if path == "clusterer.delta" {
+            self.delta = Some(
+                value
+                    .as_f64()
+                    .ok_or_else(|| spec_err("clusterer.delta: expected a number"))?,
+            );
+            return Ok(());
+        }
+        if path == "backend" {
+            self.backend = Some(qsc_json::FromJson::from_json(value).map_err(BenchError::Spec)?);
+            return Ok(());
+        }
+        match path {
+            "pipeline.k" => {
+                self.k = value
+                    .as_usize()
+                    .ok_or_else(|| spec_err("pipeline.k: expected a positive integer"))?;
+            }
+            "pipeline.q" => {
+                self.q = Some(
+                    value
+                        .as_f64()
+                        .ok_or_else(|| spec_err("pipeline.q: expected a number"))?,
+                );
+            }
+            "pipeline.normalize_rows" => {
+                self.normalize_rows = value
+                    .as_bool()
+                    .ok_or_else(|| spec_err("pipeline.normalize_rows: expected a boolean"))?;
+            }
+            "pipeline.symmetrize" => {
+                self.symmetrize = value
+                    .as_bool()
+                    .ok_or_else(|| spec_err("pipeline.symmetrize: expected a boolean"))?;
+            }
+            other => {
+                return Err(spec_err(format!(
+                    "unknown sweep path `{other}` (expected graph.* | quantum.* | pipeline.* | \
+                     clusterer.delta | backend)"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the configured [`Pipeline`] (matching exactly what the
+    /// hand-written experiments used to construct).
+    fn build(&self) -> Result<Pipeline, BenchError> {
+        let mut pl = Pipeline::hermitian(self.k);
+        if self.symmetrize {
+            pl = pl.symmetrize();
+        }
+        if let Some(q) = self.q {
+            pl = pl.q(q);
+        }
+        pl = pl.normalize_rows(self.normalize_rows);
+        match self.embedder {
+            None | Some(EmbedderChoice::DenseEig) => {}
+            Some(EmbedderChoice::LanczosCsr) => pl = pl.embedder(LanczosCsr),
+            Some(EmbedderChoice::LanczosDense) => pl = pl.embedder(LanczosDense),
+        }
+        if let Some(params) = &self.quantum {
+            pl = pl.quantum(params);
+        }
+        if let Some(delta) = self.delta {
+            pl = pl.clusterer(QMeans::new(delta));
+        }
+        if let Some(backend) = &self.backend {
+            pl = pl.backend_config(backend)?;
+        }
+        Ok(pl)
+    }
+}
+
+fn apply_set_to(
+    graph: &mut GraphSpec,
+    recipe: &mut Recipe,
+    set: &[(String, Value)],
+) -> Result<(), BenchError> {
+    for (path, value) in set {
+        if let Some(field) = path.strip_prefix("graph.") {
+            graph.set_field(field, value).map_err(BenchError::Spec)?;
+        } else {
+            recipe.apply_path(path, value)?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Run records
+// ---------------------------------------------------------------------------
+
+/// One executed repetition: the outcome plus the labels metrics score
+/// (refined when the variant requests refinement).
+struct RunRecord {
+    outcome: ClusteringOutcome,
+    labels: Vec<usize>,
+    /// Lazily measured clusterability, shared by every clusterability
+    /// metric column of the row (the measurement is O(n·d) + a sort; a
+    /// Table-V row reads four metrics from one measurement).
+    clusterability: OnceCell<Option<Clusterability>>,
+}
+
+/// What makes two variants' executions interchangeable: same workload,
+/// same seeding, same recipe apart from post-steps (`refine`). A variant
+/// matching an already-executed one reuses its outcomes instead of
+/// re-running the pipeline (the `hermitian` / `hermitian+refine` pair of
+/// Table IV shares one spectral run, as the hand-written code did).
+#[derive(Clone, PartialEq)]
+struct ShareKey {
+    graph: GraphSpec,
+    seeds: SeedPolicy,
+    recipe: Recipe,
+}
+
+/// All executed repetitions of one variant at one grid point, grouped by
+/// clusterer-sweep combo (`combos.len() == 1` without clusterer axes).
+struct VariantRuns {
+    name: String,
+    k: usize,
+    instances: Vec<GeneratedInstance>,
+    /// `[combo][rep]`.
+    combos: Vec<Vec<RunRecord>>,
+    share: ShareKey,
+}
+
+impl VariantRuns {
+    /// Aggregated values of `metric` at combo `combo` (one per rep whose
+    /// inputs were available).
+    fn metric_values(&self, metric: MetricKind, combo: usize) -> Vec<f64> {
+        self.combos[combo]
+            .iter()
+            .zip(&self.instances)
+            .filter_map(|(run, inst)| {
+                let mut ctx = run.outcome.metric_context(
+                    self.k,
+                    Some(&inst.graph),
+                    (!inst.labels.is_empty()).then_some(inst.labels.as_slice()),
+                );
+                ctx.labels = &run.labels;
+                ctx.edge_disagreement = inst.edge_disagreement;
+                if metric.uses_clusterability() {
+                    ctx.clusterability = *run.clusterability.get_or_init(|| {
+                        measure_clusterability(&run.outcome.embedding, &run.labels)
+                    });
+                }
+                metric.compute(&ctx)
+            })
+            .collect()
+    }
+}
+
+fn format_metric(values: &[f64], format: AggFormat) -> String {
+    match format {
+        AggFormat::MeanStd(d) => fmt_mean_std(values, d),
+        AggFormat::Mean(d) => {
+            if values.is_empty() {
+                "n/a".into()
+            } else {
+                fmt(mean(values), d)
+            }
+        }
+        AggFormat::Sci(d) => {
+            if values.is_empty() {
+                "n/a".into()
+            } else {
+                format!("{:.d$e}", mean(values), d = d)
+            }
+        }
+        AggFormat::Bool => {
+            if !values.is_empty() && values.iter().all(|&v| v != 0.0) {
+                "true".into()
+            } else {
+                "false".into()
+            }
+        }
+    }
+}
+
+/// Everything a row's columns can reference.
+struct RowCtx<'a> {
+    /// `(key, label)` pairs contributed by the active axis points.
+    labels: Vec<(&'a str, &'a str)>,
+    /// The sweeping axis name (stacked layouts).
+    axis_name: Option<&'a str>,
+    /// The sweeping axis's current point label (stacked layouts).
+    axis_value: Option<&'a str>,
+    /// The row's variant (variant-rows layouts).
+    row_variant: Option<&'a str>,
+    /// Index into each variant's `combos`.
+    combo: usize,
+}
+
+fn eval_columns(
+    columns: &[ColumnSpec],
+    ctx: &RowCtx<'_>,
+    variants: &[VariantRuns],
+) -> Result<Vec<String>, BenchError> {
+    columns
+        .iter()
+        .map(|col| -> Result<String, BenchError> {
+            match &col.source {
+                ColumnSource::AxisLabel(key) => ctx
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, l)| l.to_string())
+                    .ok_or_else(|| {
+                        spec_err(format!(
+                            "column `{}`: no axis label `{key}` on this row",
+                            col.header
+                        ))
+                    }),
+                ColumnSource::AxisName => ctx
+                    .axis_name
+                    .map(str::to_string)
+                    .ok_or_else(|| spec_err("axis_name column outside a stacked layout")),
+                ColumnSource::AxisValue => ctx
+                    .axis_value
+                    .map(str::to_string)
+                    .ok_or_else(|| spec_err("axis_value column outside a stacked layout")),
+                ColumnSource::VariantName => ctx
+                    .row_variant
+                    .map(str::to_string)
+                    .ok_or_else(|| spec_err("variant_name column outside a variants layout")),
+                ColumnSource::Metric {
+                    variant,
+                    metric,
+                    format,
+                } => {
+                    let name = variant
+                        .as_deref()
+                        .or(ctx.row_variant)
+                        .or_else(|| (variants.len() == 1).then(|| variants[0].name.as_str()))
+                        .ok_or_else(|| {
+                            spec_err(format!(
+                                "column `{}`: ambiguous variant (name one explicitly)",
+                                col.header
+                            ))
+                        })?;
+                    let runs = variants.iter().find(|v| v.name == name).ok_or_else(|| {
+                        spec_err(format!("column `{}`: unknown variant `{name}`", col.header))
+                    })?;
+                    Ok(format_metric(
+                        &runs.metric_values(*metric, ctx.combo),
+                        *format,
+                    ))
+                }
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------------
+
+impl SweepRunner {
+    /// A runner at the given scale preset.
+    pub fn new(scale: Scale) -> Self {
+        Self { scale }
+    }
+
+    /// The runner's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Interprets one spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError`] for inconsistent specs and propagated
+    /// generator/pipeline failures.
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<ExperimentOutput, BenchError> {
+        let (display, primary, mut notes) = match &spec.kind {
+            ExperimentKind::Pipeline(p) => {
+                let table = self.run_pipeline(spec, p)?;
+                (table.clone(), table, Vec::new())
+            }
+            ExperimentKind::Embedding(e) => {
+                let (summary, series) = self.run_embedding(spec, e)?;
+                (summary, series, Vec::new())
+            }
+            ExperimentKind::QpeResolution(q) => {
+                let table = self.run_qpe_resolution(spec, q)?;
+                (table.clone(), table, Vec::new())
+            }
+            ExperimentKind::Resources(r) => {
+                let table = self.run_resources(r)?;
+                (table.clone(), table, Vec::new())
+            }
+            ExperimentKind::Trotter(t) => {
+                let table = self.run_trotter(spec, t)?;
+                (table.clone(), table, Vec::new())
+            }
+        };
+        for analysis in &spec.analyses {
+            notes.push(run_analysis(analysis, &primary)?);
+        }
+        Ok(ExperimentOutput {
+            name: spec.name.clone(),
+            title: spec.title.clone(),
+            display,
+            primary,
+            notes,
+            sinks: spec.sinks.clone(),
+        })
+    }
+
+    /// The spec's graph with this scale's `scale_set` graph assignments
+    /// applied, plus the non-graph assignments (returned for the recipe).
+    fn scaled_graph<'a>(
+        &self,
+        spec: &'a ExperimentSpec,
+        graph: &GraphSpec,
+    ) -> Result<(GraphSpec, ScaleAssignments<'a>), BenchError> {
+        let mut graph = graph.clone();
+        let mut recipe_assignments = Vec::new();
+        for (path, value) in spec.scale_assignments(self.scale) {
+            if let Some(field) = path.strip_prefix("graph.") {
+                graph.set_field(field, value).map_err(BenchError::Spec)?;
+            } else {
+                recipe_assignments.push((path, value));
+            }
+        }
+        Ok((graph, recipe_assignments))
+    }
+
+    // -- pipeline sweeps ---------------------------------------------------
+
+    fn run_pipeline(&self, spec: &ExperimentSpec, p: &PipelineSpec) -> Result<Table, BenchError> {
+        let reps = *p.reps.get(self.scale);
+        let (base_graph, recipe_scale_set) = self.scaled_graph(spec, &p.graph)?;
+        let mut table = Table::new(p.columns.iter().map(|c| c.header.clone()));
+
+        match p.layout {
+            SweepLayout::Grid => {
+                // Trailing clusterer-only axes re-cluster a staged
+                // embedding; everything before them re-runs the pipeline.
+                let split = p
+                    .axes
+                    .iter()
+                    .rposition(|a| !a.is_clusterer_only())
+                    .map_or(0, |i| i + 1);
+                let (outer_axes, inner_axes) = p.axes.split_at(split);
+                let outer_points = cartesian(outer_axes, self.scale);
+                let inner_points = if inner_axes.is_empty() {
+                    Vec::new()
+                } else {
+                    cartesian(inner_axes, self.scale)
+                };
+                for outer in &outer_points {
+                    let variants = self.execute_point(
+                        p,
+                        &base_graph,
+                        &recipe_scale_set,
+                        reps,
+                        outer,
+                        &inner_points,
+                    )?;
+                    self.emit_rows(&mut table, p, outer, &inner_points, &variants)?;
+                }
+            }
+            SweepLayout::Stacked => {
+                // One stacked row per axis point, whether the axis swept
+                // clusterers over a staged embedding (one execute_point,
+                // combo index = point index) or re-ran the pipeline per
+                // point (one execute_point each, combo 0).
+                let stacked_row = |table: &mut Table,
+                                   axis: &Axis,
+                                   pt: &AxisPoint,
+                                   combo: usize,
+                                   variants: &[VariantRuns]|
+                 -> Result<(), BenchError> {
+                    let ctx = RowCtx {
+                        labels: pt
+                            .labels
+                            .iter()
+                            .map(|(k, l)| (k.as_str(), l.as_str()))
+                            .collect(),
+                        axis_name: Some(&axis.name),
+                        axis_value: pt
+                            .label(&axis.name)
+                            .or(pt.labels.first().map(|(_, l)| l.as_str())),
+                        row_variant: None,
+                        combo,
+                    };
+                    table.push_row(eval_columns(&p.columns, &ctx, variants)?);
+                    Ok(())
+                };
+                for axis in &p.axes {
+                    let points = axis.points.get(self.scale);
+                    if axis.is_clusterer_only() {
+                        let combos: Vec<Vec<&AxisPoint>> =
+                            points.iter().map(|pt| vec![pt]).collect();
+                        let variants = self.execute_point(
+                            p,
+                            &base_graph,
+                            &recipe_scale_set,
+                            reps,
+                            &[],
+                            &combos,
+                        )?;
+                        for (ci, pt) in points.iter().enumerate() {
+                            stacked_row(&mut table, axis, pt, ci, &variants)?;
+                        }
+                    } else {
+                        for pt in points {
+                            let variants = self.execute_point(
+                                p,
+                                &base_graph,
+                                &recipe_scale_set,
+                                reps,
+                                &[pt],
+                                &[],
+                            )?;
+                            stacked_row(&mut table, axis, pt, 0, &variants)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(table)
+    }
+
+    /// Runs every variant at one (outer) grid point; `inner_points` are
+    /// clusterer-only combos swept over the staged embeddings.
+    fn execute_point(
+        &self,
+        p: &PipelineSpec,
+        base_graph: &GraphSpec,
+        recipe_scale_set: &[(&str, &Value)],
+        reps: usize,
+        outer: &[&AxisPoint],
+        inner_points: &[Vec<&AxisPoint>],
+    ) -> Result<Vec<VariantRuns>, BenchError> {
+        let mut results = Vec::with_capacity(p.variants.len());
+        for variant in &p.variants {
+            // Workload: spec graph (scale-set applied) unless the variant
+            // brings its own; outer axis assignments apply on top.
+            let mut graph = match &variant.graph {
+                Some(g) => g.clone(),
+                None => base_graph.clone(),
+            };
+            // Recipe: defaults ← base ← variant ← scale_set ← axis sets.
+            let mut recipe = Recipe::from_patch(&p.base.merged_with(&variant.patch));
+            for (path, value) in recipe_scale_set {
+                recipe.apply_path(path, value)?;
+            }
+            for pt in outer {
+                apply_set_to(&mut graph, &mut recipe, &pt.set)?;
+            }
+
+            let seeds: SeedPolicy = variant.seeds.unwrap_or(p.seeds);
+            let share = ShareKey {
+                graph: graph.clone(),
+                seeds,
+                recipe: Recipe {
+                    refine: false,
+                    ..recipe.clone()
+                },
+            };
+            if let Some(prev) = results.iter().find(|r: &&VariantRuns| r.share == share) {
+                // Same pipeline on the same instances: reuse the computed
+                // outcomes and only redo the post-step (refine) labels.
+                let instances = prev.instances.clone();
+                let combos = prev
+                    .combos
+                    .iter()
+                    .map(|records| {
+                        let outs: Vec<ClusteringOutcome> =
+                            records.iter().map(|r| r.outcome.clone()).collect();
+                        to_records(outs, &instances, &recipe)
+                    })
+                    .collect();
+                results.push(VariantRuns {
+                    name: variant.name.clone(),
+                    k: recipe.k,
+                    instances,
+                    combos,
+                    share,
+                });
+                continue;
+            }
+            let instances: Vec<GeneratedInstance> = (0..reps)
+                .map(|rep| {
+                    let mut g = graph.clone();
+                    g.set_seed(seeds.graph_seed(rep));
+                    g.generate()
+                })
+                .collect::<Result<_, _>>()?;
+            let batch: Vec<GraphInstance> = instances
+                .iter()
+                .enumerate()
+                .map(|(rep, inst)| GraphInstance::with_seed(&inst.graph, seeds.pipeline_seed(rep)))
+                .collect();
+
+            let pl = recipe.build()?;
+            let combos: Vec<Vec<RunRecord>> = if inner_points.is_empty() {
+                let outs = pl.run_many(&batch)?;
+                vec![to_records(outs, &instances, &recipe)]
+            } else {
+                // Build one clusterer per inner combo and re-cluster each
+                // staged embedding.
+                let clusterers: Vec<Arc<dyn Clusterer>> = inner_points
+                    .iter()
+                    .map(|combo| -> Result<Arc<dyn Clusterer>, BenchError> {
+                        let mut sub = recipe.clone();
+                        for pt in combo {
+                            for (path, value) in &pt.set {
+                                sub.apply_path(path, value)?;
+                            }
+                        }
+                        let delta = sub.delta.ok_or_else(|| {
+                            spec_err("clusterer sweep point without clusterer.delta")
+                        })?;
+                        Ok(Arc::new(QMeans::new(delta)) as Arc<dyn Clusterer>)
+                    })
+                    .collect::<Result<_, _>>()?;
+                let swept = pl.run_many_clusterers(&batch, &clusterers)?;
+                // `swept` is [instance][combo]; transpose by value to
+                // [combo][rep] — no outcome (embedding) clones.
+                let mut per_combo: Vec<Vec<ClusteringOutcome>> = (0..clusterers.len())
+                    .map(|_| Vec::with_capacity(instances.len()))
+                    .collect();
+                for per_instance in swept {
+                    for (ci, out) in per_instance.into_iter().enumerate() {
+                        per_combo[ci].push(out);
+                    }
+                }
+                per_combo
+                    .into_iter()
+                    .map(|outs| to_records(outs, &instances, &recipe))
+                    .collect()
+            };
+            results.push(VariantRuns {
+                name: variant.name.clone(),
+                k: recipe.k,
+                instances,
+                combos,
+                share,
+            });
+        }
+        Ok(results)
+    }
+
+    fn emit_rows(
+        &self,
+        table: &mut Table,
+        p: &PipelineSpec,
+        outer: &[&AxisPoint],
+        inner_points: &[Vec<&AxisPoint>],
+        variants: &[VariantRuns],
+    ) -> Result<(), BenchError> {
+        let outer_labels: Vec<(&str, &str)> = outer
+            .iter()
+            .flat_map(|pt| pt.labels.iter().map(|(k, l)| (k.as_str(), l.as_str())))
+            .collect();
+        let combo_count = inner_points.len().max(1);
+        for ci in 0..combo_count {
+            let mut labels = outer_labels.clone();
+            if let Some(combo) = inner_points.get(ci) {
+                labels.extend(
+                    combo
+                        .iter()
+                        .flat_map(|pt| pt.labels.iter().map(|(k, l)| (k.as_str(), l.as_str()))),
+                );
+            }
+            match p.rows {
+                RowLayout::Points => {
+                    let ctx = RowCtx {
+                        labels: labels.clone(),
+                        axis_name: None,
+                        axis_value: None,
+                        row_variant: None,
+                        combo: ci,
+                    };
+                    table.push_row(eval_columns(&p.columns, &ctx, variants)?);
+                }
+                RowLayout::Variants => {
+                    for variant in variants {
+                        let ctx = RowCtx {
+                            labels: labels.clone(),
+                            axis_name: None,
+                            axis_value: None,
+                            row_variant: Some(&variant.name),
+                            combo: ci,
+                        };
+                        table.push_row(eval_columns(&p.columns, &ctx, variants)?);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -- coordinate dump (Fig. 1) -----------------------------------------
+
+    fn run_embedding(
+        &self,
+        spec: &ExperimentSpec,
+        e: &EmbeddingSpec,
+    ) -> Result<(Table, Table), BenchError> {
+        let (graph_spec, recipe_scale_set) = self.scaled_graph(spec, &e.graph)?;
+        let inst = graph_spec.generate()?;
+        let points = inst
+            .points
+            .as_deref()
+            .ok_or_else(|| spec_err("embedding experiments need a point-cloud graph family"))?;
+
+        let mut series = Table::new(["method", "x", "y", "spec0", "spec1", "truth", "predicted"]);
+        let mut summary = Table::new(["method", "accuracy", "points", "misclassified"]);
+        for variant in &e.variants {
+            let mut recipe = Recipe::from_patch(&e.base.merged_with(&variant.patch));
+            for (path, value) in &recipe_scale_set {
+                recipe.apply_path(path, value)?;
+            }
+            let pl = recipe.build()?.seed(e.pipeline_seed);
+            let out = pl.run(&inst.graph)?;
+            for (i, point) in points.iter().enumerate() {
+                series.push_row([
+                    variant.name.clone(),
+                    fmt(point[0], 5),
+                    fmt(point[1], 5),
+                    fmt(out.embedding[i][0], 5),
+                    fmt(out.embedding[i][1], 5),
+                    inst.labels[i].to_string(),
+                    out.labels[i].to_string(),
+                ]);
+            }
+            let acc = qsc_cluster::metrics::matched_accuracy(&inst.labels, &out.labels);
+            let wrong = ((1.0 - acc) * points.len() as f64).round() as usize;
+            summary.push_row([
+                variant.name.clone(),
+                fmt(acc, 4),
+                points.len().to_string(),
+                wrong.to_string(),
+            ]);
+        }
+        Ok((summary, series))
+    }
+
+    // -- QPE resolution (Fig. 3) ------------------------------------------
+
+    fn run_qpe_resolution(
+        &self,
+        spec: &ExperimentSpec,
+        q: &QpeResolutionSpec,
+    ) -> Result<Table, BenchError> {
+        let (graph_spec, _) = self.scaled_graph(spec, &q.graph)?;
+        let inst = graph_spec.generate()?;
+        let laplacian = normalized_hermitian_laplacian(&inst.graph, q.q);
+        let eig = eigh(&laplacian).map_err(qsc_core::Error::from)?;
+
+        let mut table = Table::new([
+            "qpe_bits",
+            "mean_abs_error",
+            "max_abs_error",
+            "half_resolution",
+        ]);
+        for &t in &q.bits {
+            let est = PhaseEstimator::new(q.qpe_scale, t).map_err(qsc_core::Error::from)?;
+            let errors: Vec<f64> = eig
+                .eigenvalues
+                .iter()
+                .map(|&l| (est.round(l) - l).abs())
+                .collect();
+            let max = errors.iter().cloned().fold(0.0, f64::max);
+            table.push_row([
+                t.to_string(),
+                format!("{:.5e}", mean(&errors)),
+                format!("{max:.5e}"),
+                format!("{:.5e}", est.resolution() / 2.0),
+            ]);
+        }
+        Ok(table)
+    }
+
+    // -- resource forecast (Fig. 5) ----------------------------------------
+
+    fn run_resources(&self, r: &ResourcesSpec) -> Result<Table, BenchError> {
+        let mut table = Table::new([
+            "n",
+            "system_qubits",
+            "total_qubits",
+            "qpe_two_qubit_gates_model",
+            "generic_synthesis_bound",
+            "qpe_depth",
+            "pipeline_two_qubit_gates",
+        ]);
+        let t = r.qpe_bits;
+        for &n in r.sizes.get(self.scale) {
+            let qpe = qpe_resources(n, t);
+            let pipeline = pipeline_resources(n, t, n, r.amplification_rounds, r.tomography_shots);
+            // Derived synthesis count of one controlled-U application for
+            // small systems (exact two-level decomposition of the evolution
+            // unitary) — the generic-unitary upper bound.
+            let derived = if n <= r.synthesis_max_n {
+                let mut graph_spec = r.synthesis_graph.clone();
+                graph_spec
+                    .set_field("n", &Value::Num(n as f64))
+                    .map_err(BenchError::Spec)?;
+                let inst = graph_spec.generate()?;
+                let l = normalized_hermitian_laplacian(&inst.graph, r.q);
+                let u =
+                    expi(&l, std::f64::consts::TAU / r.qpe_scale).map_err(qsc_core::Error::from)?;
+                let factors = two_level_decompose(&u).map_err(qsc_core::Error::from)?;
+                derived_two_qubit_count(&factors, n.next_power_of_two()).to_string()
+            } else {
+                "n/a".to_string()
+            };
+            table.push_row([
+                n.to_string(),
+                qubits_for_dimension(n).to_string(),
+                qpe.qubits.to_string(),
+                qpe.two_qubit_gates.to_string(),
+                derived,
+                qpe.depth.to_string(),
+                format!("{:.3e}", pipeline.two_qubit_gates as f64),
+            ]);
+        }
+        Ok(table)
+    }
+
+    // -- Trotterization error (Fig. 6) -------------------------------------
+
+    fn run_trotter(&self, spec: &ExperimentSpec, t: &TrotterSpec) -> Result<Table, BenchError> {
+        let (graph_spec, _) = self.scaled_graph(spec, &t.graph)?;
+        let inst = graph_spec.generate()?;
+        let mut table = Table::new(["steps", "max_error", "error_times_steps"]);
+        for &m in &t.steps {
+            let err = qsc_core::trotter::trotter_error(&inst.graph, t.q, t.time, m)?;
+            table.push_row([
+                m.to_string(),
+                format!("{err:.5e}"),
+                format!("{:.4}", err * m as f64),
+            ]);
+        }
+        Ok(table)
+    }
+}
+
+fn to_records(
+    outs: Vec<ClusteringOutcome>,
+    instances: &[GeneratedInstance],
+    recipe: &Recipe,
+) -> Vec<RunRecord> {
+    outs.into_iter()
+        .zip(instances)
+        .map(|(outcome, inst)| {
+            let labels = if recipe.refine {
+                refine_partition(
+                    &inst.graph,
+                    &outcome.labels,
+                    recipe.k,
+                    &RefineConfig::default(),
+                )
+                .0
+            } else {
+                outcome.labels.clone()
+            };
+            RunRecord {
+                outcome,
+                labels,
+                clusterability: OnceCell::new(),
+            }
+        })
+        .collect()
+}
+
+/// Cartesian product of the axes' points at a scale. No axes yield the
+/// single empty combo (one unparameterized grid point).
+fn cartesian(axes: &[Axis], scale: Scale) -> Vec<Vec<&AxisPoint>> {
+    let mut combos: Vec<Vec<&AxisPoint>> = vec![Vec::new()];
+    for axis in axes {
+        let points = axis.points.get(scale);
+        combos = combos
+            .into_iter()
+            .flat_map(|combo| {
+                points.iter().map(move |pt| {
+                    let mut next = combo.clone();
+                    next.push(pt);
+                    next
+                })
+            })
+            .collect();
+    }
+    combos
+}
+
+/// Fitted log–log slope of `y` against `x` (least squares in log space) —
+/// the growth-exponent summary behind Fig. 2.
+pub fn log_log_slope(x: &[f64], y: &[f64]) -> f64 {
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let mx = mean(&lx);
+    let my = mean(&ly);
+    let cov: f64 = lx.iter().zip(&ly).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let var: f64 = lx.iter().map(|a| (a - mx) * (a - mx)).sum();
+    cov / var
+}
+
+fn run_analysis(analysis: &Analysis, table: &Table) -> Result<String, BenchError> {
+    match analysis {
+        Analysis::LogLogGrowth { x, series } => {
+            let column = |header: &str| -> Result<Vec<f64>, BenchError> {
+                let idx = table
+                    .column_index(header)
+                    .ok_or_else(|| spec_err(format!("analysis: no column `{header}`")))?;
+                table
+                    .rows()
+                    .iter()
+                    .map(|row| {
+                        row[idx].parse::<f64>().map_err(|_| {
+                            spec_err(format!(
+                                "analysis: column `{header}` cell `{}` is not numeric",
+                                row[idx]
+                            ))
+                        })
+                    })
+                    .collect()
+            };
+            let xs = column(x)?;
+            if xs.len() < 2 {
+                return Err(spec_err(format!(
+                    "analysis: loglog_growth needs at least two rows, x column `{x}` has {}",
+                    xs.len()
+                )));
+            }
+            let parts: Vec<String> = series
+                .iter()
+                .map(|(label, header)| {
+                    let ys = column(header)?;
+                    let slope = log_log_slope(&xs, &ys);
+                    if !slope.is_finite() {
+                        return Err(spec_err(format!(
+                            "analysis: degenerate log–log fit for `{header}` (constant or \
+                             non-positive values?)"
+                        )));
+                    }
+                    Ok(format!("{label} n^{slope:.2}"))
+                })
+                .collect::<Result<_, BenchError>>()?;
+            Ok(format!("fitted log–log growth: {}", parts.join(", ")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_log_slope_recovers_exponent() {
+        let ns = [100.0f64, 200.0, 400.0, 800.0];
+        let cubic: Vec<f64> = ns.iter().map(|n: &f64| n.powi(3) * 7.0).collect();
+        let slope = log_log_slope(&ns, &cubic);
+        assert!((slope - 3.0).abs() < 1e-9);
+    }
+}

@@ -9,6 +9,10 @@
 //! * [`clusterer`] — the [`Clusterer`] stage trait ([`KMeans`] / [`QMeans`])
 //!   that `qsc_core::Pipeline` composes with its embedders,
 //! * [`metrics`] — ARI, NMI, purity, Hungarian-matched accuracy,
+//! * [`clusterability`] — the measured Definition-4 parameters (`ξ`, `β`,
+//!   `ξ/β`) behind the q-means runtime assumption,
+//! * [`registry`] — the name-addressable [`registry::MetricKind`] registry
+//!   the spec-driven experiment engine aggregates through,
 //! * [`hungarian`] — the O(n³) assignment solver behind matched accuracy.
 //!
 //! # Examples
@@ -30,12 +34,14 @@
 
 #![warn(missing_docs)]
 
+pub mod clusterability;
 pub mod clusterer;
 pub mod error;
 pub mod hungarian;
 pub mod kmeans;
 pub mod metrics;
 pub mod qmeans;
+pub mod registry;
 pub mod scores;
 
 pub use clusterer::{Clusterer, KMeans, QMeans};

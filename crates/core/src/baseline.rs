@@ -9,31 +9,38 @@
 //! * [`adjacency_kmeans`] — the naive baseline: k-means directly on the
 //!   rows of the Hermitian adjacency (no spectral step).
 
-use crate::config::SpectralConfig;
+use crate::config::ClusteringConfig;
 use crate::error::Error;
 use qsc_cluster::{kmeans, KMeansConfig};
 use qsc_graph::{hermitian_adjacency, MixedGraph};
 use qsc_linalg::vector::interleave_re_im;
 
 /// Naive baseline: k-means on the raw rows of the Hermitian adjacency
-/// matrix (each row realized in `R^{2n}`). No spectral dimensionality
-/// reduction — this is what the spectral step is supposed to beat.
+/// matrix at rotation `q` (each row realized in `R^{2n}`). No spectral
+/// dimensionality reduction — this is what the spectral step is supposed
+/// to beat.
 ///
 /// # Errors
 ///
 /// Returns [`Error`] for inconsistent requests or k-means failures.
-pub fn adjacency_kmeans(g: &MixedGraph, config: &SpectralConfig) -> Result<Vec<usize>, Error> {
-    crate::pipeline::validate_request(g, config.k)?;
-    let h = hermitian_adjacency(g, config.q);
+pub fn adjacency_kmeans(
+    g: &MixedGraph,
+    k: usize,
+    q: f64,
+    clustering: &ClusteringConfig,
+    seed: u64,
+) -> Result<Vec<usize>, Error> {
+    crate::pipeline::validate_request(g, k)?;
+    let h = hermitian_adjacency(g, q);
     let rows: Vec<Vec<f64>> = (0..h.nrows()).map(|i| interleave_re_im(h.row(i))).collect();
     let km = kmeans(
         &rows,
         &KMeansConfig {
-            k: config.k,
-            max_iter: config.max_iter,
-            tol: 1e-9,
-            restarts: config.restarts,
-            seed: config.seed,
+            k,
+            max_iter: clustering.max_iter,
+            tol: clustering.tol,
+            restarts: clustering.restarts,
+            seed,
         },
     )?;
     Ok(km.labels)
@@ -104,10 +111,10 @@ mod tests {
         .unwrap();
         let labels = adjacency_kmeans(
             &inst.graph,
-            &SpectralConfig {
-                k: 3,
-                ..Default::default()
-            },
+            3,
+            qsc_graph::Q_CLASSICAL,
+            &Default::default(),
+            0,
         )
         .unwrap();
         assert_eq!(labels.len(), 40);

@@ -1,6 +1,6 @@
 //! Pipeline configuration: per-stage configs consumed by
-//! [`Pipeline`](crate::Pipeline), the legacy all-in-one [`SpectralConfig`],
-//! and every precision parameter of the quantum simulation.
+//! [`Pipeline`](crate::Pipeline) and every precision parameter of the
+//! quantum simulation.
 //!
 //! The staged pipeline splits a run's knobs by the stage they drive:
 //!
@@ -11,10 +11,16 @@
 //! * [`ClusteringConfig`] — embedding → labels (restarts, iteration budget,
 //!   tolerance).
 //!
-//! [`SpectralConfig`] remains the flat bundle the deprecated free functions
-//! take; [`SpectralConfig::split`] converts it into the per-stage configs.
+//! (The pre-0.3 flat `SpectralConfig` bundle and its `split()` are gone;
+//! every consumer configures the stages directly.)
+//!
+//! [`BackendConfig`] and [`QuantumParams`] additionally serialize through
+//! `qsc-json` ([`ToJson`] / [`FromJson`] with unknown-field rejection) —
+//! they are the parts of a pipeline recipe that experiment spec files
+//! embed.
 
 use qsc_graph::Q_CLASSICAL;
+use qsc_json::{num, obj, FromJson, JsonError, ToJson, Value};
 use qsc_sim::backend::{Backend, NoisyStatevector, ShotSampler, Statevector};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -78,86 +84,6 @@ impl Default for ClusteringConfig {
             max_iter: 100,
             tol: 1e-9,
         }
-    }
-}
-
-/// Which eigensolver the classical pipeline uses for the spectral
-/// embedding.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub enum EigenSolver {
-    /// Full dense eigendecomposition (`O(n³)`, exact reference path).
-    #[default]
-    Dense,
-    /// Lanczos on the CSR Laplacian: only the `k` lowest eigenpairs are
-    /// computed, with `O(nnz)` matvecs — the fast path for large sparse
-    /// graphs. The outcome's `spectrum` then holds only the computed
-    /// eigenvalues.
-    LanczosCsr,
-}
-
-/// Configuration shared by the classical and quantum pipelines.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SpectralConfig {
-    /// Number of clusters `k`.
-    pub k: usize,
-    /// Hermitian rotation parameter `q` (`0` = direction-blind,
-    /// [`Q_CLASSICAL`] = the `±i` encoding).
-    pub q: f64,
-    /// Row-normalize the spectral embedding (Ng–Jordan–Weiss style) before
-    /// k-means.
-    pub normalize_rows: bool,
-    /// k-means restarts.
-    pub restarts: usize,
-    /// k-means iteration budget.
-    pub max_iter: usize,
-    /// Master seed for all randomness in the run.
-    pub seed: u64,
-    /// Eigensolver of the classical pipeline's embedding step.
-    pub eigensolver: EigenSolver,
-}
-
-impl Default for SpectralConfig {
-    fn default() -> Self {
-        Self {
-            k: 2,
-            q: Q_CLASSICAL,
-            normalize_rows: false,
-            restarts: 8,
-            max_iter: 100,
-            seed: 0,
-            eigensolver: EigenSolver::Dense,
-        }
-    }
-}
-
-impl SpectralConfig {
-    /// Convenience constructor for the common case.
-    pub fn with_k(k: usize) -> Self {
-        Self {
-            k,
-            ..Self::default()
-        }
-    }
-
-    /// Splits the flat bundle into the per-stage configs the staged
-    /// [`Pipeline`](crate::Pipeline) consumes (the `seed` and `eigensolver`
-    /// fields map onto the pipeline seed and embedder choice separately).
-    pub fn split(&self) -> (LaplacianConfig, EmbeddingConfig, ClusteringConfig) {
-        (
-            LaplacianConfig {
-                q: self.q,
-                symmetrize: false,
-            },
-            EmbeddingConfig {
-                k: self.k,
-                normalize_rows: self.normalize_rows,
-            },
-            ClusteringConfig {
-                restarts: self.restarts,
-                max_iter: self.max_iter,
-                tol: 1e-9,
-            },
-        )
     }
 }
 
@@ -225,6 +151,69 @@ impl BackendConfig {
     }
 }
 
+impl ToJson for BackendConfig {
+    fn to_json(&self) -> Value {
+        match self {
+            BackendConfig::Statevector => Value::Str("statevector".into()),
+            BackendConfig::FusedStatevector => Value::Str("fused_statevector".into()),
+            BackendConfig::Noisy {
+                depolarizing,
+                readout_flip,
+            } => obj([(
+                "noisy",
+                obj([
+                    ("depolarizing", num(*depolarizing)),
+                    ("readout_flip", num(*readout_flip)),
+                ]),
+            )]),
+            BackendConfig::Shots { shots } => obj([("shots", num(*shots as f64))]),
+        }
+    }
+}
+
+impl FromJson for BackendConfig {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Str(name) => match name.as_str() {
+                "statevector" => Ok(BackendConfig::Statevector),
+                "fused_statevector" => Ok(BackendConfig::FusedStatevector),
+                other => Err(JsonError::msg(format!(
+                    "backend: unknown backend `{other}` (expected statevector | \
+                     fused_statevector | {{\"noisy\": …}} | {{\"shots\": …}})"
+                ))),
+            },
+            Value::Obj(_) => {
+                let mut r = value.reader("backend")?;
+                let config = if let Some(noisy) = r.take("noisy") {
+                    let mut nr = noisy.reader("backend.noisy")?;
+                    let config = BackendConfig::Noisy {
+                        depolarizing: nr.f64_or("depolarizing", 0.0)?,
+                        readout_flip: nr.f64_or("readout_flip", 0.0)?,
+                    };
+                    nr.finish()?;
+                    config
+                } else if let Some(shots) = r.take("shots") {
+                    BackendConfig::Shots {
+                        shots: shots.as_usize().ok_or_else(|| {
+                            JsonError::msg("backend.shots: expected a positive integer")
+                        })?,
+                    }
+                } else {
+                    return Err(JsonError::msg(
+                        "backend: expected a `noisy` or `shots` variant",
+                    ));
+                };
+                r.finish()?;
+                Ok(config)
+            }
+            other => Err(JsonError::msg(format!(
+                "backend: expected a string or object, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
 /// Precision parameters of the simulated quantum pipeline. Field names
 /// mirror the runtime analysis (DESIGN.md §4.2–4.3).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -278,15 +267,95 @@ impl QuantumParams {
     }
 }
 
+impl ToJson for QuantumParams {
+    fn to_json(&self) -> Value {
+        obj([
+            ("qpe_bits", num(self.qpe_bits as f64)),
+            ("qpe_scale", num(self.qpe_scale)),
+            ("tomography_shots", num(self.tomography_shots as f64)),
+            (
+                "norm_estimation_iters",
+                num(self.norm_estimation_iters as f64),
+            ),
+            ("delta", num(self.delta)),
+            ("epsilon_dist", num(self.epsilon_dist)),
+            ("epsilon_b", num(self.epsilon_b)),
+            ("max_dims_factor", num(self.max_dims_factor as f64)),
+        ])
+    }
+}
+
+impl FromJson for QuantumParams {
+    /// Decodes quantum parameters; missing fields take the defaults of
+    /// [`QuantumParams::default`], unknown fields are rejected.
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let d = QuantumParams::default();
+        let mut r = value.reader("quantum")?;
+        let params = QuantumParams {
+            qpe_bits: r.usize_or("qpe_bits", d.qpe_bits)?,
+            qpe_scale: r.f64_or("qpe_scale", d.qpe_scale)?,
+            tomography_shots: r.usize_or("tomography_shots", d.tomography_shots)?,
+            norm_estimation_iters: r.usize_or("norm_estimation_iters", d.norm_estimation_iters)?,
+            delta: r.f64_or("delta", d.delta)?,
+            epsilon_dist: r.f64_or("epsilon_dist", d.epsilon_dist)?,
+            epsilon_b: r.f64_or("epsilon_b", d.epsilon_b)?,
+            max_dims_factor: r.usize_or("max_dims_factor", d.max_dims_factor)?,
+        };
+        r.finish()?;
+        Ok(params)
+    }
+}
+
+/// Applies one `quantum.<field>` assignment from a sweep-axis `set` — the
+/// path-level mutation the experiment engine uses (unlike
+/// [`FromJson`], this changes a single field of an existing parameter
+/// set).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for an unknown field or mistyped value.
+pub fn set_quantum_field(
+    params: &mut QuantumParams,
+    field: &str,
+    value: &Value,
+) -> Result<(), JsonError> {
+    let as_f64 = |v: &Value| {
+        v.as_f64()
+            .ok_or_else(|| JsonError::msg(format!("quantum.{field}: expected a number")))
+    };
+    let as_usize = |v: &Value| {
+        v.as_usize().ok_or_else(|| {
+            JsonError::msg(format!("quantum.{field}: expected a non-negative integer"))
+        })
+    };
+    match field {
+        "qpe_bits" => params.qpe_bits = as_usize(value)?,
+        "qpe_scale" => params.qpe_scale = as_f64(value)?,
+        "tomography_shots" => params.tomography_shots = as_usize(value)?,
+        "norm_estimation_iters" => params.norm_estimation_iters = as_usize(value)?,
+        "delta" => params.delta = as_f64(value)?,
+        "epsilon_dist" => params.epsilon_dist = as_f64(value)?,
+        "epsilon_b" => params.epsilon_b = as_f64(value)?,
+        "max_dims_factor" => params.max_dims_factor = as_usize(value)?,
+        other => {
+            return Err(JsonError::msg(format!(
+                "quantum.{other}: no such quantum parameter"
+            )))
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn defaults_are_sane() {
-        let c = SpectralConfig::default();
-        assert_eq!(c.q, Q_CLASSICAL);
-        assert!(c.restarts > 0);
+        let lap = LaplacianConfig::default();
+        assert_eq!(lap.q, Q_CLASSICAL);
+        assert!(!lap.symmetrize);
+        assert!(ClusteringConfig::default().restarts > 0);
         let q = QuantumParams::default();
         assert!(q.qpe_scale > 2.0, "scale must clear the [0,2] spectrum");
         assert!(q.epsilon_lambda() > 0.0);
@@ -304,10 +373,64 @@ mod tests {
     }
 
     #[test]
-    fn with_k_sets_only_k() {
-        let c = SpectralConfig::with_k(5);
-        assert_eq!(c.k, 5);
-        assert_eq!(c.seed, SpectralConfig::default().seed);
+    fn backend_config_json_round_trips() {
+        let configs = [
+            BackendConfig::Statevector,
+            BackendConfig::FusedStatevector,
+            BackendConfig::Noisy {
+                depolarizing: 0.05,
+                readout_flip: 0.01,
+            },
+            BackendConfig::Shots { shots: 1024 },
+        ];
+        for config in configs {
+            let v = config.to_json();
+            assert_eq!(BackendConfig::from_json(&v).unwrap(), config, "{v}");
+            let reparsed = Value::parse(&v.to_string()).unwrap();
+            assert_eq!(BackendConfig::from_json(&reparsed).unwrap(), config);
+        }
+    }
+
+    #[test]
+    fn backend_config_json_rejects_unknowns() {
+        for bad in [
+            r#""statevctor""#,
+            r#"{"noisy": {"depolarizing": 0.1, "readout": 0.0}}"#,
+            r#"{"shots": 16, "extra": 1}"#,
+            r#"{"unknown_variant": {}}"#,
+            "3",
+        ] {
+            let v = Value::parse(bad).unwrap();
+            assert!(BackendConfig::from_json(&v).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn quantum_params_json_round_trips_with_defaults() {
+        let v = Value::parse(r#"{"qpe_bits": 4, "delta": 0.5}"#).unwrap();
+        let params = QuantumParams::from_json(&v).unwrap();
+        assert_eq!(params.qpe_bits, 4);
+        assert_eq!(params.delta, 0.5);
+        assert_eq!(
+            params.tomography_shots,
+            QuantumParams::default().tomography_shots
+        );
+        let back = QuantumParams::from_json(&params.to_json()).unwrap();
+        assert_eq!(back, params);
+
+        let bad = Value::parse(r#"{"qpe_bitss": 4}"#).unwrap();
+        assert!(QuantumParams::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn quantum_field_assignment() {
+        let mut params = QuantumParams::default();
+        set_quantum_field(&mut params, "tomography_shots", &Value::Num(64.0)).unwrap();
+        assert_eq!(params.tomography_shots, 64);
+        set_quantum_field(&mut params, "delta", &Value::Num(0.9)).unwrap();
+        assert_eq!(params.delta, 0.9);
+        assert!(set_quantum_field(&mut params, "nope", &Value::Num(1.0)).is_err());
+        assert!(set_quantum_field(&mut params, "delta", &Value::Bool(true)).is_err());
     }
 
     #[test]

@@ -115,8 +115,7 @@ pub mod trotter;
 
 pub use classical::{DenseEig, LanczosCsr};
 pub use config::{
-    BackendConfig, ClusteringConfig, EigenSolver, EmbeddingConfig, LaplacianConfig, QuantumParams,
-    SpectralConfig,
+    BackendConfig, ClusteringConfig, EmbeddingConfig, LaplacianConfig, QuantumParams,
 };
 pub use error::{Error, PipelineError};
 pub use model_selection::{eigengap_k, LanczosDense};

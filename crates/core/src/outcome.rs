@@ -1,5 +1,7 @@
 //! Output types shared by the classical and quantum pipelines.
 
+use qsc_cluster::registry::MetricContext;
+use qsc_graph::MixedGraph;
 use serde::{Deserialize, Serialize};
 
 /// Instance measurements and cost-model numbers attached to every run.
@@ -48,6 +50,37 @@ impl ClusteringOutcome {
     /// `true` if the outcome is empty.
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
+    }
+
+    /// The [`MetricContext`] view of this outcome — what the metrics
+    /// registry ([`qsc_cluster::registry::MetricKind`]) evaluates over.
+    /// Labels, embedding and every diagnostics number are filled in;
+    /// `graph` and `truth` come from the caller (the workload knows them,
+    /// the outcome does not). Context fields with no source here (e.g.
+    /// `edge_disagreement`) stay `None` and can be set on the returned
+    /// value.
+    pub fn metric_context<'a>(
+        &'a self,
+        k: usize,
+        graph: Option<&'a MixedGraph>,
+        truth: Option<&'a [usize]>,
+    ) -> MetricContext<'a> {
+        MetricContext {
+            labels: &self.labels,
+            truth,
+            graph,
+            embedding: Some(&self.embedding),
+            k,
+            dims_used: Some(self.diagnostics.dims_used as f64),
+            wall_seconds: Some(self.diagnostics.wall_seconds),
+            classical_cost: Some(self.diagnostics.classical_cost),
+            quantum_cost: self.diagnostics.quantum_cost,
+            mu_b: Some(self.diagnostics.mu_b),
+            kappa: Some(self.diagnostics.kappa),
+            eta_embedding: Some(self.diagnostics.eta_embedding),
+            edge_disagreement: None,
+            clusterability: None,
+        }
     }
 }
 

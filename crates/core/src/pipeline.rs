@@ -44,8 +44,8 @@
 //! # }
 //! ```
 
+use crate::config::QuantumParams;
 use crate::config::{BackendConfig, ClusteringConfig, EmbeddingConfig, LaplacianConfig};
-use crate::config::{EigenSolver, QuantumParams, SpectralConfig};
 use crate::cost::{incidence_mu, quantum_cost, QuantumCostInputs};
 use crate::embedding::eta_of_embedding;
 use crate::error::Error;
@@ -305,26 +305,6 @@ impl Pipeline {
                 symmetrize: true,
             },
             ..Self::hermitian(k)
-        }
-    }
-
-    /// A pipeline matching a legacy [`SpectralConfig`] (the flat bundle the
-    /// deprecated free functions take): `eigensolver` picks the embedder,
-    /// the other fields map onto the per-stage configs.
-    pub fn from_config(config: &SpectralConfig) -> Self {
-        let (laplacian, embedding, clustering) = config.split();
-        let embedder: Arc<dyn Embedder> = match config.eigensolver {
-            EigenSolver::Dense => Arc::new(crate::classical::DenseEig),
-            EigenSolver::LanczosCsr => Arc::new(crate::classical::LanczosCsr),
-        };
-        Self {
-            laplacian,
-            embedding,
-            clustering,
-            seed: config.seed,
-            embedder,
-            clusterer: Arc::new(KMeans),
-            backend: Arc::new(Statevector::new()),
         }
     }
 

@@ -1,7 +1,35 @@
-//! Tiny, dependency-free CSV and table writers used by the experiment
-//! harness to emit paper-style rows and machine-readable series.
+//! Tiny CSV/JSON and table sinks used by the experiment harness to emit
+//! paper-style rows and machine-readable series.
 
 use std::fmt::Write as _;
+
+/// A machine-readable output format of a [`Table`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkFormat {
+    /// RFC-4180-ish comma-separated values ([`Table::to_csv`]).
+    Csv,
+    /// An array of one JSON object per row ([`Table::to_json`]).
+    Json,
+}
+
+impl SinkFormat {
+    /// The sink's file extension (no dot).
+    pub fn extension(&self) -> &'static str {
+        match self {
+            SinkFormat::Csv => "csv",
+            SinkFormat::Json => "json",
+        }
+    }
+
+    /// Resolves a spec-file sink name.
+    pub fn parse(name: &str) -> Option<SinkFormat> {
+        match name {
+            "csv" => Some(SinkFormat::Csv),
+            "json" => Some(SinkFormat::Json),
+            _ => None,
+        }
+    }
+}
 
 /// A rectangular results table with named columns.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -35,6 +63,21 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers, in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The data rows, in order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Index of the column with the given header.
+    pub fn column_index(&self, header: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == header)
+    }
+
     /// `true` if the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
@@ -61,6 +104,41 @@ impl Table {
             write_row(&mut out, row);
         }
         out
+    }
+
+    /// Renders the table as a JSON array with one object per row, keyed by
+    /// column name in column order. Cells that parse as finite numbers are
+    /// emitted as JSON numbers, everything else as strings, so series files
+    /// load directly into analysis tools.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<qsc_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                qsc_json::Value::Obj(
+                    self.columns
+                        .iter()
+                        .zip(row)
+                        .map(|(name, cell)| {
+                            let value = match cell.parse::<f64>() {
+                                Ok(x) if x.is_finite() => qsc_json::Value::Num(x),
+                                _ => qsc_json::Value::Str(cell.clone()),
+                            };
+                            (name.clone(), value)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        qsc_json::Value::Arr(rows).pretty()
+    }
+
+    /// Renders the table in the given sink format.
+    pub fn render(&self, format: SinkFormat) -> String {
+        match format {
+            SinkFormat::Csv => self.to_csv(),
+            SinkFormat::Json => self.to_json(),
+        }
     }
 
     /// Renders an aligned plain-text table (what the experiments binary
@@ -154,6 +232,29 @@ mod tests {
     fn ragged_row_panics() {
         let mut t = Table::new(["a", "b"]);
         t.push_row(["only one"]);
+    }
+
+    #[test]
+    fn json_sink_types_cells() {
+        let mut t = Table::new(["n", "acc", "note"]);
+        t.push_row(["100", "0.99", "1.000 ± 0.000"]);
+        let json = t.to_json();
+        let v = qsc_json::Value::parse(&json).unwrap();
+        let rows = v.as_array().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("n").unwrap().as_f64(), Some(100.0));
+        assert_eq!(rows[0].get("acc").unwrap().as_f64(), Some(0.99));
+        assert_eq!(rows[0].get("note").unwrap().as_str(), Some("1.000 ± 0.000"));
+        assert_eq!(t.render(SinkFormat::Json), json);
+        assert_eq!(t.render(SinkFormat::Csv), t.to_csv());
+    }
+
+    #[test]
+    fn sink_format_names() {
+        assert_eq!(SinkFormat::parse("csv"), Some(SinkFormat::Csv));
+        assert_eq!(SinkFormat::parse("json"), Some(SinkFormat::Json));
+        assert_eq!(SinkFormat::parse("xml"), None);
+        assert_eq!(SinkFormat::Json.extension(), "json");
     }
 
     #[test]

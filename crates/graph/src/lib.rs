@@ -44,6 +44,7 @@ pub mod io;
 pub mod mixed;
 pub mod similarity;
 pub mod sparsify;
+pub mod spec;
 pub mod stats;
 
 pub use error::GraphError;

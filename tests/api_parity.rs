@@ -9,8 +9,8 @@
 //!   `NoisyStatevector` — i.e. the backend layer added **zero** numerical
 //!   drift over the PR 2 outputs (the builder runs the same RNG streams and
 //!   kernels as before),
-//! * the legacy `SpectralConfig` translation (`Pipeline::from_config`)
-//!   still reproduces the equivalent builder recipe exactly,
+//! * the serializable `BackendConfig` route (`Pipeline::backend_config`)
+//!   reproduces the equivalent builder recipe exactly,
 //! * the rayon-parallel `run_many` batch runner — now on the persistent
 //!   worker pool, with backends shared across instances — remains
 //!   indistinguishable from a sequential loop under a multi-threaded pool.
@@ -20,8 +20,8 @@
 //! exercises its parallel path even on single-core CI runners.
 
 use qsc_suite::core::{
-    Clusterer, ClusteringOutcome, EigenSolver, GraphInstance, LanczosCsr, NoisyStatevector,
-    Pipeline, QMeans, QuantumParams, ShotSampler, SpectralConfig, Statevector,
+    BackendConfig, Clusterer, ClusteringOutcome, GraphInstance, LanczosCsr, NoisyStatevector,
+    Pipeline, QMeans, QuantumParams, ShotSampler, Statevector,
 };
 use qsc_suite::graph::generators::{dsbm, DsbmParams, MetaGraph, PlantedGraph};
 use std::sync::Arc;
@@ -113,24 +113,47 @@ fn zero_noise_backend_is_bit_identical_to_ideal() {
 }
 
 #[test]
-fn from_config_reproduces_builder_recipes() {
+fn backend_config_reproduces_builder_recipes() {
     setup();
     let inst = flow_instance(90, 3);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 5,
-        eigensolver: EigenSolver::LanczosCsr,
-        ..SpectralConfig::default()
+    // The serializable route (what spec files deserialize into) must be
+    // bit-identical to the direct builder call, for every backend form.
+    let params = QuantumParams::default();
+    let base = || {
+        Pipeline::hermitian(3)
+            .seed(5)
+            .embedder(LanczosCsr)
+            .quantum(&params)
     };
-    let via_config = Pipeline::from_config(&cfg)
-        .run(&inst.graph)
-        .expect("config");
-    let via_builder = Pipeline::hermitian(3)
-        .seed(5)
-        .embedder(LanczosCsr)
-        .run(&inst.graph)
-        .expect("builder");
-    assert_outcomes_identical(&via_config, &via_builder, "lanczos-csr config");
+    let cases: [(&str, BackendConfig, Pipeline); 3] = [
+        (
+            "statevector",
+            BackendConfig::Statevector,
+            base().backend(Statevector::new()),
+        ),
+        (
+            "noisy",
+            BackendConfig::Noisy {
+                depolarizing: 0.01,
+                readout_flip: 0.02,
+            },
+            base().backend(NoisyStatevector::new(0.01, 0.02)),
+        ),
+        (
+            "shots",
+            BackendConfig::Shots { shots: 512 },
+            base().backend(ShotSampler::new(512)),
+        ),
+    ];
+    for (name, config, via_builder) in cases {
+        let via_config = base()
+            .backend_config(&config)
+            .expect("valid config")
+            .run(&inst.graph)
+            .expect("config run");
+        let direct = via_builder.run(&inst.graph).expect("builder run");
+        assert_outcomes_identical(&via_config, &direct, name);
+    }
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! metrics, with seeded accuracy floors.
 
 use qsc_suite::cluster::metrics::{adjusted_rand_index, matched_accuracy};
-use qsc_suite::core::{baseline::adjacency_kmeans, Pipeline, QuantumParams, SpectralConfig};
+use qsc_suite::core::{baseline::adjacency_kmeans, Pipeline, QuantumParams};
 use qsc_suite::graph::generators::{dsbm, netlist, DsbmParams, MetaGraph, NetlistParams};
 use qsc_suite::graph::io::{from_edge_list, to_edge_list};
 use qsc_suite::graph::stats::{cut_weight, mean_flow_imbalance};
@@ -128,15 +128,18 @@ fn graph_io_round_trip_on_workloads() {
 #[test]
 fn adjacency_baseline_is_weaker_than_spectral() {
     let inst = flow_instance(120, 13);
-    let cfg = SpectralConfig {
-        k: 3,
-        seed: 4,
-        ..SpectralConfig::default()
-    };
-    let spectral = Pipeline::from_config(&cfg)
+    let spectral = Pipeline::hermitian(3)
+        .seed(4)
         .run(&inst.graph)
         .expect("classical");
-    let naive_labels = adjacency_kmeans(&inst.graph, &cfg).expect("naive");
+    let naive_labels = adjacency_kmeans(
+        &inst.graph,
+        3,
+        qsc_suite::graph::Q_CLASSICAL,
+        &Default::default(),
+        4,
+    )
+    .expect("naive");
     let acc_s = matched_accuracy(&inst.labels, &spectral.labels);
     let acc_n = matched_accuracy(&inst.labels, &naive_labels);
     assert!(
