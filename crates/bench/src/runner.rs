@@ -20,7 +20,7 @@ use crate::spec::{
 };
 use qsc_cluster::clusterability::{measure_clusterability, Clusterability};
 use qsc_cluster::registry::MetricKind;
-use qsc_core::config::{set_quantum_field, BackendConfig, QuantumParams};
+use qsc_core::config::{set_backend_field, set_quantum_field, BackendConfig, QuantumParams};
 use qsc_core::refine::{refine_partition, RefineConfig};
 use qsc_core::report::{fmt, fmt_mean_std, mean, SinkFormat, Table};
 use qsc_core::{
@@ -167,6 +167,19 @@ impl Recipe {
             self.backend = Some(qsc_json::FromJson::from_json(value).map_err(BenchError::Spec)?);
             return Ok(());
         }
+        if let Some(field) = path.strip_prefix("backend.") {
+            // Mutates a field of the already-selected backend kind, so one
+            // axis can drive e.g. `depolarizing` through a trajectory
+            // variant and an exact-channel variant simultaneously.
+            let backend = self.backend.as_mut().ok_or_else(|| {
+                spec_err(format!(
+                    "backend.{field}: no backend kind set (select one in `base` or the variant \
+                     before sweeping its fields)"
+                ))
+            })?;
+            set_backend_field(backend, field, value)?;
+            return Ok(());
+        }
         match path {
             "pipeline.k" => {
                 self.k = value
@@ -193,7 +206,7 @@ impl Recipe {
             other => {
                 return Err(spec_err(format!(
                     "unknown sweep path `{other}` (expected graph.* | quantum.* | pipeline.* | \
-                     clusterer.delta | backend)"
+                     clusterer.delta | backend | backend.*)"
                 )))
             }
         }

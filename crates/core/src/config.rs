@@ -22,6 +22,7 @@
 use qsc_graph::Q_CLASSICAL;
 use qsc_json::{num, obj, FromJson, JsonError, ToJson, Value};
 use qsc_sim::backend::{Backend, NoisyStatevector, ShotSampler, Statevector};
+use qsc_sim::{DensityMatrix, ShardedStatevector};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -98,8 +99,24 @@ pub enum BackendConfig {
     Statevector,
     /// Statevector execution with the gate-fusion compile pass enabled.
     FusedStatevector,
-    /// Depolarizing + readout-error statevector simulation.
+    /// Exact execution sharded over the worker pool by high-qubit blocks
+    /// (bit-identical amplitudes to `Statevector`).
+    Sharded {
+        /// Shard count (a power of two); `None` sizes the shards to the
+        /// worker pool.
+        shards: Option<usize>,
+    },
+    /// Depolarizing + readout-error statevector simulation (seeded
+    /// Monte-Carlo trajectories).
     Noisy {
+        /// Per-gate, per-qubit depolarizing probability.
+        depolarizing: f64,
+        /// Per-bit readout flip probability.
+        readout_flip: f64,
+    },
+    /// The same noise channels applied **exactly** on the density matrix
+    /// (Kraus operators, no trajectory variance; `O(4^n)` memory).
+    Density {
         /// Per-gate, per-qubit depolarizing probability.
         depolarizing: f64,
         /// Per-bit readout flip probability.
@@ -113,6 +130,18 @@ pub enum BackendConfig {
 }
 
 impl BackendConfig {
+    /// The config-file name of this backend kind (the JSON tag).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            BackendConfig::Statevector => "statevector",
+            BackendConfig::FusedStatevector => "fused_statevector",
+            BackendConfig::Sharded { .. } => "sharded",
+            BackendConfig::Noisy { .. } => "noisy",
+            BackendConfig::Density { .. } => "density",
+            BackendConfig::Shots { .. } => "shots",
+        }
+    }
+
     /// Instantiates the configured backend.
     ///
     /// # Errors
@@ -122,22 +151,44 @@ impl BackendConfig {
     /// zero shot budget) — config files are deserialized unvalidated, so
     /// the range checks surface here as typed errors rather than panics.
     pub fn build(&self) -> Result<Arc<dyn Backend>, crate::error::Error> {
+        let check_noise = |depolarizing: f64, readout_flip: f64| {
+            if !(0.0..=1.0).contains(&depolarizing) || !(0.0..=1.0).contains(&readout_flip) {
+                return Err(crate::error::Error::InvalidRequest {
+                    context: format!(
+                        "noise probabilities must lie in [0, 1], got depolarizing = \
+                         {depolarizing}, readout_flip = {readout_flip}"
+                    ),
+                });
+            }
+            Ok(())
+        };
         match *self {
             BackendConfig::Statevector => Ok(Arc::new(Statevector::new())),
             BackendConfig::FusedStatevector => Ok(Arc::new(Statevector::fused())),
+            BackendConfig::Sharded { shards } => match shards {
+                None => Ok(Arc::new(ShardedStatevector::new())),
+                Some(s) => {
+                    if s == 0 || !s.is_power_of_two() {
+                        return Err(crate::error::Error::InvalidRequest {
+                            context: format!("shard count must be a power of two, got {s}"),
+                        });
+                    }
+                    Ok(Arc::new(ShardedStatevector::with_shards(s)))
+                }
+            },
             BackendConfig::Noisy {
                 depolarizing,
                 readout_flip,
             } => {
-                if !(0.0..=1.0).contains(&depolarizing) || !(0.0..=1.0).contains(&readout_flip) {
-                    return Err(crate::error::Error::InvalidRequest {
-                        context: format!(
-                            "noise probabilities must lie in [0, 1], got depolarizing = \
-                             {depolarizing}, readout_flip = {readout_flip}"
-                        ),
-                    });
-                }
+                check_noise(depolarizing, readout_flip)?;
                 Ok(Arc::new(NoisyStatevector::new(depolarizing, readout_flip)))
+            }
+            BackendConfig::Density {
+                depolarizing,
+                readout_flip,
+            } => {
+                check_noise(depolarizing, readout_flip)?;
+                Ok(Arc::new(DensityMatrix::new(depolarizing, readout_flip)))
             }
             BackendConfig::Shots { shots } => {
                 if shots == 0 {
@@ -153,19 +204,27 @@ impl BackendConfig {
 
 impl ToJson for BackendConfig {
     fn to_json(&self) -> Value {
+        let noise_obj = |depolarizing: f64, readout_flip: f64| {
+            obj([
+                ("depolarizing", num(depolarizing)),
+                ("readout_flip", num(readout_flip)),
+            ])
+        };
         match self {
             BackendConfig::Statevector => Value::Str("statevector".into()),
             BackendConfig::FusedStatevector => Value::Str("fused_statevector".into()),
+            BackendConfig::Sharded { shards: None } => Value::Str("sharded".into()),
+            BackendConfig::Sharded { shards: Some(s) } => {
+                obj([("sharded", obj([("shards", num(*s as f64))]))])
+            }
             BackendConfig::Noisy {
                 depolarizing,
                 readout_flip,
-            } => obj([(
-                "noisy",
-                obj([
-                    ("depolarizing", num(*depolarizing)),
-                    ("readout_flip", num(*readout_flip)),
-                ]),
-            )]),
+            } => obj([("noisy", noise_obj(*depolarizing, *readout_flip))]),
+            BackendConfig::Density {
+                depolarizing,
+                readout_flip,
+            } => obj([("density", noise_obj(*depolarizing, *readout_flip))]),
             BackendConfig::Shots { shots } => obj([("shots", num(*shots as f64))]),
         }
     }
@@ -173,24 +232,46 @@ impl ToJson for BackendConfig {
 
 impl FromJson for BackendConfig {
     fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let noise_fields = |v: &Value, context: &str| -> Result<(f64, f64), JsonError> {
+            let mut nr = v.reader(context)?;
+            let pair = (
+                nr.f64_or("depolarizing", 0.0)?,
+                nr.f64_or("readout_flip", 0.0)?,
+            );
+            nr.finish()?;
+            Ok(pair)
+        };
         match value {
             Value::Str(name) => match name.as_str() {
                 "statevector" => Ok(BackendConfig::Statevector),
                 "fused_statevector" => Ok(BackendConfig::FusedStatevector),
+                "sharded" => Ok(BackendConfig::Sharded { shards: None }),
                 other => Err(JsonError::msg(format!(
                     "backend: unknown backend `{other}` (expected statevector | \
-                     fused_statevector | {{\"noisy\": …}} | {{\"shots\": …}})"
+                     fused_statevector | sharded | {{\"sharded\": …}} | {{\"noisy\": …}} | \
+                     {{\"density\": …}} | {{\"shots\": …}})"
                 ))),
             },
             Value::Obj(_) => {
                 let mut r = value.reader("backend")?;
                 let config = if let Some(noisy) = r.take("noisy") {
-                    let mut nr = noisy.reader("backend.noisy")?;
-                    let config = BackendConfig::Noisy {
-                        depolarizing: nr.f64_or("depolarizing", 0.0)?,
-                        readout_flip: nr.f64_or("readout_flip", 0.0)?,
+                    let (depolarizing, readout_flip) = noise_fields(noisy, "backend.noisy")?;
+                    BackendConfig::Noisy {
+                        depolarizing,
+                        readout_flip,
+                    }
+                } else if let Some(density) = r.take("density") {
+                    let (depolarizing, readout_flip) = noise_fields(density, "backend.density")?;
+                    BackendConfig::Density {
+                        depolarizing,
+                        readout_flip,
+                    }
+                } else if let Some(sharded) = r.take("sharded") {
+                    let mut sr = sharded.reader("backend.sharded")?;
+                    let config = BackendConfig::Sharded {
+                        shards: sr.opt_usize("shards")?,
                     };
-                    nr.finish()?;
+                    sr.finish()?;
                     config
                 } else if let Some(shots) = r.take("shots") {
                     BackendConfig::Shots {
@@ -200,7 +281,7 @@ impl FromJson for BackendConfig {
                     }
                 } else {
                     return Err(JsonError::msg(
-                        "backend: expected a `noisy` or `shots` variant",
+                        "backend: expected a `sharded`, `noisy`, `density` or `shots` variant",
                     ));
                 };
                 r.finish()?;
@@ -212,6 +293,68 @@ impl FromJson for BackendConfig {
             ))),
         }
     }
+}
+
+/// Applies one `backend.<field>` assignment from a sweep-axis `set` to an
+/// existing backend config — how the experiment engine sweeps a noise or
+/// shot parameter *across* backend kinds (a `backend.depolarizing` axis
+/// drives a trajectory variant and an exact-channel variant through the
+/// same grid).
+///
+/// The backend **kind** must already be set (by the spec's `base` or the
+/// variant); fields only exist on the kinds that carry them.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] for an unknown field, a mistyped value, or a
+/// field the current backend kind does not have.
+pub fn set_backend_field(
+    config: &mut BackendConfig,
+    field: &str,
+    value: &Value,
+) -> Result<(), JsonError> {
+    let as_f64 = |v: &Value| {
+        v.as_f64()
+            .ok_or_else(|| JsonError::msg(format!("backend.{field}: expected a number")))
+    };
+    let as_usize = |v: &Value| {
+        v.as_usize().ok_or_else(|| {
+            JsonError::msg(format!("backend.{field}: expected a non-negative integer"))
+        })
+    };
+    let kind_mismatch = |kind: &str| {
+        JsonError::msg(format!(
+            "backend.{field}: the configured `{kind}` backend has no such field (set the \
+             backend kind in `base` or the variant first)"
+        ))
+    };
+    match field {
+        "depolarizing" => match config {
+            BackendConfig::Noisy { depolarizing, .. }
+            | BackendConfig::Density { depolarizing, .. } => *depolarizing = as_f64(value)?,
+            other => return Err(kind_mismatch(other.kind_name())),
+        },
+        "readout_flip" => match config {
+            BackendConfig::Noisy { readout_flip, .. }
+            | BackendConfig::Density { readout_flip, .. } => *readout_flip = as_f64(value)?,
+            other => return Err(kind_mismatch(other.kind_name())),
+        },
+        "shots" => match config {
+            BackendConfig::Shots { shots } => *shots = as_usize(value)?,
+            other => return Err(kind_mismatch(other.kind_name())),
+        },
+        "shards" => match config {
+            BackendConfig::Sharded { shards } => *shards = Some(as_usize(value)?),
+            other => return Err(kind_mismatch(other.kind_name())),
+        },
+        other => {
+            return Err(JsonError::msg(format!(
+                "backend.{other}: no such backend field (expected depolarizing | readout_flip \
+                 | shots | shards)"
+            )))
+        }
+    }
+    Ok(())
 }
 
 /// Precision parameters of the simulated quantum pipeline. Field names
@@ -377,7 +520,13 @@ mod tests {
         let configs = [
             BackendConfig::Statevector,
             BackendConfig::FusedStatevector,
+            BackendConfig::Sharded { shards: None },
+            BackendConfig::Sharded { shards: Some(4) },
             BackendConfig::Noisy {
+                depolarizing: 0.05,
+                readout_flip: 0.01,
+            },
+            BackendConfig::Density {
                 depolarizing: 0.05,
                 readout_flip: 0.01,
             },
@@ -396,6 +545,8 @@ mod tests {
         for bad in [
             r#""statevctor""#,
             r#"{"noisy": {"depolarizing": 0.1, "readout": 0.0}}"#,
+            r#"{"density": {"depolarizing": 0.1, "readout": 0.0}}"#,
+            r#"{"sharded": {"shard": 4}}"#,
             r#"{"shots": 16, "extra": 1}"#,
             r#"{"unknown_variant": {}}"#,
             "3",
@@ -439,11 +590,26 @@ mod tests {
         assert_eq!(name(BackendConfig::default()), "statevector");
         assert_eq!(name(BackendConfig::FusedStatevector), "statevector_fused");
         assert_eq!(
+            name(BackendConfig::Sharded { shards: Some(2) }),
+            "sharded_statevector"
+        );
+        assert_eq!(
+            name(BackendConfig::Sharded { shards: None }),
+            "sharded_statevector"
+        );
+        assert_eq!(
             name(BackendConfig::Noisy {
                 depolarizing: 0.1,
                 readout_flip: 0.0
             }),
             "noisy_statevector"
+        );
+        assert_eq!(
+            name(BackendConfig::Density {
+                depolarizing: 0.1,
+                readout_flip: 0.0
+            }),
+            "density_matrix"
         );
         assert_eq!(name(BackendConfig::Shots { shots: 16 }), "shot_sampler");
     }
@@ -451,6 +617,8 @@ mod tests {
     #[test]
     fn backend_config_rejects_out_of_range_values() {
         assert!(BackendConfig::Shots { shots: 0 }.build().is_err());
+        assert!(BackendConfig::Sharded { shards: Some(3) }.build().is_err());
+        assert!(BackendConfig::Sharded { shards: Some(0) }.build().is_err());
         assert!(BackendConfig::Noisy {
             depolarizing: -0.1,
             readout_flip: 0.0
@@ -463,5 +631,55 @@ mod tests {
         }
         .build()
         .is_err());
+        assert!(BackendConfig::Density {
+            depolarizing: 1.5,
+            readout_flip: 0.0
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn backend_field_assignment() {
+        let mut cfg = BackendConfig::Density {
+            depolarizing: 0.0,
+            readout_flip: 0.0,
+        };
+        set_backend_field(&mut cfg, "depolarizing", &Value::Num(0.15)).unwrap();
+        set_backend_field(&mut cfg, "readout_flip", &Value::Num(0.02)).unwrap();
+        assert_eq!(
+            cfg,
+            BackendConfig::Density {
+                depolarizing: 0.15,
+                readout_flip: 0.02
+            }
+        );
+        let mut noisy = BackendConfig::Noisy {
+            depolarizing: 0.0,
+            readout_flip: 0.0,
+        };
+        set_backend_field(&mut noisy, "depolarizing", &Value::Num(0.3)).unwrap();
+        assert_eq!(
+            noisy,
+            BackendConfig::Noisy {
+                depolarizing: 0.3,
+                readout_flip: 0.0
+            }
+        );
+        let mut shots = BackendConfig::Shots { shots: 16 };
+        set_backend_field(&mut shots, "shots", &Value::Num(512.0)).unwrap();
+        assert_eq!(shots, BackendConfig::Shots { shots: 512 });
+        let mut sharded = BackendConfig::Sharded { shards: None };
+        set_backend_field(&mut sharded, "shards", &Value::Num(8.0)).unwrap();
+        assert_eq!(sharded, BackendConfig::Sharded { shards: Some(8) });
+
+        // Fields only exist on the kinds that carry them, and names are
+        // validated.
+        let mut sv = BackendConfig::Statevector;
+        assert!(set_backend_field(&mut sv, "depolarizing", &Value::Num(0.1)).is_err());
+        assert!(set_backend_field(&mut shots, "depolarizing", &Value::Num(0.1)).is_err());
+        assert!(set_backend_field(&mut noisy, "shards", &Value::Num(2.0)).is_err());
+        assert!(set_backend_field(&mut noisy, "nope", &Value::Num(0.1)).is_err());
+        assert!(set_backend_field(&mut noisy, "depolarizing", &Value::Bool(true)).is_err());
     }
 }

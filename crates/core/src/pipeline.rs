@@ -360,8 +360,11 @@ impl Pipeline {
 
     /// Swaps in the execution backend the quantum stages run on
     /// ([`Statevector`] by default; see
-    /// [`NoisyStatevector`](qsc_sim::backend::NoisyStatevector) and
-    /// [`ShotSampler`](qsc_sim::backend::ShotSampler)). The backend drives
+    /// [`ShardedStatevector`](qsc_sim::shard::ShardedStatevector),
+    /// [`NoisyStatevector`](qsc_sim::backend::NoisyStatevector),
+    /// [`DensityMatrix`](qsc_sim::density::DensityMatrix) and
+    /// [`ShotSampler`](qsc_sim::backend::ShotSampler), and the selection
+    /// guide in `docs/BACKENDS.md`). The backend drives
     /// the QPE outcome statistics of
     /// [`QpeTomography`](crate::QpeTomography) and the distance-estimation
     /// statistics of [`QMeans`]; classical stages ignore it.

@@ -86,6 +86,19 @@ impl Embedder for QpeTomography {
                 ),
             });
         }
+        if let Some(limit) = ctx.backend.phase_register_limit() {
+            if params.qpe_bits > limit {
+                return Err(Error::InvalidRequest {
+                    context: format!(
+                        "qpe_bits = {} exceeds the {}-qubit phase-register limit of the `{}` \
+                         backend",
+                        params.qpe_bits,
+                        limit,
+                        ctx.backend.name()
+                    ),
+                });
+            }
+        }
         // Mix the user seed so the quantum-noise stream differs from the
         // k-means stream derived from the same seed.
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x517c_c1b7_2722_0a95);
@@ -264,7 +277,11 @@ pub fn gate_level_projected_row(
 ///
 /// # Errors
 ///
-/// Same contract as [`gate_level_projected_row`].
+/// Same contract as [`gate_level_projected_row`]. Additionally rejects
+/// backends whose states are not pure-state amplitude vectors
+/// ([`Backend::pure_state`]` == false`, i.e. the density-matrix backend):
+/// the mid-circuit post-selection here reads amplitudes directly, which a
+/// vectorized-`ρ` buffer cannot support.
 pub fn gate_level_projected_row_on(
     backend: &dyn Backend,
     rng: &mut StdRng,
@@ -280,6 +297,15 @@ pub fn gate_level_projected_row_on(
     use qsc_sim::QuantumState;
     use std::f64::consts::TAU;
 
+    if !backend.pure_state() {
+        return Err(Error::InvalidRequest {
+            context: format!(
+                "gate-level projection needs a pure-state backend; `{}` executes circuits on a \
+                 vectorized density matrix",
+                backend.name()
+            ),
+        });
+    }
     let n = laplacian.nrows();
     if !n.is_power_of_two() || n > 256 {
         return Err(Error::InvalidRequest {
@@ -416,6 +442,35 @@ mod tests {
             ..QuantumParams::default()
         };
         assert!(quantum_pipeline(0, &qp).run(&inst.graph).is_err());
+    }
+
+    #[test]
+    fn density_backend_rejects_oversized_phase_register_with_typed_error() {
+        // qpe_bits past the density backend's O(4^t) cap must surface as
+        // Error::InvalidRequest from the embedding stage, not abort the
+        // process inside the backend's prepare.
+        use qsc_sim::DensityMatrix;
+        let inst = flow_instance(30, 8);
+        let qp = QuantumParams {
+            qpe_bits: 14,
+            ..QuantumParams::default()
+        };
+        let err = quantum_pipeline(0, &qp)
+            .backend(DensityMatrix::new(0.05, 0.0))
+            .run(&inst.graph)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("phase-register limit"),
+            "unexpected error: {err}"
+        );
+        // The statevector family has no limit, and neither does the
+        // zero-depolarizing density backend (its hooks short-circuit to
+        // the O(2^t) closed forms — no ρ is ever built).
+        assert!(quantum_pipeline(0, &qp).run(&inst.graph).is_ok());
+        assert!(quantum_pipeline(0, &qp)
+            .backend(DensityMatrix::new(0.0, 0.01))
+            .run(&inst.graph)
+            .is_ok());
     }
 
     #[test]

@@ -1,16 +1,24 @@
 //! Pluggable execution backends for compiled circuits.
 //!
 //! The quantum stages *compile* their work into [`Circuit`] IR and hand it
-//! to a [`Backend`] for execution. Three backends ship:
+//! to a [`Backend`] for execution. Five backends ship (see
+//! `docs/BACKENDS.md` for the selection guide):
 //!
 //! * [`Statevector`] — exact, noiseless state-vector execution on the
 //!   cache-blocked kernels; the default, and bit-identical to applying the
 //!   ops directly.
+//! * [`ShardedStatevector`](crate::shard::ShardedStatevector) — the same
+//!   exact execution with the state split into high-qubit shards fanned
+//!   over the worker pool; bit-identical amplitudes, parallel schedule.
 //! * [`NoisyStatevector`] — the same execution with a per-gate depolarizing
 //!   channel (Monte-Carlo Pauli insertion during [`Backend::run`]) and a
 //!   per-bit readout-flip channel on measurement; its distribution-level
 //!   methods degrade the exact statistics analytically. Seeded and
 //!   deterministic: all randomness comes from the caller's RNG.
+//! * [`DensityMatrix`](crate::density::DensityMatrix) — evolves the full
+//!   density matrix `ρ` and applies the same two channels **exactly**
+//!   through their Kraus operators: noise figures with no trajectory
+//!   variance, at `O(4^n)` memory.
 //! * [`ShotSampler`] — exact execution, but every *probability read* is
 //!   replaced by finite-shot measurement statistics (`shots` draws), the
 //!   regime a real device operates in.
@@ -112,23 +120,82 @@ pub fn qpe_register_gate_count(t: usize) -> usize {
 /// and produces the measurement statistics every probability read in the
 /// pipeline goes through.
 ///
-/// All randomness is drawn from the caller's RNG, so any backend is
-/// deterministic given a seed. Implementations must be `Send + Sync`; the
-/// batch runner shares one backend (and its buffer pool) across worker
-/// threads.
+/// # Contract
+///
+/// The execution lifecycle is **prepare → run → sample/read → recycle**,
+/// always against the *same* backend instance:
+///
+/// 1. [`prepare`](Backend::prepare) hands out this backend's execution
+///    representation of `|basis⟩` with its buffer drawn from the backend's
+///    [`BufferPool`]. For the statevector family that is a plain
+///    `num_qubits`-qubit amplitude vector; the density-matrix backend
+///    returns a *vectorized `ρ`* on `2·num_qubits` qubits (see
+///    [`pure_state`](Backend::pure_state)). Treat the state as opaque
+///    between calls — only this backend knows its layout.
+/// 2. [`run`](Backend::run) executes a compiled [`Circuit`] on it,
+///    applying whatever noise model the backend implements.
+/// 3. [`sample`](Backend::sample) reads measurement statistics without
+///    collapsing the state.
+/// 4. [`recycle`](Backend::recycle) returns the buffer to the pool so the
+///    next [`prepare`](Backend::prepare) reuses the allocation (batched
+///    `run_many` fan-outs allocate `2^n` amplitudes once, not per
+///    instance).
+///
+/// All randomness is drawn from the caller's RNG, so **every backend is
+/// deterministic given a seed**; a backend that draws nothing (the exact
+/// ones) must leave the RNG untouched. Implementations must be
+/// `Send + Sync`: the batch runner shares one backend (and its buffer
+/// pool) across worker threads.
+///
+/// # Examples
+///
+/// The full lifecycle on the exact backend:
+///
+/// ```
+/// use qsc_sim::backend::{Backend, Statevector};
+/// use qsc_sim::circuit::{Circuit, Op};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), qsc_sim::SimError> {
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Op::H(0))?;
+/// circuit.push(Op::Cnot { control: 0, target: 1 })?;
+///
+/// let backend = Statevector::new();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut state = backend.prepare(2, 0);          // |00⟩, pooled buffer
+/// backend.run(&circuit, &mut state, &mut rng)?;   // Bell pair
+/// let counts = backend.sample(&state, 100, &mut rng);
+/// assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 100);
+/// backend.recycle(state);                          // buffer back to the pool
+/// assert_eq!(backend.pool().pooled(), 1);
+/// # Ok(())
+/// # }
+/// ```
 pub trait Backend: Send + Sync {
     /// Backend name used in reports and displays.
     fn name(&self) -> &'static str;
 
-    /// Prepares the basis state `|basis_index⟩` on `num_qubits` qubits,
-    /// drawing the amplitude buffer from the backend's pool.
+    /// Prepares the execution representation of the basis state
+    /// `|basis_index⟩` on `num_qubits` qubits, drawing the amplitude
+    /// buffer from the backend's pool.
+    ///
+    /// The returned [`QuantumState`] belongs to *this* backend: pass it
+    /// only into the same backend's [`run`](Backend::run) /
+    /// [`sample`](Backend::sample) / [`recycle`](Backend::recycle). For
+    /// backends with [`pure_state`](Backend::pure_state)` == false` it is
+    /// not an `n`-qubit amplitude vector (the density backend stores
+    /// `vec(ρ)` on `2n` qubits).
     ///
     /// # Panics
     ///
     /// Panics if `basis_index >= 2^num_qubits`.
     fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState;
 
-    /// Executes a compiled circuit on a prepared state.
+    /// Executes a compiled circuit on a prepared state, applying this
+    /// backend's noise model at the points its device analogue would
+    /// (e.g. the noisy backends insert a depolarizing event per gate per
+    /// touched qubit).
     ///
     /// # Errors
     ///
@@ -144,6 +211,29 @@ pub trait Backend: Send + Sync {
     /// Draws `shots` full-register measurements (state not collapsed),
     /// returning sparse `(basis_state, count)` pairs through this backend's
     /// readout model.
+    ///
+    /// The counts always sum to `shots`; which outcomes appear depends on
+    /// the backend (readout flips can populate outcomes outside the ideal
+    /// support):
+    ///
+    /// ```
+    /// use qsc_sim::backend::{Backend, NoisyStatevector};
+    /// use qsc_sim::circuit::{Circuit, Op};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), qsc_sim::SimError> {
+    /// let mut bell = Circuit::new(2);
+    /// bell.push(Op::H(0))?;
+    /// bell.push(Op::Cnot { control: 0, target: 1 })?;
+    /// let backend = NoisyStatevector::new(0.0, 0.25); // readout flips only
+    /// let mut rng = StdRng::seed_from_u64(5);
+    /// let state = backend.execute(&bell, 0, &mut rng)?;
+    /// let counts = backend.sample(&state, 1000, &mut rng);
+    /// // The ideal support is {00, 11}; flips populate 01 and 10 too.
+    /// assert!(counts.iter().any(|(m, _)| *m == 0b01 || *m == 0b10));
+    /// # Ok(())
+    /// # }
+    /// ```
     fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)>;
 
     /// Returns a state's buffer to the pool for reuse.
@@ -151,16 +241,68 @@ pub trait Backend: Send + Sync {
 
     /// `true` when this backend reproduces exact probabilities (no noise,
     /// no finite-shot resampling) — callers may then keep bit-exact fast
-    /// paths.
+    /// paths (q-means skips its backend-noise route entirely when this
+    /// holds).
     fn exact_statistics(&self) -> bool;
 
+    /// `true` (the default) when the states this backend hands out are
+    /// plain pure-state amplitude vectors that callers may inspect
+    /// directly. The density-matrix backend returns `false`: its states
+    /// are vectorized `ρ` buffers, and pure-state-only paths (the
+    /// gate-level projection route) must reject it instead of misreading
+    /// the buffer.
+    fn pure_state(&self) -> bool {
+        true
+    }
+
+    /// The widest phase register this backend can realize in
+    /// [`phase_distribution`](Backend::phase_distribution), or `None` for
+    /// no limit (the statevector family). The density-matrix backend's
+    /// `O(4^t)` register evolution caps out; callers that know `t` up
+    /// front (the QPE embedding stage) check this and return a typed
+    /// error instead of running into the backend's memory-cap panic.
+    fn phase_register_limit(&self) -> Option<usize> {
+        None
+    }
+
     /// Outcome distribution of a `t`-bit QPE phase register for one
-    /// eigenphase `phi ∈ [0, 1)`, as this backend observes it (exact Fejér
-    /// kernel, shot-resampled, or noise-degraded).
+    /// eigenphase `phi ∈ [0, 1)`, as this backend observes it — the
+    /// distribution-level hook the pipeline's spectral filter reads
+    /// instead of executing a full register circuit per eigenvalue.
+    ///
+    /// Exact backends return the closed-form Fejér kernel; `ShotSampler`
+    /// resamples it into finite-shot frequencies; the noisy backends
+    /// degrade it (approximately for `NoisyStatevector`, exactly for
+    /// `DensityMatrix`). The result is always a probability vector of
+    /// length `2^t`:
+    ///
+    /// ```
+    /// use qsc_sim::backend::{Backend, Statevector};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// // φ = 3/8 is exactly representable in 3 bits: all mass on m = 3.
+    /// let dist = Statevector::new().phase_distribution(0.375, 3, &mut rng);
+    /// assert_eq!(dist.len(), 8);
+    /// assert!((dist[3] - 1.0).abs() < 1e-12);
+    /// ```
     fn phase_distribution(&self, phi: f64, t: usize, rng: &mut StdRng) -> Vec<f64>;
 
     /// How this backend observes a success probability `p ∈ [0, 1]`:
-    /// exactly, through readout bias, or as a finite-shot frequency.
+    /// exactly, through readout bias, or as a finite-shot frequency — the
+    /// hook behind every scalar probability read (amplitude-estimation
+    /// outcomes, q-means distance estimates).
+    ///
+    /// ```
+    /// use qsc_sim::backend::{Backend, ShotSampler, Statevector};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(2);
+    /// assert_eq!(Statevector::new().estimate_probability(0.37, &mut rng), 0.37);
+    /// // A finite-shot backend returns an empirical frequency instead.
+    /// let est = ShotSampler::new(100).estimate_probability(0.37, &mut rng);
+    /// assert_eq!(est, (est * 100.0).round() / 100.0);
+    /// ```
     fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> f64;
 
     /// Convenience: [`prepare`](Backend::prepare) then
@@ -181,7 +323,11 @@ pub trait Backend: Send + Sync {
     }
 }
 
-fn prepare_pooled(pool: &BufferPool, num_qubits: usize, basis_index: usize) -> QuantumState {
+pub(crate) fn prepare_pooled(
+    pool: &BufferPool,
+    num_qubits: usize,
+    basis_index: usize,
+) -> QuantumState {
     let dim = 1usize << num_qubits;
     assert!(basis_index < dim, "basis index out of range");
     let mut amps = pool.acquire(dim);
@@ -428,17 +574,9 @@ impl Backend for NoisyStatevector {
                 *p = survive * *p + uniform;
             }
         }
-        if self.readout_flip > 0.0 {
-            // Independent per-bit flips: one pairwise convolution per bit.
-            let e = self.readout_flip;
-            for b in 0..t {
-                let bit = 1usize << b;
-                let prev = probs.clone();
-                for (m, p) in probs.iter_mut().enumerate() {
-                    *p = (1.0 - e) * prev[m] + e * prev[m ^ bit];
-                }
-            }
-        }
+        // Independent per-bit flips — the same classical readout channel
+        // the density backend applies.
+        crate::density::apply_readout_flips(&mut probs, self.readout_flip);
         probs
     }
 

@@ -14,14 +14,22 @@
 //!
 //! * [`Statevector`] — exact, noiseless execution on the cache-blocked
 //!   kernels (the default; bit-identical to direct op application),
-//! * [`NoisyStatevector`] — seeded depolarizing + readout-error channels,
+//! * [`ShardedStatevector`] — the same exact execution sharded over the
+//!   worker pool by high-qubit blocks (bit-identical amplitudes),
+//! * [`NoisyStatevector`] — seeded Monte-Carlo depolarizing +
+//!   readout-error channels (trajectory noise),
+//! * [`DensityMatrix`] — the exact-channel counterpart: evolves `ρ` and
+//!   applies the same channels via Kraus operators, no trajectory
+//!   variance,
 //! * [`ShotSampler`] — finite-shot measurement statistics replacing exact
 //!   probability reads.
 //!
 //! Module map:
 //!
-//! * [`backend`] — the [`Backend`] trait, the three backends, and the
-//!   reusable state [`BufferPool`],
+//! * [`backend`] — the [`Backend`] trait, the statevector-family backends,
+//!   and the reusable state [`BufferPool`],
+//! * [`density`] / [`shard`] — the density-matrix and sharded-statevector
+//!   backends,
 //! * [`circuit`] / [`compile`] — the circuit IR and its compile passes,
 //! * [`QuantumState`] — dense state vectors with gates and measurement,
 //! * [`gates`] — standard gate matrices,
@@ -77,18 +85,22 @@ pub mod amplitude;
 pub mod backend;
 pub mod circuit;
 pub mod compile;
+pub mod density;
 pub mod error;
 pub mod gates;
 pub mod qft;
 pub mod qpe;
 pub mod resources;
+pub mod shard;
 pub mod state;
 pub mod synthesis;
 pub mod tomography;
 
 pub use backend::{Backend, BufferPool, NoisyStatevector, ShotSampler, Statevector};
 pub use circuit::{Circuit, Op};
+pub use density::DensityMatrix;
 pub use error::SimError;
 pub use qpe::PhaseEstimator;
 pub use resources::ResourceEstimate;
+pub use shard::ShardedStatevector;
 pub use state::QuantumState;

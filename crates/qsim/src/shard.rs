@@ -1,0 +1,427 @@
+//! Shard-parallel statevector execution: the [`ShardedStatevector`]
+//! backend splits the amplitude buffer into `shards` contiguous blocks by
+//! **high-qubit index** and fans gate application and sampling over the
+//! compat-rayon worker pool, one shard per task.
+//!
+//! An op that touches only qubits *below* the shard boundary acts as
+//! `I ⊗ G` on the shard index, so every shard applies it independently —
+//! no cross-shard traffic, no synchronization inside the op. Ops that
+//! touch a shard-index qubit (or span the register, like the QPE phase
+//! cascade) fall back to the standard [`Circuit`] kernels, which are
+//! themselves parallel above their work thresholds.
+//!
+//! What the shard backend adds over plain [`Statevector`](crate::backend::Statevector):
+//!
+//! * forced shard-parallelism for the mid-size states that sit *below* the
+//!   global kernels' fixed work thresholds (one task per shard regardless
+//!   of state size), and
+//! * sampling that computes per-shard probability masses in parallel and
+//!   then resolves each shot by a shard walk plus an in-shard scan —
+//!   `O(shards + 2^n/shards)` per shot instead of a full `O(2^n)` scan.
+//!
+//! The amplitudes it produces are **bit-identical** to
+//! [`Statevector`](crate::backend::Statevector) for
+//! any shard count and any worker count: every amplitude is computed by
+//! the same `gate_pair` arithmetic on the same inputs, only the loop
+//! partitioning changes. This is pinned by the in-crate tests (shard
+//! counts 1/2/4/8 in one process) and by `tests/backend_equivalence.rs`
+//! under `RAYON_NUM_THREADS` ∈ {1, 2, 4} in CI. Sampling is deterministic
+//! given the seed but draws through per-shard cumulative masses, so its
+//! draw stream is not bitwise the same as `Statevector::sample`'s.
+
+use crate::backend::{Backend, BufferPool};
+use crate::circuit::{Circuit, Mat2, Op};
+use crate::error::SimError;
+use crate::gates;
+use crate::qpe::qpe_phase_distribution;
+use crate::state::{apply2_flat, apply_controlled2_flat, swap_bits_flat, QuantumState};
+use qsc_linalg::{CMatrix, Complex64, C_ZERO};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Exact statevector execution sharded over the worker pool by high-qubit
+/// blocks — bit-identical amplitudes to [`Statevector`](crate::backend::Statevector),
+/// different (parallel) schedule. See the [module docs](self).
+#[derive(Debug)]
+pub struct ShardedStatevector {
+    pool: BufferPool,
+    shards: usize,
+}
+
+impl Default for ShardedStatevector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShardedStatevector {
+    /// Shards sized to the worker pool: the thread count rounded up to the
+    /// next power of two (shard boundaries must sit on qubit boundaries).
+    pub fn new() -> Self {
+        Self::with_shards(rayon::current_num_threads().next_power_of_two())
+    }
+
+    /// An explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards` is a power of two (at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(
+            shards >= 1 && shards.is_power_of_two(),
+            "shard count must be a power of two, got {shards}"
+        );
+        Self {
+            pool: BufferPool::default(),
+            shards,
+        }
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Shard-index bits actually usable on an `n`-qubit register (at least
+    /// one qubit must remain inside each shard).
+    fn shard_bits(&self, num_qubits: usize) -> usize {
+        (self.shards.trailing_zeros() as usize).min(num_qubits.saturating_sub(1))
+    }
+}
+
+/// `true` when `op` acts as identity on every qubit at or above
+/// `low_qubits`, so each high-qubit shard can apply it independently.
+fn fits_in_shard(op: &Op, low_qubits: usize) -> bool {
+    !op.spans_register() && op.qubits().iter().all(|&q| q < low_qubits)
+}
+
+/// Applies a 2×2 gate to the pairs `(i, i | 1<<qubit)` of one shard chunk
+/// — the shared flat-buffer kernel with the exact `gate_pair` arithmetic
+/// of `QuantumState::apply_single`.
+fn chunk_single(chunk: &mut [Complex64], g: &Mat2, qubit: usize) {
+    apply2_flat(chunk, g, 1usize << qubit);
+}
+
+/// Controlled 2×2 gate within one shard chunk (both qubits below the shard
+/// boundary), same `gate_pair` arithmetic as the full-state kernel.
+fn chunk_controlled(chunk: &mut [Complex64], g: &Mat2, control: usize, target: usize) {
+    apply_controlled2_flat(chunk, g, 1usize << control, 1usize << target);
+}
+
+/// Controlled phase within one shard chunk: multiplies amplitudes with
+/// both bits set by `e^{iθ}` — the same multiply the full-state kernel
+/// performs.
+fn chunk_cphase(chunk: &mut [Complex64], control: usize, target: usize, theta: f64) {
+    let phase = Complex64::cis(theta);
+    let both = (1usize << control) | (1usize << target);
+    for (i, a) in chunk.iter_mut().enumerate() {
+        if i & both == both {
+            *a *= phase;
+        }
+    }
+}
+
+/// SWAP within one shard chunk (same `swap` permutation as the full-state
+/// kernel).
+fn chunk_swap(chunk: &mut [Complex64], a: usize, b: usize) {
+    swap_bits_flat(chunk, 1usize << a, 1usize << b);
+}
+
+/// Block unitary on the low qubits of one shard chunk: the per-block
+/// scratch path with ascending-`k` accumulation — the same arithmetic as
+/// `QuantumState::apply_controlled_block_unitary` (and, by the pinned
+/// matmul/per-block equivalence, as the blocked-matmul route).
+fn chunk_block_unitary(chunk: &mut [Complex64], u: &CMatrix, control: Option<usize>) {
+    let block = u.nrows();
+    let block_qubits = block.trailing_zeros() as usize;
+    let control_block_bit = control.map(|c| 1usize << (c - block_qubits));
+    let mut scratch = vec![C_ZERO; block];
+    for (b, slice) in chunk.chunks_mut(block).enumerate() {
+        if let Some(cb) = control_block_bit {
+            if b & cb == 0 {
+                continue;
+            }
+        }
+        for (i, slot) in scratch.iter_mut().enumerate() {
+            let row = u.row(i);
+            let mut acc = C_ZERO;
+            for (x, y) in row.iter().zip(slice.iter()) {
+                acc += *x * *y;
+            }
+            *slot = acc;
+        }
+        slice.copy_from_slice(&scratch);
+    }
+}
+
+/// Applies one low-qubit op to a shard chunk. Only called for ops that
+/// [`fits_in_shard`] accepted; the match mirrors `Op::apply` gate for
+/// gate.
+fn apply_op_in_chunk(op: &Op, chunk: &mut [Complex64]) {
+    match *op {
+        Op::H(q) => chunk_single(chunk, &gates::h(), q),
+        Op::X(q) => chunk_single(chunk, &gates::x(), q),
+        Op::Y(q) => chunk_single(chunk, &gates::y(), q),
+        Op::Z(q) => chunk_single(chunk, &gates::z(), q),
+        Op::S(q) => chunk_single(chunk, &gates::s(), q),
+        Op::T(q) => chunk_single(chunk, &gates::t(), q),
+        Op::Phase { target, theta } => chunk_single(chunk, &gates::phase(theta), target),
+        Op::Rz { target, theta } => chunk_single(chunk, &gates::rz(theta), target),
+        Op::Ry { target, theta } => chunk_single(chunk, &gates::ry(theta), target),
+        Op::Gate1 { target, ref matrix } => chunk_single(chunk, matrix, target),
+        Op::Cnot { control, target } => chunk_controlled(chunk, &gates::x(), control, target),
+        Op::CPhase {
+            control,
+            target,
+            theta,
+        } => chunk_cphase(chunk, control, target, theta),
+        Op::Swap(a, b) => chunk_swap(chunk, a, b),
+        Op::BlockUnitary {
+            control,
+            ref matrix,
+        } => chunk_block_unitary(chunk, matrix, control),
+        // spans_register: never routed here.
+        Op::PhaseCascade { .. } => unreachable!("phase cascade spans the register"),
+    }
+}
+
+impl Backend for ShardedStatevector {
+    fn name(&self) -> &'static str {
+        "sharded_statevector"
+    }
+
+    fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState {
+        crate::backend::prepare_pooled(&self.pool, num_qubits, basis_index)
+    }
+
+    fn run(
+        &self,
+        circuit: &Circuit,
+        state: &mut QuantumState,
+        _rng: &mut StdRng,
+    ) -> Result<(), SimError> {
+        if state.num_qubits() != circuit.num_qubits() {
+            return Err(SimError::DimensionMismatch {
+                context: format!(
+                    "circuit on {} qubits, state on {}",
+                    circuit.num_qubits(),
+                    state.num_qubits()
+                ),
+            });
+        }
+        let n = circuit.num_qubits();
+        let shard_bits = self.shard_bits(n);
+        if shard_bits == 0 {
+            return circuit.run(state);
+        }
+        let low_qubits = n - shard_bits;
+        let chunk_len = 1usize << low_qubits;
+        for op in circuit.ops() {
+            if fits_in_shard(op, low_qubits) {
+                state
+                    .amps_mut()
+                    .par_chunks_mut(chunk_len)
+                    .for_each(|chunk| apply_op_in_chunk(op, chunk));
+            } else {
+                op.apply(state)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sharded sampling: per-shard probability masses are computed in
+    /// parallel (chunk-ordered reduction — deterministic), then every shot
+    /// walks the shard masses and scans only the chosen shard.
+    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+        let shard_bits = self.shard_bits(state.num_qubits());
+        if shard_bits == 0 {
+            return state.sample_counts(shots, rng);
+        }
+        let chunk_len = state.dim() >> shard_bits;
+        let amps = state.amplitudes();
+        let masses: Vec<f64> = amps
+            .par_chunks(chunk_len)
+            .map(|chunk| chunk.iter().map(|a| a.norm_sqr()).sum::<f64>())
+            .collect_vec();
+        let mut counts = std::collections::BTreeMap::new();
+        for _ in 0..shots {
+            let mut target = rng.gen::<f64>();
+            let mut outcome = state.dim() - 1;
+            'shards: for (s, &mass) in masses.iter().enumerate() {
+                if target >= mass {
+                    target -= mass;
+                    continue;
+                }
+                let base = s * chunk_len;
+                for (i, a) in amps[base..base + chunk_len].iter().enumerate() {
+                    let p = a.norm_sqr();
+                    if target < p {
+                        outcome = base + i;
+                        break 'shards;
+                    }
+                    target -= p;
+                }
+                // Rounding pushed the target past the shard: clamp to its
+                // last amplitude.
+                outcome = base + chunk_len - 1;
+                break;
+            }
+            *counts.entry(outcome).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    fn recycle(&self, state: QuantumState) {
+        self.pool.release(state.into_amplitudes());
+    }
+
+    fn exact_statistics(&self) -> bool {
+        true
+    }
+
+    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
+        qpe_phase_distribution(phi, t)
+    }
+
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Statevector;
+    use qsc_linalg::expm::expi;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// A deterministic circuit hitting every op variant, with enough
+    /// qubits that shard boundaries cut through both low and high ops.
+    fn mixed_circuit(n: usize, seed: u64) -> Circuit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut c = Circuit::new(n);
+        for step in 0..24usize {
+            let q = rng.gen_range(0..n);
+            let q2 = (q + 1 + rng.gen_range(0..n - 1)) % n;
+            let op = match step % 8 {
+                0 => Op::H(q),
+                1 => Op::Ry {
+                    target: q,
+                    theta: rng.gen_range(-2.0..2.0),
+                },
+                2 => Op::Cnot {
+                    control: q,
+                    target: q2,
+                },
+                3 => Op::CPhase {
+                    control: q,
+                    target: q2,
+                    theta: rng.gen_range(-2.0..2.0),
+                },
+                4 => Op::Swap(q, q2),
+                5 => {
+                    let h = CMatrix::random_hermitian(4, &mut rng);
+                    Op::BlockUnitary {
+                        control: (rng.gen::<bool>() && n > 2).then(|| 2 + rng.gen_range(0..n - 2)),
+                        matrix: Arc::new(expi(&h, 0.7).unwrap()),
+                    }
+                }
+                6 => Op::PhaseCascade {
+                    block_qubits: 2,
+                    phases: Arc::new((0..4).map(|_| rng.gen_range(-2.0..2.0)).collect()),
+                    sign: 1.0,
+                },
+                _ => Op::T(q),
+            };
+            c.push(op).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn amplitudes_bit_identical_across_shard_counts() {
+        let reference = Statevector::new();
+        for n in [3usize, 5, 6] {
+            let c = mixed_circuit(n, 40 + n as u64);
+            let mut rng = StdRng::seed_from_u64(0);
+            let expect = reference.execute(&c, 1, &mut rng).unwrap();
+            for shards in [1usize, 2, 4, 8] {
+                let backend = ShardedStatevector::with_shards(shards);
+                let got = backend.execute(&c, 1, &mut rng).unwrap();
+                assert_eq!(
+                    got.amplitudes(),
+                    expect.amplitudes(),
+                    "n={n} shards={shards}"
+                );
+                backend.recycle(got);
+            }
+            reference.recycle(expect);
+        }
+    }
+
+    #[test]
+    fn default_shard_count_tracks_the_pool() {
+        let b = ShardedStatevector::new();
+        assert!(b.shards().is_power_of_two());
+        assert!(b.shards() >= 1);
+        assert_eq!(b.name(), "sharded_statevector");
+        assert!(b.exact_statistics());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_shards() {
+        let _ = ShardedStatevector::with_shards(3);
+    }
+
+    #[test]
+    fn tiny_registers_fall_back_to_the_plain_path() {
+        // 1-qubit state with 8 shards: shard_bits clamps to 0.
+        let backend = ShardedStatevector::with_shards(8);
+        let mut c = Circuit::new(1);
+        c.push(Op::H(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let state = backend.execute(&c, 0, &mut rng).unwrap();
+        assert!((state.probability(0) - 0.5).abs() < 1e-12);
+        backend.recycle(state);
+    }
+
+    #[test]
+    fn sharded_sampling_matches_the_distribution() {
+        let backend = ShardedStatevector::with_shards(4);
+        let c = Circuit::qft(4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let state = backend.execute(&c, 0, &mut rng).unwrap();
+        // QFT of |0⟩ is uniform over 16 outcomes.
+        let counts = backend.sample(&state, 8000, &mut rng);
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 8000);
+        for (_, c) in counts {
+            assert!((c as f64 / 8000.0 - 1.0 / 16.0).abs() < 0.02);
+        }
+        backend.recycle(state);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_given_the_seed() {
+        let backend = ShardedStatevector::with_shards(4);
+        let c = Circuit::qft(5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let state = backend.execute(&c, 3, &mut rng).unwrap();
+        let a = backend.sample(&state, 100, &mut StdRng::seed_from_u64(9));
+        let b = backend.sample(&state, 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        backend.recycle(state);
+    }
+
+    #[test]
+    fn run_checks_register_width() {
+        let backend = ShardedStatevector::with_shards(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = backend.prepare(3, 0);
+        assert!(backend.run(&Circuit::new(2), &mut state, &mut rng).is_err());
+        backend.recycle(state);
+    }
+}

@@ -9,7 +9,7 @@ use rayon::prelude::*;
 
 /// Applies a 2×2 gate to one amplitude pair.
 #[inline(always)]
-fn gate_pair(gate: &[[Complex64; 2]; 2], x: &mut Complex64, y: &mut Complex64) {
+pub(crate) fn gate_pair(gate: &[[Complex64; 2]; 2], x: &mut Complex64, y: &mut Complex64) {
     let a0 = *x;
     let a1 = *y;
     *x = gate[0][0] * a0 + gate[0][1] * a1;
@@ -21,6 +21,59 @@ fn gate_pair(gate: &[[Complex64; 2]; 2], x: &mut Complex64, y: &mut Complex64) {
 #[inline]
 fn blocks_per_task(stride: usize) -> usize {
     (parallel::REDUCE_GRAIN / stride).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Flat-buffer kernels shared by the shard and density backends. They apply
+// gates by *flat bit position* over a raw amplitude buffer with the exact
+// `gate_pair` arithmetic of the state methods above — the bit-identity both
+// backends' equivalence claims rest on. (The shard backend passes
+// `1 << qubit` within a chunk; the density backend additionally shifts by
+// the register width to reach the row side of a vectorized ρ.)
+// ---------------------------------------------------------------------------
+
+/// Applies a 2×2 gate over `buf` at flat-bit position `fbit`, pairing
+/// indices `(i, i | fbit)`.
+pub(crate) fn apply2_flat(buf: &mut [Complex64], g: &[[Complex64; 2]; 2], fbit: usize) {
+    let stride = 2 * fbit;
+    for chunk in buf.chunks_mut(stride) {
+        let (lo, hi) = chunk.split_at_mut(fbit);
+        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+            gate_pair(g, x, y);
+        }
+    }
+}
+
+/// Like [`apply2_flat`], restricted to pairs whose control flat-bit is set.
+pub(crate) fn apply_controlled2_flat(
+    buf: &mut [Complex64],
+    g: &[[Complex64; 2]; 2],
+    cfbit: usize,
+    tfbit: usize,
+) {
+    let stride = 2 * tfbit;
+    for (bi, chunk) in buf.chunks_mut(stride).enumerate() {
+        let base = bi * stride;
+        let (lo, hi) = chunk.split_at_mut(tfbit);
+        for (off, (x, y)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            if (base + off) & cfbit != 0 {
+                gate_pair(g, x, y);
+            }
+        }
+    }
+}
+
+/// Swaps two flat bit positions (the same permutation as
+/// [`QuantumState::apply_swap`]).
+pub(crate) fn swap_bits_flat(buf: &mut [Complex64], abit: usize, bbit: usize) {
+    if abit == bbit {
+        return;
+    }
+    for i in 0..buf.len() {
+        if i & abit != 0 && i & bbit == 0 {
+            buf.swap(i, (i & !abit) | bbit);
+        }
+    }
 }
 
 /// A pure quantum state on `num_qubits` qubits, stored as a dense
@@ -107,6 +160,32 @@ impl QuantumState {
         let mut amps = vec![C_ZERO; dim];
         amps[..data.len()].copy_from_slice(data);
         Self::from_amplitudes(amps)
+    }
+
+    /// Builds a state from raw amplitudes **without normalizing** — the
+    /// crate-internal constructor backend execution representations use
+    /// when their buffer is not an ℓ2-normalized pure state (the
+    /// density-matrix backend stores `vec(ρ)`, whose ℓ2 norm is the purity
+    /// `√tr(ρ²) ≤ 1`, not 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two.
+    pub(crate) fn from_raw(amps: Vec<Complex64>) -> Self {
+        let len = amps.len();
+        assert!(len > 0 && len.is_power_of_two(), "raw state length {len}");
+        Self {
+            num_qubits: len.trailing_zeros() as usize,
+            amps,
+        }
+    }
+
+    /// Crate-internal mutable access to the amplitude buffer, for backends
+    /// whose kernels operate on the raw flat buffer (shard-parallel chunks,
+    /// vectorized density matrices) instead of the gate methods.
+    #[inline]
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
     }
 
     /// Number of qubits.

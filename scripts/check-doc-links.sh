@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link in README.md and docs/*.md
+# resolves to an existing file (anchors are stripped; http(s)/mailto
+# links are skipped). Run from anywhere; exits non-zero listing every
+# broken link.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  # Inline markdown links: [text](target). Reference-style links are not
+  # used in this repo.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN: $doc -> $target" >&2
+      status=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "doc link check failed" >&2
+else
+  echo "doc links OK"
+fi
+exit "$status"

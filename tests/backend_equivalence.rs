@@ -1,9 +1,13 @@
 //! Property tests for the backend execution layer: compiled-circuit
 //! execution on the `Statevector` backend must be **bit-identical** to the
 //! old direct state-mutation path, a `NoisyStatevector` with zero noise
-//! must equal the ideal backend, and the gate-fusion compile pass must
-//! preserve amplitudes. Random circuits are generated from seeded RNG
-//! streams via the proptest harness, so failures are reproducible.
+//! must equal the ideal backend, `ShardedStatevector` amplitudes must be
+//! bit-identical to `Statevector` for every shard count (CI re-runs this
+//! suite under `RAYON_NUM_THREADS` ∈ {1, 2, 4}), the zero-noise
+//! `DensityMatrix` must reproduce the statevector's distributions, and the
+//! gate-fusion compile pass must preserve amplitudes. Random circuits are
+//! generated from seeded RNG streams via the proptest harness, so failures
+//! are reproducible.
 
 use proptest::prelude::*;
 use qsc_suite::linalg::expm::expi;
@@ -11,7 +15,7 @@ use qsc_suite::linalg::CMatrix;
 use qsc_suite::sim::backend::{Backend, NoisyStatevector, Statevector};
 use qsc_suite::sim::circuit::{Circuit, Op};
 use qsc_suite::sim::compile::fuse_single_qubit;
-use qsc_suite::sim::{gates, QuantumState};
+use qsc_suite::sim::{gates, DensityMatrix, QuantumState, ShardedStatevector};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -221,6 +225,62 @@ proptest! {
         let mut manual = QuantumState::zero_state(n);
         fuse_single_qubit(&circuit).run(&mut manual).expect("manual fuse");
         prop_assert_eq!(via_backend.amplitudes(), manual.amplitudes());
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_for_every_shard_count(
+        seed in 0u64..1_000_000,
+        n in 2usize..6,
+        len in 1usize..30,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let basis = (seed % (1u64 << n)) as usize;
+        let reference = Statevector::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let expect = reference.execute(&circuit, basis, &mut rng).expect("reference");
+        for shards in [1usize, 2, 4, 8] {
+            let backend = ShardedStatevector::with_shards(shards);
+            let got = backend.execute(&circuit, basis, &mut rng).expect("sharded");
+            prop_assert_eq!(
+                got.amplitudes(), expect.amplitudes(),
+                "shards = {} on {} qubits", shards, n
+            );
+            backend.recycle(got);
+        }
+        reference.recycle(expect);
+    }
+
+    #[test]
+    fn zero_noise_density_matrix_reproduces_statevector_distributions(
+        seed in 0u64..1_000_000,
+        n in 2usize..4,
+        len in 1usize..20,
+    ) {
+        let circuit = random_circuit(n, len, seed);
+        let sv = Statevector::new();
+        let dm = DensityMatrix::new(0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let pure = sv.execute(&circuit, 0, &mut rng).expect("statevector");
+        let rho = dm.execute(&circuit, 0, &mut rng).expect("density");
+        let probs = dm.outcome_distribution(&rho);
+        for (m, (&p, a)) in probs.iter().zip(pure.amplitudes()).enumerate() {
+            prop_assert!(
+                (p - a.norm_sqr()).abs() < 1e-12,
+                "outcome {}: ρ diag {} vs |amp|² {}", m, p, a.norm_sqr()
+            );
+        }
+        // The distribution-level hooks are bit-exact, not merely close.
+        let phi = (seed % 997) as f64 / 997.0;
+        prop_assert_eq!(
+            dm.phase_distribution(phi, 5, &mut rng),
+            sv.phase_distribution(phi, 5, &mut rng)
+        );
+        prop_assert_eq!(
+            dm.estimate_probability(phi, &mut rng),
+            sv.estimate_probability(phi, &mut rng)
+        );
+        dm.recycle(rho);
+        sv.recycle(pure);
     }
 
     #[test]
