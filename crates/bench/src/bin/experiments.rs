@@ -9,8 +9,10 @@
 //! Prints the paper-style rows and writes each experiment's
 //! machine-readable series (CSV, plus JSON when the spec asks) to the
 //! output directory. Unknown flags and unknown experiment names are
-//! **errors** (usage + exit 2) — a misspelled `--fulll` or `tabel1` never
-//! silently runs the wrong thing again.
+//! **usage errors** (usage + exit 2) — a misspelled `--fulll` or `tabel1`
+//! never silently runs the wrong thing again. Runtime failures — an
+//! unreadable `--spec` file, an unwritable `--out-dir`, a failing
+//! experiment — print a message and exit 1 (never a panic).
 
 use qsc_bench::builtin::BUILTIN;
 use qsc_bench::{ExperimentSpec, Scale, SweepRunner};
@@ -33,6 +35,16 @@ options:
   --only NAME[,..]   run only these experiments (same as bare NAMEs)
   -h, --help         this message
 ";
+
+/// Failure classes of an invocation, mapped to distinct exit codes so
+/// scripts can tell a typo from a broken environment.
+enum CliError {
+    /// The invocation itself is wrong (unknown name) → usage + exit 2.
+    Usage(String),
+    /// The invocation is fine but execution failed (I/O, bad spec file,
+    /// pipeline error) → message + exit 1.
+    Runtime(String),
+}
 
 struct Args {
     list: bool,
@@ -98,25 +110,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 /// Every available experiment: built-ins first (suite order), then files
 /// loaded with `--spec`. The `bool` marks built-ins.
-fn load_all(args: &Args) -> Result<Vec<(bool, ExperimentSpec)>, String> {
+fn load_all(args: &Args) -> Result<Vec<(bool, ExperimentSpec)>, CliError> {
     let mut specs: Vec<(bool, ExperimentSpec)> = BUILTIN
         .iter()
         .map(|(name, text)| {
             ExperimentSpec::parse(text)
                 .map(|spec| (true, spec))
-                .map_err(|e| format!("embedded spec {name}: {e}"))
+                .map_err(|e| CliError::Runtime(format!("embedded spec {name}: {e}")))
         })
         .collect::<Result<_, _>>()?;
     for path in &args.spec_files {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let spec = ExperimentSpec::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            .map_err(|e| CliError::Runtime(format!("cannot read {}: {e}", path.display())))?;
+        let spec = ExperimentSpec::parse(&text)
+            .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
         if specs.iter().any(|(_, s)| s.name == spec.name) {
-            return Err(format!(
+            return Err(CliError::Runtime(format!(
                 "{}: experiment name `{}` is already taken",
                 path.display(),
                 spec.name
-            ));
+            )));
         }
         specs.push((false, spec));
     }
@@ -124,7 +137,10 @@ fn load_all(args: &Args) -> Result<Vec<(bool, ExperimentSpec)>, String> {
 }
 
 /// The experiments this invocation runs, out of everything available.
-fn select(specs: Vec<(bool, ExperimentSpec)>, args: &Args) -> Result<Vec<ExperimentSpec>, String> {
+fn select(
+    specs: Vec<(bool, ExperimentSpec)>,
+    args: &Args,
+) -> Result<Vec<ExperimentSpec>, CliError> {
     if args.only.is_empty() {
         // No names: run everything loaded via --spec, else the whole
         // built-in suite.
@@ -140,10 +156,10 @@ fn select(specs: Vec<(bool, ExperimentSpec)>, args: &Args) -> Result<Vec<Experim
     let available: Vec<&str> = specs.iter().map(|(_, s)| s.name.as_str()).collect();
     for name in &args.only {
         if !available.contains(&name.as_str()) {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown experiment `{name}` (available: {})",
                 available.join(", ")
-            ));
+            )));
         }
     }
     Ok(specs
@@ -156,20 +172,20 @@ fn select(specs: Vec<(bool, ExperimentSpec)>, args: &Args) -> Result<Vec<Experim
 fn write_sinks(
     out_dir: &Path,
     output: &qsc_bench::ExperimentOutput,
-) -> Result<Vec<PathBuf>, String> {
+) -> Result<Vec<PathBuf>, CliError> {
     std::fs::create_dir_all(out_dir)
-        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+        .map_err(|e| CliError::Runtime(format!("cannot create {}: {e}", out_dir.display())))?;
     let mut written = Vec::new();
     for sink in &output.sinks {
         let path = out_dir.join(format!("{}.{}", output.name, sink.extension()));
         std::fs::write(&path, output.primary.render(*sink))
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            .map_err(|e| CliError::Runtime(format!("cannot write {}: {e}", path.display())))?;
         written.push(path);
     }
     Ok(written)
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), CliError> {
     let all = load_all(args)?;
     if args.list {
         // The listing always shows the full name-addressable set —
@@ -196,7 +212,7 @@ fn run(args: &Args) -> Result<(), String> {
     for spec in &specs {
         let output = runner
             .run(spec)
-            .map_err(|e| format!("{}: {e}", spec.name))?;
+            .map_err(|e| CliError::Runtime(format!("{}: {e}", spec.name)))?;
         println!("\n=== {}: {} ===", output.name, output.title);
         print!("{}", output.display.to_aligned());
         for note in &output.notes {
@@ -234,9 +250,13 @@ fn main() -> ExitCode {
     };
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
+        Err(CliError::Usage(message)) => {
             eprintln!("error: {message}");
             ExitCode::from(2)
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
         }
     }
 }

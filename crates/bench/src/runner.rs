@@ -5,11 +5,14 @@
 //!
 //! * grid layouts expand the cartesian product of the axes; stacked
 //!   layouts sweep each axis independently around the defaults,
-//! * repetition batches fan through [`Pipeline::run_many`] (rayon-parallel
-//!   over instances, results identical to a sequential loop),
+//! * repetition batches fan through [`Pipeline::run_many_isolated`]
+//!   (rayon-parallel over instances, results identical to a sequential
+//!   loop; panics and errors are confined to their repetition, so a
+//!   failing grid point becomes an explicit `failed(<kind>)` cell and
+//!   the sweep keeps going — see `docs/RESILIENCE.md`),
 //! * **clusterer-only axes** (q-means `δ`) are routed through
-//!   [`Pipeline::run_many_clusterers`], so each graph's embedding is
-//!   staged once and re-clustered per point,
+//!   [`Pipeline::run_many_clusterers_isolated`], so each graph's
+//!   embedding is staged once and re-clustered per point,
 //! * metrics aggregate through the registry
 //!   ([`qsc_cluster::registry::MetricKind`]) into formatted columns.
 
@@ -24,7 +27,8 @@ use qsc_core::config::{set_backend_field, set_quantum_field, BackendConfig, Quan
 use qsc_core::refine::{refine_partition, RefineConfig};
 use qsc_core::report::{fmt, fmt_mean_std, mean, SinkFormat, Table};
 use qsc_core::{
-    Clusterer, ClusteringOutcome, GraphInstance, LanczosCsr, LanczosDense, Pipeline, QMeans,
+    Clusterer, ClusteringOutcome, FailureKind, GraphInstance, LanczosCsr, LanczosDense, Pipeline,
+    QMeans,
 };
 use qsc_graph::normalized_hermitian_laplacian;
 use qsc_graph::spec::{GeneratedInstance, GraphSpec};
@@ -272,6 +276,25 @@ struct RunRecord {
     clusterability: OnceCell<Option<Clusterability>>,
 }
 
+/// One repetition slot of a combo: the executed record, or the failure
+/// that exhausted the variant's [`ResiliencePolicy`]. Failed slots stay
+/// in place so surviving records keep their per-rep instance alignment.
+///
+/// [`ResiliencePolicy`]: qsc_core::ResiliencePolicy
+enum RunSlot {
+    Ok(Box<RunRecord>),
+    Failed(FailureKind),
+}
+
+impl RunSlot {
+    fn record(&self) -> Option<&RunRecord> {
+        match self {
+            RunSlot::Ok(record) => Some(record.as_ref()),
+            RunSlot::Failed(_) => None,
+        }
+    }
+}
+
 /// What makes two variants' executions interchangeable: same workload,
 /// same seeding, same recipe apart from post-steps (`refine`). A variant
 /// matching an already-executed one reuses its outcomes instead of
@@ -291,18 +314,19 @@ struct VariantRuns {
     k: usize,
     instances: Vec<GeneratedInstance>,
     /// `[combo][rep]`.
-    combos: Vec<Vec<RunRecord>>,
+    combos: Vec<Vec<RunSlot>>,
     share: ShareKey,
 }
 
 impl VariantRuns {
-    /// Aggregated values of `metric` at combo `combo` (one per rep whose
-    /// inputs were available).
+    /// Aggregated values of `metric` at combo `combo` (one per surviving
+    /// rep whose inputs were available).
     fn metric_values(&self, metric: MetricKind, combo: usize) -> Vec<f64> {
         self.combos[combo]
             .iter()
             .zip(&self.instances)
-            .filter_map(|(run, inst)| {
+            .filter_map(|(slot, inst)| {
+                let run = slot.record()?;
                 let mut ctx = run.outcome.metric_context(
                     self.k,
                     Some(&inst.graph),
@@ -318,6 +342,42 @@ impl VariantRuns {
                 metric.compute(&ctx)
             })
             .collect()
+    }
+
+    /// `Some(kind)` when **every** repetition of `combo` failed — the
+    /// cell has no data at all and renders as an explicit
+    /// `failed(<kind>)` marker. With mixed kinds the most frequent wins
+    /// (ties: earliest repetition).
+    fn all_failed_kind(&self, combo: usize) -> Option<FailureKind> {
+        let slots = &self.combos[combo];
+        let mut counts: Vec<(FailureKind, usize)> = Vec::new();
+        for slot in slots {
+            match slot {
+                RunSlot::Ok(_) => return None,
+                RunSlot::Failed(kind) => match counts.iter_mut().find(|(k, _)| k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((*kind, 1)),
+                },
+            }
+        }
+        let mut best: Option<(FailureKind, usize)> = None;
+        for &(kind, n) in &counts {
+            // Strict `>` keeps the earliest kind on ties.
+            if best.is_none_or(|(_, m)| n > m) {
+                best = Some((kind, n));
+            }
+        }
+        best.map(|(kind, _)| kind)
+    }
+
+    /// `(failed, total)` repetition counts of `combo`.
+    fn failure_counts(&self, combo: usize) -> (usize, usize) {
+        let slots = &self.combos[combo];
+        let failed = slots
+            .iter()
+            .filter(|slot| matches!(slot, RunSlot::Failed(_)))
+            .count();
+        (failed, slots.len())
     }
 }
 
@@ -362,6 +422,29 @@ struct RowCtx<'a> {
     combo: usize,
 }
 
+/// The [`VariantRuns`] a metric/failures column refers to: its explicit
+/// `variant`, else the row's variant, else the only variant.
+fn resolve_variant<'a>(
+    col: &ColumnSpec,
+    variant: Option<&str>,
+    ctx: &RowCtx<'_>,
+    variants: &'a [VariantRuns],
+) -> Result<&'a VariantRuns, BenchError> {
+    let name = variant
+        .or(ctx.row_variant)
+        .or_else(|| (variants.len() == 1).then(|| variants[0].name.as_str()))
+        .ok_or_else(|| {
+            spec_err(format!(
+                "column `{}`: ambiguous variant (name one explicitly)",
+                col.header
+            ))
+        })?;
+    variants
+        .iter()
+        .find(|v| v.name == name)
+        .ok_or_else(|| spec_err(format!("column `{}`: unknown variant `{name}`", col.header)))
+}
+
 fn eval_columns(
     columns: &[ColumnSpec],
     ctx: &RowCtx<'_>,
@@ -399,23 +482,22 @@ fn eval_columns(
                     metric,
                     format,
                 } => {
-                    let name = variant
-                        .as_deref()
-                        .or(ctx.row_variant)
-                        .or_else(|| (variants.len() == 1).then(|| variants[0].name.as_str()))
-                        .ok_or_else(|| {
-                            spec_err(format!(
-                                "column `{}`: ambiguous variant (name one explicitly)",
-                                col.header
-                            ))
-                        })?;
-                    let runs = variants.iter().find(|v| v.name == name).ok_or_else(|| {
-                        spec_err(format!("column `{}`: unknown variant `{name}`", col.header))
-                    })?;
-                    Ok(format_metric(
-                        &runs.metric_values(*metric, ctx.combo),
-                        *format,
-                    ))
+                    let runs = resolve_variant(col, variant.as_deref(), ctx, variants)?;
+                    if let Some(kind) = runs.all_failed_kind(ctx.combo) {
+                        // Every repetition failed: an explicit failed cell
+                        // instead of an indistinguishable "n/a".
+                        Ok(format!("failed({})", kind.name()))
+                    } else {
+                        Ok(format_metric(
+                            &runs.metric_values(*metric, ctx.combo),
+                            *format,
+                        ))
+                    }
+                }
+                ColumnSource::Failures { variant } => {
+                    let runs = resolve_variant(col, variant.as_deref(), ctx, variants)?;
+                    let (failed, total) = runs.failure_counts(ctx.combo);
+                    Ok(format!("{failed}/{total}"))
                 }
             }
         })
@@ -634,15 +716,21 @@ impl SweepRunner {
             };
             if let Some(prev) = results.iter().find(|r: &&VariantRuns| r.share == share) {
                 // Same pipeline on the same instances: reuse the computed
-                // outcomes and only redo the post-step (refine) labels.
+                // outcomes (failures included) and only redo the post-step
+                // (refine) labels.
                 let instances = prev.instances.clone();
                 let combos = prev
                     .combos
                     .iter()
-                    .map(|records| {
-                        let outs: Vec<ClusteringOutcome> =
-                            records.iter().map(|r| r.outcome.clone()).collect();
-                        to_records(outs, &instances, &recipe)
+                    .map(|slots| {
+                        let outs: Vec<Result<ClusteringOutcome, FailureKind>> = slots
+                            .iter()
+                            .map(|slot| match slot {
+                                RunSlot::Ok(r) => Ok(r.outcome.clone()),
+                                RunSlot::Failed(kind) => Err(*kind),
+                            })
+                            .collect();
+                        to_slots(outs, &instances, &recipe)
                     })
                     .collect();
                 results.push(VariantRuns {
@@ -667,10 +755,11 @@ impl SweepRunner {
                 .map(|(rep, inst)| GraphInstance::with_seed(&inst.graph, seeds.pipeline_seed(rep)))
                 .collect();
 
-            let pl = recipe.build()?;
-            let combos: Vec<Vec<RunRecord>> = if inner_points.is_empty() {
-                let outs = pl.run_many(&batch)?;
-                vec![to_records(outs, &instances, &recipe)]
+            let pl = recipe.build()?.resilience(p.resilience.clone())?;
+            let combos: Vec<Vec<RunSlot>> = if inner_points.is_empty() {
+                let outs = pl.run_many_isolated(&batch);
+                let outs = outs.into_iter().map(|r| r.map_err(|e| e.kind)).collect();
+                vec![to_slots(outs, &instances, &recipe)]
             } else {
                 // Build one clusterer per inner combo and re-cluster each
                 // staged embedding.
@@ -689,20 +778,31 @@ impl SweepRunner {
                         Ok(Arc::new(QMeans::new(delta)) as Arc<dyn Clusterer>)
                     })
                     .collect::<Result<_, _>>()?;
-                let swept = pl.run_many_clusterers(&batch, &clusterers)?;
+                let swept = pl.run_many_clusterers_isolated(&batch, &clusterers);
                 // `swept` is [instance][combo]; transpose by value to
-                // [combo][rep] — no outcome (embedding) clones.
-                let mut per_combo: Vec<Vec<ClusteringOutcome>> = (0..clusterers.len())
+                // [combo][rep] — no outcome (embedding) clones. A failed
+                // instance (the staging failed) fails every combo.
+                let mut per_combo: Vec<Vec<Result<ClusteringOutcome, FailureKind>>> = (0
+                    ..clusterers.len())
                     .map(|_| Vec::with_capacity(instances.len()))
                     .collect();
                 for per_instance in swept {
-                    for (ci, out) in per_instance.into_iter().enumerate() {
-                        per_combo[ci].push(out);
+                    match per_instance {
+                        Ok(outs) => {
+                            for (ci, out) in outs.into_iter().enumerate() {
+                                per_combo[ci].push(Ok(out));
+                            }
+                        }
+                        Err(err) => {
+                            for combo in per_combo.iter_mut() {
+                                combo.push(Err(err.kind));
+                            }
+                        }
                     }
                 }
                 per_combo
                     .into_iter()
-                    .map(|outs| to_records(outs, &instances, &recipe))
+                    .map(|outs| to_slots(outs, &instances, &recipe))
                     .collect()
             };
             results.push(VariantRuns {
@@ -912,14 +1012,18 @@ impl SweepRunner {
     }
 }
 
-fn to_records(
-    outs: Vec<ClusteringOutcome>,
+fn to_slots(
+    outs: Vec<Result<ClusteringOutcome, FailureKind>>,
     instances: &[GeneratedInstance],
     recipe: &Recipe,
-) -> Vec<RunRecord> {
+) -> Vec<RunSlot> {
     outs.into_iter()
         .zip(instances)
-        .map(|(outcome, inst)| {
+        .map(|(out, inst)| {
+            let outcome = match out {
+                Ok(outcome) => outcome,
+                Err(kind) => return RunSlot::Failed(kind),
+            };
             let labels = if recipe.refine {
                 refine_partition(
                     &inst.graph,
@@ -931,11 +1035,11 @@ fn to_records(
             } else {
                 outcome.labels.clone()
             };
-            RunRecord {
+            RunSlot::Ok(Box::new(RunRecord {
                 outcome,
                 labels,
                 clusterability: OnceCell::new(),
-            }
+            }))
         })
         .collect()
 }

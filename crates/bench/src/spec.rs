@@ -40,6 +40,7 @@
 use qsc_cluster::registry::MetricKind;
 use qsc_core::config::{BackendConfig, QuantumParams};
 use qsc_core::report::SinkFormat;
+use qsc_core::resilience::ResiliencePolicy;
 use qsc_graph::spec::GraphSpec;
 use qsc_json::{num, s, FromJson, JsonError, ObjReader, ToJson, Value};
 
@@ -526,6 +527,12 @@ pub enum ColumnSource {
         /// Aggregation and formatting.
         format: AggFormat,
     },
+    /// Failed-repetition count of one variant's runs (`failed/total`).
+    Failures {
+        /// Variant name; `None` = the row's variant (variant-rows
+        /// layout) or the only variant.
+        variant: Option<String>,
+    },
 }
 
 /// One output column of a sweep table.
@@ -549,6 +556,10 @@ impl ColumnSpec {
             ColumnSource::AxisValue
         } else if r.bool_or("variant_name", false)? {
             ColumnSource::VariantName
+        } else if r.bool_or("failures", false)? {
+            ColumnSource::Failures {
+                variant: r.opt_str("variant")?.map(str::to_string),
+            }
         } else {
             let metric_name = r.req_str("metric")?;
             let metric = MetricKind::parse(metric_name).ok_or_else(|| {
@@ -655,6 +666,9 @@ pub struct PipelineSpec {
     pub rows: RowLayout,
     /// Output columns.
     pub columns: Vec<ColumnSpec>,
+    /// Fault-tolerance policy applied to every variant's batch runs
+    /// (retries, deadlines, budgets, backend fallbacks, fault injection).
+    pub resilience: ResiliencePolicy,
 }
 
 /// Coordinate dump of input + spectral space (Fig. 1): per-point series
@@ -723,8 +737,9 @@ pub struct TrotterSpec {
 /// The experiment engines a spec can select.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentKind {
-    /// The generic pipeline sweep.
-    Pipeline(PipelineSpec),
+    /// The generic pipeline sweep (boxed: the resilience policy makes it
+    /// much larger than the analytic kinds).
+    Pipeline(Box<PipelineSpec>),
     /// Coordinate dump (Fig. 1).
     Embedding(EmbeddingSpec),
     /// QPE resolution (Fig. 3).
@@ -943,6 +958,12 @@ impl ToJson for ColumnSpec {
                     AggFormat::Bool => push(&mut f, "bool", Value::Bool(true)),
                 }
             }
+            ColumnSource::Failures { variant } => {
+                if let Some(v) = variant {
+                    push(&mut f, "variant", s(v.clone()));
+                }
+                push(&mut f, "failures", Value::Bool(true));
+            }
         }
         Value::Obj(f)
     }
@@ -1018,6 +1039,9 @@ impl ToJson for ExperimentSpec {
                 push(&mut f, "reps", scaled_to_json(&p.reps, |n| num(*n as f64)));
                 push(&mut f, "seeds", p.seeds.to_json());
                 push(&mut f, "base", p.base.to_json());
+                if !p.resilience.is_default() {
+                    push(&mut f, "resilience", p.resilience.to_json());
+                }
                 push(&mut f, "variants", list_to_json(&p.variants));
                 push(
                     &mut f,
@@ -1190,6 +1214,10 @@ impl FromJson for ExperimentSpec {
                         patch
                     }
                 };
+                let resilience = match r.take("resilience") {
+                    None => ResiliencePolicy::default(),
+                    Some(v) => ResiliencePolicy::from_json(v)?,
+                };
                 let variants = decode_variants(&mut r)?;
                 let layout = match r.opt_str("layout")? {
                     None | Some("grid") => SweepLayout::Grid,
@@ -1231,12 +1259,16 @@ impl FromJson for ExperimentSpec {
                 if columns.is_empty() {
                     return Err(JsonError::msg("columns: need at least one"));
                 }
-                // Metric columns must reference existing variants.
+                // Metric/failure columns must reference existing variants.
                 for col in &columns {
-                    if let ColumnSource::Metric {
-                        variant: Some(v), ..
-                    } = &col.source
-                    {
+                    let named = match &col.source {
+                        ColumnSource::Metric {
+                            variant: Some(v), ..
+                        }
+                        | ColumnSource::Failures { variant: Some(v) } => Some(v),
+                        _ => None,
+                    };
+                    if let Some(v) = named {
                         if !variants.iter().any(|w| &w.name == v) {
                             return Err(JsonError::msg(format!(
                                 "column `{}`: unknown variant `{v}`",
@@ -1245,7 +1277,7 @@ impl FromJson for ExperimentSpec {
                         }
                     }
                 }
-                ExperimentKind::Pipeline(PipelineSpec {
+                ExperimentKind::Pipeline(Box::new(PipelineSpec {
                     graph,
                     reps,
                     seeds,
@@ -1255,7 +1287,8 @@ impl FromJson for ExperimentSpec {
                     axes,
                     rows,
                     columns,
-                })
+                    resilience,
+                }))
             }
             "embedding" => {
                 let graph = GraphSpec::from_json(r.required("graph")?)?;

@@ -30,6 +30,12 @@ pub enum Error {
         /// Human-readable description.
         context: String,
     },
+    /// A stage produced a NaN or ∞ where a finite number was required —
+    /// the numerical guard on embeddings (see `docs/RESILIENCE.md`).
+    NonFinite {
+        /// Where the non-finite value appeared.
+        context: String,
+    },
 }
 
 /// Legacy name of [`Error`], kept so pre-pipeline code keeps compiling.
@@ -45,6 +51,9 @@ impl fmt::Display for Error {
             Error::InvalidRequest { context } => {
                 write!(f, "invalid request: {context}")
             }
+            Error::NonFinite { context } => {
+                write!(f, "non-finite value: {context}")
+            }
         }
     }
 }
@@ -56,7 +65,7 @@ impl std::error::Error for Error {
             Error::Graph(e) => Some(e),
             Error::Sim(e) => Some(e),
             Error::Cluster(e) => Some(e),
-            Error::InvalidRequest { .. } => None,
+            Error::InvalidRequest { .. } | Error::NonFinite { .. } => None,
         }
     }
 }
@@ -95,6 +104,7 @@ mod tests {
         let e: Error = LinalgError::NoConvergence {
             algorithm: "tql",
             iterations: 3,
+            residual: None,
         }
         .into();
         assert!(e.to_string().contains("tql"));

@@ -95,13 +95,18 @@
 //! * [`cost`] — the classical-flops vs quantum-queries models behind the
 //!   runtime figure,
 //! * [`report`] — CSV/table writers for the experiment harness,
-//! * [`error`] — the unified [`Error`] every stage returns.
+//! * [`error`] — the unified [`Error`] every stage returns,
+//! * [`resilience`] — the fault-tolerant execution layer:
+//!   [`ResiliencePolicy`] (retries, deadlines, budgets, backend
+//!   fallbacks, fault injection) and the isolated batch runners'
+//!   per-instance [`InstanceError`] reports (see `docs/RESILIENCE.md`).
 //!
 //! The pre-0.2 free-function entry points
 //! (`classical_spectral_clustering` & co.) were deprecated in 0.2 and are
 //! now removed; every recipe is a [`Pipeline`].
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod baseline;
 pub mod classical;
@@ -116,6 +121,7 @@ pub mod pipeline;
 pub mod quantum;
 pub mod refine;
 pub mod report;
+pub mod resilience;
 pub mod trotter;
 
 pub use classical::{DenseEig, LanczosCsr};
@@ -127,6 +133,11 @@ pub use model_selection::{eigengap_k, LanczosDense};
 pub use outcome::{ClusteringOutcome, Diagnostics};
 pub use pipeline::{Embedder, Embedding, GraphInstance, Pipeline, StageContext, StagedEmbedding};
 pub use quantum::{gate_level_projected_row, gate_level_projected_row_on, QpeTomography};
+pub use resilience::{BatchOutcome, FailureKind, InstanceError, ResiliencePolicy};
+
+// The fault-injection surface, re-exported so chaos-testing call sites
+// need only this crate.
+pub use qsc_fault::{FaultPlan, FaultPoint};
 
 // The clustering-stage surface, re-exported so pipeline call sites need
 // only this crate.

@@ -50,6 +50,7 @@ use crate::cost::{incidence_mu, quantum_cost, QuantumCostInputs};
 use crate::embedding::eta_of_embedding;
 use crate::error::Error;
 use crate::outcome::{ClusteringOutcome, Diagnostics};
+use crate::resilience::{BatchOutcome, FailureKind, InstanceError, ResiliencePolicy};
 use qsc_cluster::{Clusterer, KMeans, KMeansConfig, QMeans};
 use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
 use qsc_linalg::params::condition_number_from_eigenvalues;
@@ -57,8 +58,9 @@ use qsc_linalg::CsrMatrix;
 use qsc_sim::backend::{Backend, Statevector};
 use rayon::prelude::*;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tolerance below which an eigenvalue counts as zero for κ purposes.
 pub(crate) const ZERO_EIG_TOL: f64 = 1e-9;
@@ -93,6 +95,10 @@ pub struct StageContext {
     pub normalize_rows: bool,
     /// Execution backend the stage's quantum subroutines run on.
     pub backend: Arc<dyn Backend>,
+    /// Per-allocation state-memory budget (bytes) from the pipeline's
+    /// [`ResiliencePolicy`]; `None` = the global budget of
+    /// [`qsc_sim::budget`].
+    pub state_budget_bytes: Option<u64>,
 }
 
 impl fmt::Debug for StageContext {
@@ -102,6 +108,7 @@ impl fmt::Debug for StageContext {
             .field("seed", &self.seed)
             .field("normalize_rows", &self.normalize_rows)
             .field("backend", &self.backend.name())
+            .field("state_budget_bytes", &self.state_budget_bytes)
             .finish()
     }
 }
@@ -261,6 +268,8 @@ pub struct Pipeline {
     embedder: Arc<dyn Embedder>,
     clusterer: Arc<dyn Clusterer>,
     backend: Arc<dyn Backend>,
+    resilience: ResiliencePolicy,
+    fallback_backends: Vec<Arc<dyn Backend>>,
 }
 
 impl fmt::Debug for Pipeline {
@@ -273,6 +282,7 @@ impl fmt::Debug for Pipeline {
             .field("embedder", &self.embedder.name())
             .field("clusterer", &self.clusterer.name())
             .field("backend", &self.backend.name())
+            .field("resilience", &self.resilience)
             .finish()
     }
 }
@@ -293,6 +303,8 @@ impl Pipeline {
             embedder: Arc::new(crate::classical::DenseEig),
             clusterer: Arc::new(KMeans),
             backend: Arc::new(Statevector::new()),
+            resilience: ResiliencePolicy::default(),
+            fallback_backends: Vec::new(),
         }
     }
 
@@ -390,6 +402,40 @@ impl Pipeline {
         Ok(self.backend_shared(config.build()?))
     }
 
+    /// Attaches a fault-tolerance policy: retries, a per-instance
+    /// wall-clock deadline, a state-memory budget, a backend fallback
+    /// chain, and (for chaos testing) a deterministic fault-injection
+    /// plan.
+    ///
+    /// The policy only drives the **isolated** batch runners
+    /// ([`Pipeline::run_many_isolated`] /
+    /// [`Pipeline::run_many_clusterers_isolated`]), plus the
+    /// `state_budget_bytes` cap which every quantum stage honors through
+    /// [`StageContext`]. The plain runners ([`Pipeline::run`],
+    /// [`Pipeline::run_many`]) behave exactly as without a policy.
+    ///
+    /// Fallback backends are built eagerly here, so a malformed fallback
+    /// config fails at build time, not mid-sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRequest`] for out-of-range fallback backend
+    /// parameters (same contract as [`Pipeline::backend_config`]).
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Result<Self, Error> {
+        self.fallback_backends = policy
+            .fallbacks
+            .iter()
+            .map(|config| config.build())
+            .collect::<Result<_, _>>()?;
+        self.resilience = policy;
+        Ok(self)
+    }
+
+    /// The attached fault-tolerance policy (default when none was set).
+    pub fn resilience_policy(&self) -> &ResiliencePolicy {
+        &self.resilience
+    }
+
     /// Configures the simulated quantum path in one call:
     /// [`QpeTomography`](crate::QpeTomography) embedding plus
     /// [`QMeans`] clustering at the parameter set's
@@ -421,6 +467,7 @@ impl Pipeline {
             seed,
             normalize_rows: self.embedding.normalize_rows,
             backend: self.backend.clone(),
+            state_budget_bytes: self.resilience.state_budget_bytes,
         }
     }
 
@@ -438,6 +485,18 @@ impl Pipeline {
         let embedding = self
             .embedder
             .embed(g_eff, &laplacian, &self.context(seed))?;
+        // Numerical guard: a NaN/∞ row would silently poison η, κ and the
+        // clustering distances downstream — fail here with a typed error.
+        for (i, row) in embedding.rows.iter().enumerate() {
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(Error::NonFinite {
+                    context: format!(
+                        "embedding row {i} from the `{}` stage",
+                        self.embedder.name()
+                    ),
+                });
+            }
+        }
         let eta = eta_of_embedding(&embedding.rows);
         let kappa =
             condition_number_from_eigenvalues(&embedding.selected_eigenvalues, ZERO_EIG_TOL);
@@ -585,6 +644,7 @@ impl Pipeline {
         });
         slots
             .into_iter()
+            // Every slot was written by the parallel loop above.
             .map(|slot| slot.expect("batch slot filled"))
             .collect()
     }
@@ -621,6 +681,7 @@ impl Pipeline {
         });
         slots
             .into_iter()
+            // Every slot was written by the parallel loop above.
             .map(|slot| slot.expect("batch slot filled"))
             .collect()
     }
@@ -628,6 +689,185 @@ impl Pipeline {
     fn clusterer_arc(mut self, clusterer: Arc<dyn Clusterer>) -> Self {
         self.clusterer = clusterer;
         self
+    }
+
+    // --- Fault-isolated execution (see docs/RESILIENCE.md) ---------------
+
+    /// Seed of retry attempt `attempt` (attempt 0 keeps the original seed,
+    /// so a first-try success is bit-identical to the plain runners).
+    fn attempt_seed(seed: u64, attempt: usize) -> u64 {
+        seed.wrapping_add((attempt as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    fn with_backend_arc(&self, backend: Arc<dyn Backend>) -> Self {
+        let mut pl = self.clone();
+        pl.backend = backend;
+        pl
+    }
+
+    /// Runs `work` inside this pipeline's fault-injection scope (when the
+    /// policy carries an active plan); the scope key is the attempt seed,
+    /// so decisions are independent of worker count and retry attempts
+    /// re-roll them deterministically.
+    fn run_with_faults<T>(
+        &self,
+        seed: u64,
+        work: &(dyn Fn(&Pipeline, u64) -> Result<T, Error> + Sync),
+    ) -> Result<T, Error> {
+        match self.resilience.fault_plan {
+            Some(plan) if plan.is_active() => qsc_fault::scope(plan, seed, || {
+                if qsc_fault::should_fire(qsc_fault::FaultPoint::TaskStart) {
+                    panic!("injected fault at task_start");
+                }
+                work(self, seed)
+            }),
+            _ => work(self, seed),
+        }
+    }
+
+    /// One instance under the full resilience policy: panic isolation,
+    /// seed-perturbed retries, wall-clock deadline, and backend fallback
+    /// on budget failures.
+    fn guarded<T>(
+        &self,
+        seed: u64,
+        work: &(dyn Fn(&Pipeline, u64) -> Result<T, Error> + Sync),
+    ) -> Result<T, InstanceError> {
+        let deadline = self.resilience.deadline_ms.map(Duration::from_millis);
+        let start = Instant::now();
+        let mut fallbacks = self.fallback_backends.iter();
+        let mut retries_left = self.resilience.retries;
+        let mut attempts = 0usize;
+        // `None` = run on `self`; set when a budget failure degrades to a
+        // fallback backend.
+        let mut current: Option<Pipeline> = None;
+        loop {
+            let pl = current.as_ref().unwrap_or(self);
+            let attempt_seed = Self::attempt_seed(seed, attempts);
+            attempts += 1;
+            // catch_unwind pre-empts the worker pool's panic trap, so one
+            // panicking instance cannot poison the batch. AssertUnwindSafe
+            // is sound here: `pl` and `work` are only read again after a
+            // full fresh attempt, never resumed mid-state.
+            let outcome = catch_unwind(AssertUnwindSafe(|| pl.run_with_faults(attempt_seed, work)));
+            let failure = match outcome {
+                Ok(Ok(value)) => return Ok(value),
+                Ok(Err(e)) => InstanceError {
+                    kind: FailureKind::classify(&e),
+                    message: e.to_string(),
+                    attempts,
+                },
+                Err(payload) => InstanceError {
+                    kind: FailureKind::Panic,
+                    message: panic_message(payload.as_ref()),
+                    attempts,
+                },
+            };
+            // An inconsistent request fails identically on every attempt
+            // and every backend: no retry, no fallback.
+            if failure.kind == FailureKind::Invalid {
+                return Err(failure);
+            }
+            if let Some(limit) = deadline {
+                if start.elapsed() >= limit {
+                    return Err(InstanceError {
+                        kind: FailureKind::Deadline,
+                        message: format!(
+                            "wall-clock deadline of {} ms passed; last failure: {}",
+                            limit.as_millis(),
+                            failure.message
+                        ),
+                        attempts,
+                    });
+                }
+            }
+            if failure.kind == FailureKind::Budget {
+                // Degrade to the next fallback backend; switching backends
+                // does not consume a retry.
+                match fallbacks.next() {
+                    Some(backend) => {
+                        current = Some(self.with_backend_arc(backend.clone()));
+                        continue;
+                    }
+                    None => return Err(failure),
+                }
+            }
+            if retries_left == 0 {
+                return Err(failure);
+            }
+            retries_left -= 1;
+        }
+    }
+
+    /// Fault-isolated batch runner: like [`Pipeline::run_many`], but a
+    /// failing instance — typed error *or panic* — becomes its own
+    /// [`InstanceError`] entry instead of failing (or poisoning) the whole
+    /// batch, and the attached [`ResiliencePolicy`] grants retries,
+    /// deadlines and backend fallbacks per instance.
+    ///
+    /// When nothing fails the outcomes are bit-identical to
+    /// [`Pipeline::run_many`] (attempt 0 uses the unperturbed seed).
+    pub fn run_many_isolated(
+        &self,
+        instances: &[GraphInstance<'_>],
+    ) -> BatchOutcome<ClusteringOutcome> {
+        let mut slots: Vec<Option<Result<ClusteringOutcome, InstanceError>>> =
+            (0..instances.len()).map(|_| None).collect();
+        slots.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+            let inst = &instances[i];
+            let seed = inst.seed.unwrap_or(self.seed);
+            slot[0] = Some(self.guarded(seed, &|pl: &Pipeline, s| pl.run_seeded(inst.graph, s)));
+        });
+        slots
+            .into_iter()
+            // Every slot was written by the parallel loop above.
+            .map(|slot| slot.expect("batch slot filled"))
+            .collect()
+    }
+
+    /// Fault-isolated counterpart of [`Pipeline::run_many_clusterers`]:
+    /// each instance's staged embedding plus *all* its clusterer variants
+    /// run under one guard, so a failure anywhere marks that instance
+    /// failed (the variants share the embedding, hence its fate).
+    pub fn run_many_clusterers_isolated(
+        &self,
+        instances: &[GraphInstance<'_>],
+        clusterers: &[Arc<dyn Clusterer>],
+    ) -> BatchOutcome<Vec<ClusteringOutcome>> {
+        let mut slots: Vec<Option<Result<Vec<ClusteringOutcome>, InstanceError>>> =
+            (0..instances.len()).map(|_| None).collect();
+        slots.par_chunks_mut(1).enumerate().for_each(|(i, slot)| {
+            let inst = &instances[i];
+            let seed = inst.seed.unwrap_or(self.seed);
+            slot[0] = Some(self.guarded(seed, &|pl: &Pipeline, s| {
+                let staged = pl.embed_seeded(inst.graph, s)?;
+                clusterers
+                    .iter()
+                    .map(|c| {
+                        pl.clone()
+                            .clusterer_arc(c.clone())
+                            .cluster_seeded(&staged, s)
+                    })
+                    .collect()
+            }));
+        });
+        slots
+            .into_iter()
+            // Every slot was written by the parallel loop above.
+            .map(|slot| slot.expect("batch slot filled"))
+            .collect()
+    }
+}
+
+/// Human-readable form of a caught panic payload (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
     }
 }
 

@@ -88,7 +88,14 @@ impl Embedder for QpeTomography {
         }
         if let Some(limit) = ctx.backend.phase_register_limit() {
             if params.qpe_bits > limit {
-                return Err(Error::InvalidRequest {
+                // Surfaced as a budget error (not InvalidRequest): the
+                // request is fine on a cheaper backend, which lets a
+                // resilience fallback chain degrade instead of aborting.
+                return Err(Error::Sim(qsc_sim::SimError::BudgetExceeded {
+                    requested_bytes: qsc_sim::budget::register_amplitudes(2 * params.qpe_bits)
+                        .saturating_mul(qsc_sim::budget::AMP_BYTES),
+                    budget_bytes: qsc_sim::budget::register_amplitudes(2 * limit)
+                        .saturating_mul(qsc_sim::budget::AMP_BYTES),
                     context: format!(
                         "qpe_bits = {} exceeds the {}-qubit phase-register limit of the `{}` \
                          backend",
@@ -96,9 +103,17 @@ impl Embedder for QpeTomography {
                         limit,
                         ctx.backend.name()
                     ),
-                });
+                }));
             }
         }
+        // Pre-allocation estimate for the 2^t phase register, against the
+        // policy budget threaded through the stage context (or the global
+        // one); also the `allocation` fault-injection point.
+        qsc_sim::budget::check_allocation_within(
+            ctx.state_budget_bytes,
+            qsc_sim::budget::register_amplitudes(params.qpe_bits),
+            "qpe phase register",
+        )?;
         // Mix the user seed so the quantum-noise stream differs from the
         // k-means stream derived from the same seed.
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x517c_c1b7_2722_0a95);
@@ -117,6 +132,9 @@ impl Embedder for QpeTomography {
             .iter()
             .map(|&l| estimator.round(l))
             .collect();
+        // QPE-rounded eigenvalues are finite by construction (finite input
+        // eigenvalues snapped to finite bin centers), so the total order
+        // exists.
         rounded.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let nu = rounded[ctx.k - 1] + estimator.resolution() * 0.5;
 
@@ -151,6 +169,9 @@ impl Embedder for QpeTomography {
         let mut selected: Vec<usize> = (0..survival.len())
             .filter(|&j| survival[j] >= SURVIVAL_FLOOR)
             .collect();
+        // Survival masses are sums of probabilities in [0, 1] and the
+        // eigenvalues come from a converged Hermitian eigensolve — both
+        // finite, so the comparator is total.
         selected.sort_by(|&a, &b| {
             survival[b].partial_cmp(&survival[a]).expect("finite").then(
                 eig.eigenvalues[a]
@@ -336,7 +357,7 @@ pub fn gate_level_projected_row_on(
     }
     push_phase_cascade_ops(&mut forward, &ueig, 1.0)?;
     forward.push_inverse_qft(s..s + t)?;
-    let mut state = backend.prepare(s + t, vertex);
+    let mut state = backend.try_prepare(s + t, vertex)?;
     backend.run(&forward, &mut state, rng)?;
 
     // Threshold: zero every amplitude whose phase bin maps to λ > ν.
@@ -356,7 +377,9 @@ pub fn gate_level_projected_row_on(
     if norm == 0.0 {
         return Ok(vec![qsc_linalg::C_ZERO; n]);
     }
-    let mut state = QuantumState::from_amplitudes(kept).expect("non-zero");
+    // `norm > 0` was just checked, so the constructor cannot see a zero
+    // vector — but surface the impossible case as a typed error anyway.
+    let mut state = QuantumState::from_amplitudes(kept)?;
 
     // Compile the uncompute pass: forward QFT, inverse cascade, Hadamards.
     let mut uncompute = Circuit::new(s + t);
@@ -446,9 +469,10 @@ mod tests {
 
     #[test]
     fn density_backend_rejects_oversized_phase_register_with_typed_error() {
-        // qpe_bits past the density backend's O(4^t) cap must surface as
-        // Error::InvalidRequest from the embedding stage, not abort the
-        // process inside the backend's prepare.
+        // qpe_bits past the density backend's O(4^t) cap must surface as a
+        // typed budget error from the embedding stage (so a resilience
+        // fallback chain can degrade), not abort the process inside the
+        // backend's prepare.
         use qsc_sim::DensityMatrix;
         let inst = flow_instance(30, 8);
         let qp = QuantumParams {
@@ -462,6 +486,10 @@ mod tests {
         assert!(
             err.to_string().contains("phase-register limit"),
             "unexpected error: {err}"
+        );
+        assert!(
+            matches!(err, Error::Sim(qsc_sim::SimError::BudgetExceeded { .. })),
+            "expected a budget error, got {err:?}"
         );
         // The statevector family has no limit, and neither does the
         // zero-depolarizing density backend (its hooks short-circuit to

@@ -56,6 +56,7 @@ pub fn jacobi_hermitian(a: &CMatrix, tol: f64) -> Result<(Vec<f64>, CMatrix), Li
     Err(LinalgError::NoConvergence {
         algorithm: "jacobi_hermitian",
         iterations: MAX_SWEEPS,
+        residual: Some(off_diagonal_norm(&m)),
     })
 }
 

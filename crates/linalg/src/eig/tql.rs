@@ -59,6 +59,7 @@ pub fn tql_implicit(d: &mut [f64], e: &mut [f64], z: &mut CMatrix) -> Result<(),
                 return Err(LinalgError::NoConvergence {
                     algorithm: "tql_implicit",
                     iterations: MAX_ITER,
+                    residual: Some(ee[l].abs()),
                 });
             }
 

@@ -151,6 +151,7 @@ pub fn eig_unitary(u: &CMatrix) -> Result<UnitaryEigen, LinalgError> {
             return Err(LinalgError::NoConvergence {
                 algorithm: "eig_unitary",
                 iterations: n,
+                residual: Some(residual),
             });
         }
         phases.push(theta);

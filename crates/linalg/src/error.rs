@@ -4,7 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors produced by linear-algebra routines.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum LinalgError {
     /// Operand shapes are incompatible with the requested operation.
     ShapeMismatch {
@@ -17,6 +17,10 @@ pub enum LinalgError {
         algorithm: &'static str,
         /// Number of iterations performed before giving up.
         iterations: usize,
+        /// Best residual (or off-diagonal mass) observed before giving up,
+        /// when the algorithm tracks one — the diagnostic callers log to
+        /// distinguish "almost there" from divergence.
+        residual: Option<f64>,
     },
     /// The input violates a precondition (e.g. a non-Hermitian matrix passed
     /// to a Hermitian eigensolver).
@@ -35,10 +39,17 @@ impl fmt::Display for LinalgError {
             LinalgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(
-                f,
-                "{algorithm} did not converge after {iterations} iterations"
-            ),
+                residual,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} did not converge after {iterations} iterations"
+                )?;
+                if let Some(r) = residual {
+                    write!(f, " (residual {r:e})")?;
+                }
+                Ok(())
+            }
             LinalgError::InvalidInput { context } => write!(f, "invalid input: {context}"),
         }
     }
@@ -55,11 +66,18 @@ mod tests {
         let e = LinalgError::NoConvergence {
             algorithm: "jacobi",
             iterations: 100,
+            residual: None,
         };
         assert_eq!(
             e.to_string(),
             "jacobi did not converge after 100 iterations"
         );
+        let e = LinalgError::NoConvergence {
+            algorithm: "lanczos",
+            iterations: 40,
+            residual: Some(1.5e-3),
+        };
+        assert!(e.to_string().contains("residual 1.5e-3"), "{e}");
         let e = LinalgError::ShapeMismatch {
             context: "3×4 vs 5×5".into(),
         };

@@ -202,14 +202,22 @@ pub fn lanczos_lowest_k_op<Op: HermitianOp, R: Rng>(
     }
 
     let mut dim = (2 * k + 10).max(3 * k).min(n);
+    let mut best_residual: Option<f64> = None;
     loop {
         match lanczos_run(a, k, dim, tol, rng)? {
-            Some(result) => return Ok(result),
-            None => {
+            LanczosPass::Converged(result) => return Ok(result),
+            LanczosPass::NotConverged { worst_residual } => {
+                // Keep the best (lowest) failing residual across Krylov
+                // doublings as the diagnostic of record.
+                best_residual = match (best_residual, worst_residual) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
                 if dim == n {
                     return Err(LinalgError::NoConvergence {
                         algorithm: "lanczos",
                         iterations: n,
+                        residual: best_residual,
                     });
                 }
                 dim = (dim * 2).min(n);
@@ -218,14 +226,26 @@ pub fn lanczos_lowest_k_op<Op: HermitianOp, R: Rng>(
     }
 }
 
-/// One Lanczos pass at a fixed Krylov dimension; `Ok(None)` = not converged.
+/// Outcome of one fixed-dimension Lanczos pass.
+enum LanczosPass {
+    /// All `k` Ritz pairs met the residual tolerance.
+    Converged(PartialEigen),
+    /// Not converged; carries the first failing Ritz residual when the
+    /// pass got far enough to measure one.
+    NotConverged {
+        /// First Ritz residual above tolerance, if measured.
+        worst_residual: Option<f64>,
+    },
+}
+
+/// One Lanczos pass at a fixed Krylov dimension.
 fn lanczos_run<Op: HermitianOp, R: Rng>(
     a: &Op,
     k: usize,
     dim: usize,
     tol: f64,
     rng: &mut R,
-) -> Result<Option<PartialEigen>, LinalgError> {
+) -> Result<LanczosPass, LinalgError> {
     let n = a.dim();
     // Random normalized start vector.
     let mut v: Vec<Complex64> = (0..n)
@@ -239,6 +259,13 @@ fn lanczos_run<Op: HermitianOp, R: Rng>(
 
     basis.push(v.clone());
     for j in 0..dim {
+        if qsc_fault::should_fire_at(qsc_fault::FaultPoint::LanczosIteration, j as u64) {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "lanczos (injected fault)",
+                iterations: j,
+                residual: None,
+            });
+        }
         let mut w = a.apply(&basis[j]);
         let aj = cdot(&basis[j], &w).re;
         alpha.push(aj);
@@ -274,7 +301,9 @@ fn lanczos_run<Op: HermitianOp, R: Rng>(
     order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).expect("finite Ritz values"));
 
     if m < k {
-        return Ok(None);
+        return Ok(LanczosPass::NotConverged {
+            worst_residual: None,
+        });
     }
 
     // Assemble the k lowest Ritz vectors: x = Σ_j z[j][col]·v_j.
@@ -289,8 +318,11 @@ fn lanczos_run<Op: HermitianOp, R: Rng>(
         normalize(&mut x);
         // Convergence check: Ritz residual ‖A·x − θ·x‖.
         let theta = d[col];
-        if a.eigen_residual(theta, &x) > tol * a.max_norm().max(1.0) {
-            return Ok(None);
+        let residual = a.eigen_residual(theta, &x);
+        if residual > tol * a.max_norm().max(1.0) {
+            return Ok(LanczosPass::NotConverged {
+                worst_residual: Some(residual),
+            });
         }
         for (i, &xi) in x.iter().enumerate() {
             vectors[(i, out_col)] = xi;
@@ -298,7 +330,7 @@ fn lanczos_run<Op: HermitianOp, R: Rng>(
         values.push(theta);
     }
 
-    Ok(Some(PartialEigen {
+    Ok(LanczosPass::Converged(PartialEigen {
         eigenvalues: values,
         eigenvectors: vectors,
         iterations: m,
@@ -370,6 +402,22 @@ mod tests {
         for (p, f) in partial.eigenvalues.iter().zip(&full.eigenvalues) {
             assert!((p - f).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn injected_iteration_fault_surfaces_as_non_convergence() {
+        let mut rng = StdRng::seed_from_u64(97);
+        let a = CMatrix::random_hermitian(12, &mut rng);
+        let plan =
+            qsc_fault::FaultPlan::seeded(3).with_rate(qsc_fault::FaultPoint::LanczosIteration, 1.0);
+        let err = qsc_fault::scope(plan, 0, || lanczos_lowest_k(&a, 2, 1e-8, &mut rng))
+            .expect_err("injected fault must surface");
+        match err {
+            LinalgError::NoConvergence { iterations, .. } => assert_eq!(iterations, 0),
+            other => panic!("wrong error: {other}"),
+        }
+        // Outside the scope the same problem converges.
+        assert!(lanczos_lowest_k(&a, 2, 1e-8, &mut rng).is_ok());
     }
 
     #[test]

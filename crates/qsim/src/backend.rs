@@ -70,6 +70,23 @@ use std::sync::Mutex;
 /// Upper bound on buffers a pool retains (excess is dropped on recycle).
 const MAX_POOLED: usize = 32;
 
+/// Post-run norm-drift tolerance for pure-state backends. Circuits are
+/// unitary, so drift beyond this indicates numerical corruption.
+pub(crate) const NORM_DRIFT_TOL: f64 = 1e-6;
+
+/// The `backend_run` fault-injection hook shared by every backend's
+/// [`Backend::run`]: inside an armed [`qsc_fault::scope`] with a firing
+/// plan this returns the typed injected error; otherwise it is a no-op.
+pub(crate) fn injected_run_fault() -> Result<(), SimError> {
+    if qsc_fault::should_fire(qsc_fault::FaultPoint::BackendRun) {
+        Err(SimError::Injected {
+            point: "backend_run",
+        })
+    } else {
+        Ok(())
+    }
+}
+
 /// A pool of amplitude buffers shared across executions; `prepare` pops a
 /// buffer (re-using its allocation), `recycle` pushes it back.
 #[derive(Debug, Default)]
@@ -191,6 +208,30 @@ pub trait Backend: Send + Sync {
     ///
     /// Panics if `basis_index >= 2^num_qubits`.
     fn prepare(&self, num_qubits: usize, basis_index: usize) -> QuantumState;
+
+    /// Budget-checked [`prepare`](Backend::prepare): estimates the
+    /// register's memory footprint against the state budget (see
+    /// [`crate::budget`]) *before* allocating, returning
+    /// [`SimError::BudgetExceeded`] instead of aborting on an over-wide
+    /// request. Backends with super-linear state (the density matrix's
+    /// `4^n` vectorized `ρ`) override this with their own estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExceeded`] for an over-budget register
+    /// and [`SimError::InvalidParameter`] for an out-of-range basis index.
+    fn try_prepare(&self, num_qubits: usize, basis_index: usize) -> Result<QuantumState, SimError> {
+        crate::budget::check_allocation(
+            crate::budget::register_amplitudes(num_qubits),
+            self.name(),
+        )?;
+        if basis_index >= (1usize << num_qubits) {
+            return Err(SimError::InvalidParameter {
+                context: format!("basis index {basis_index} out of range for {num_qubits} qubits"),
+            });
+        }
+        Ok(self.prepare(num_qubits, basis_index))
+    }
 
     /// Executes a compiled circuit on a prepared state, applying this
     /// backend's noise model at the points its device analogue would
@@ -386,11 +427,13 @@ impl Backend for Statevector {
         state: &mut QuantumState,
         _rng: &mut StdRng,
     ) -> Result<(), SimError> {
+        injected_run_fault()?;
         if self.fuse {
-            fuse_single_qubit(circuit).run(state)
+            fuse_single_qubit(circuit).run(state)?;
         } else {
-            circuit.run(state)
+            circuit.run(state)?;
         }
+        state.check_norm(NORM_DRIFT_TOL, self.name())
     }
 
     fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
@@ -508,6 +551,7 @@ impl Backend for NoisyStatevector {
         state: &mut QuantumState,
         rng: &mut StdRng,
     ) -> Result<(), SimError> {
+        injected_run_fault()?;
         let fused_storage;
         let to_run = if self.fuse {
             fused_storage = fuse_single_qubit(circuit);
@@ -536,7 +580,7 @@ impl Backend for NoisyStatevector {
                 self.depolarize(state, &touched, rng)?;
             }
         }
-        Ok(())
+        state.check_norm(NORM_DRIFT_TOL, self.name())
     }
 
     fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
@@ -642,11 +686,13 @@ impl Backend for ShotSampler {
         state: &mut QuantumState,
         _rng: &mut StdRng,
     ) -> Result<(), SimError> {
+        injected_run_fault()?;
         if self.fuse {
-            fuse_single_qubit(circuit).run(state)
+            fuse_single_qubit(circuit).run(state)?;
         } else {
-            circuit.run(state)
+            circuit.run(state)?;
         }
+        state.check_norm(NORM_DRIFT_TOL, self.name())
     }
 
     fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {

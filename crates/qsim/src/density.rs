@@ -389,12 +389,38 @@ impl Backend for DensityMatrix {
         QuantumState::from_raw(buf)
     }
 
+    /// Budget-checked prepare for the `4^n` vectorized `ρ`: the 2^n/4^n
+    /// asymmetry is exactly why the estimate must come from the backend —
+    /// a register that fits a statevector budget can exceed it squared.
+    fn try_prepare(&self, num_qubits: usize, basis_index: usize) -> Result<QuantumState, SimError> {
+        let amps = crate::budget::register_amplitudes(2 * num_qubits);
+        crate::budget::check_allocation(amps, self.name())?;
+        if num_qubits > MAX_DENSITY_QUBITS {
+            return Err(SimError::BudgetExceeded {
+                requested_bytes: amps.saturating_mul(crate::budget::AMP_BYTES),
+                budget_bytes: crate::budget::register_amplitudes(2 * MAX_DENSITY_QUBITS)
+                    .saturating_mul(crate::budget::AMP_BYTES),
+                context: format!(
+                    "density-matrix register of {num_qubits} qubits exceeds the \
+                     {MAX_DENSITY_QUBITS}-qubit cap (O(4^n) memory)"
+                ),
+            });
+        }
+        if basis_index >= (1usize << num_qubits) {
+            return Err(SimError::InvalidParameter {
+                context: format!("basis index {basis_index} out of range for {num_qubits} qubits"),
+            });
+        }
+        Ok(self.prepare(num_qubits, basis_index))
+    }
+
     fn run(
         &self,
         circuit: &Circuit,
         state: &mut QuantumState,
         _rng: &mut StdRng,
     ) -> Result<(), SimError> {
+        crate::backend::injected_run_fault()?;
         let fused_storage;
         let to_run = if self.fuse {
             fused_storage = fuse_single_qubit(circuit);

@@ -35,6 +35,31 @@ pub enum SimError {
         /// Human-readable description.
         context: String,
     },
+    /// A register's estimated memory footprint exceeds the state budget —
+    /// returned by the pre-allocation checks *before* a `2^n`/`4^n` buffer
+    /// would be committed, instead of aborting the process.
+    BudgetExceeded {
+        /// Bytes the requested register would need.
+        requested_bytes: u128,
+        /// The budget in force (see [`crate::budget`]).
+        budget_bytes: u128,
+        /// What was being allocated.
+        context: String,
+    },
+    /// A state that must be ℓ2-normalized drifted off norm 1 (or became
+    /// non-finite) beyond tolerance — numerical-instability guard.
+    NormDrift {
+        /// The measured norm (may be NaN/∞).
+        norm: f64,
+        /// Where the drift was detected.
+        context: String,
+    },
+    /// A deterministic fault-injection plan fired at this point (chaos
+    /// testing only; never produced on un-instrumented runs).
+    Injected {
+        /// The fault-point name that fired.
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +83,21 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidParameter { context } => {
                 write!(f, "invalid parameter: {context}")
+            }
+            SimError::BudgetExceeded {
+                requested_bytes,
+                budget_bytes,
+                context,
+            } => write!(
+                f,
+                "memory budget exceeded: {context} needs {requested_bytes} bytes \
+                 (budget {budget_bytes} bytes)"
+            ),
+            SimError::NormDrift { norm, context } => {
+                write!(f, "state norm drifted to {norm} ({context})")
+            }
+            SimError::Injected { point } => {
+                write!(f, "injected fault at {point}")
             }
         }
     }

@@ -28,6 +28,8 @@
 //!
 //! * [`backend`] — the [`Backend`] trait, the statevector-family backends,
 //!   and the reusable state [`BufferPool`],
+//! * [`budget`] — pre-allocation memory estimates returning typed
+//!   `BudgetExceeded` errors instead of aborting,
 //! * [`density`] / [`shard`] — the density-matrix and sharded-statevector
 //!   backends,
 //! * [`circuit`] / [`compile`] — the circuit IR and its compile passes,
@@ -83,6 +85,7 @@
 
 pub mod amplitude;
 pub mod backend;
+pub mod budget;
 pub mod circuit;
 pub mod compile;
 pub mod density;

@@ -201,6 +201,7 @@ impl Backend for ShardedStatevector {
         state: &mut QuantumState,
         _rng: &mut StdRng,
     ) -> Result<(), SimError> {
+        crate::backend::injected_run_fault()?;
         if state.num_qubits() != circuit.num_qubits() {
             return Err(SimError::DimensionMismatch {
                 context: format!(
@@ -213,7 +214,8 @@ impl Backend for ShardedStatevector {
         let n = circuit.num_qubits();
         let shard_bits = self.shard_bits(n);
         if shard_bits == 0 {
-            return circuit.run(state);
+            circuit.run(state)?;
+            return state.check_norm(crate::backend::NORM_DRIFT_TOL, self.name());
         }
         let low_qubits = n - shard_bits;
         let chunk_len = 1usize << low_qubits;
@@ -227,7 +229,7 @@ impl Backend for ShardedStatevector {
                 op.apply(state)?;
             }
         }
-        Ok(())
+        state.check_norm(crate::backend::NORM_DRIFT_TOL, self.name())
     }
 
     /// Sharded sampling: per-shard probability masses are computed in

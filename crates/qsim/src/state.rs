@@ -228,6 +228,26 @@ impl QuantumState {
         norm2(&self.amps)
     }
 
+    /// Checks the ℓ2 norm against 1 within `tol` — the numerical-drift
+    /// guard backends run after circuit execution. NaN/∞ norms fail too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NormDrift`] with the measured norm when the
+    /// state has drifted (or gone non-finite).
+    pub fn check_norm(&self, tol: f64, context: &str) -> Result<(), SimError> {
+        let n = self.norm();
+        // Written so a NaN norm fails the check (NaN comparisons are false).
+        if n.is_finite() && (n - 1.0).abs() <= tol {
+            Ok(())
+        } else {
+            Err(SimError::NormDrift {
+                norm: n,
+                context: context.to_string(),
+            })
+        }
+    }
+
     /// Renormalizes in place; returns the pre-normalization norm.
     pub fn renormalize(&mut self) -> f64 {
         let n = self.norm();
