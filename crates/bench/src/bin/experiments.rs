@@ -3,19 +3,26 @@
 //!
 //! ```text
 //! experiments [--list] [--scale quick|full] [--out-dir DIR]
-//!             [--spec FILE]... [--only NAME[,NAME...]] [NAME...]
+//!             [--spec FILE]... [--only NAME[,NAME...]]
+//!             [--submit URL] [NAME...]
 //! ```
 //!
 //! Prints the paper-style rows and writes each experiment's
 //! machine-readable series (CSV, plus JSON when the spec asks) to the
-//! output directory. Unknown flags and unknown experiment names are
+//! output directory. With `--submit URL` the selected experiments run on
+//! a `qsc-serve` instance instead of in-process: each spec is POSTed to
+//! the service, executed (or answered from its content-addressed cache —
+//! the `cache: hit` / `cache: miss` marker is printed per experiment),
+//! and the result sinks are downloaded into `--out-dir`, byte-identical
+//! to a local run. Unknown flags and unknown experiment names are
 //! **usage errors** (usage + exit 2) — a misspelled `--fulll` or `tabel1`
 //! never silently runs the wrong thing again. Runtime failures — an
 //! unreadable `--spec` file, an unwritable `--out-dir`, a failing
 //! experiment — print a message and exit 1 (never a panic).
 
 use qsc_bench::builtin::BUILTIN;
-use qsc_bench::{ExperimentSpec, Scale, SweepRunner};
+use qsc_bench::{client, ExperimentSpec, Scale, SweepRunner};
+use qsc_json::ToJson;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -33,6 +40,8 @@ options:
   --spec FILE        load an extra experiment spec file (repeatable);
                      without NAMEs, only loaded specs run
   --only NAME[,..]   run only these experiments (same as bare NAMEs)
+  --submit URL       run on a qsc-serve instance (http://host:port) instead
+                     of in-process; downloads result sinks into --out-dir
   -h, --help         this message
 ";
 
@@ -52,6 +61,7 @@ struct Args {
     out_dir: PathBuf,
     spec_files: Vec<PathBuf>,
     only: Vec<String>,
+    submit: Option<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -61,6 +71,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         out_dir: PathBuf::from("results"),
         spec_files: Vec::new(),
         only: Vec::new(),
+        submit: None,
     };
     let mut scale_set = false;
     let mut it = argv.iter();
@@ -93,6 +104,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--spec" => {
                 let value = it.next().ok_or("--spec needs a file path")?;
                 args.spec_files.push(PathBuf::from(value));
+            }
+            "--submit" => {
+                let value = it.next().ok_or("--submit needs a server URL")?;
+                args.submit = Some(value.clone());
             }
             "--only" => {
                 let value = it.next().ok_or("--only needs experiment name(s)")?;
@@ -185,6 +200,47 @@ fn write_sinks(
     Ok(written)
 }
 
+/// Client mode: every selected spec goes through a `qsc-serve` instance.
+/// Output files land exactly where a local run would put them, with the
+/// same bytes (the service runs the same `SweepRunner`).
+fn run_remote(url: &str, specs: &[ExperimentSpec], args: &Args) -> Result<(), CliError> {
+    use std::time::Duration;
+    let submit_timeout = Duration::from_secs(600);
+    let run_timeout = Duration::from_secs(3600);
+    // Parents included — a nested --out-dir must never be the reason a
+    // finished sweep is lost.
+    std::fs::create_dir_all(&args.out_dir)
+        .map_err(|e| CliError::Runtime(format!("cannot create {}: {e}", args.out_dir.display())))?;
+    println!("submitting to {url} (scale: {})", args.scale.name());
+    let t0 = Instant::now();
+    for spec in specs {
+        let ticket = client::submit(
+            url,
+            &spec.to_json().to_string(),
+            args.scale.name(),
+            submit_timeout,
+        )
+        .map_err(|e| CliError::Runtime(format!("{}: submit: {e}", spec.name)))?;
+        println!("\n=== {}: {} ===", spec.name, ticket.id);
+        println!("cache: {}", ticket.cache);
+        let done = client::wait_done(url, &ticket.id, run_timeout)
+            .map_err(|e| CliError::Runtime(format!("{}: {e}", spec.name)))?;
+        println!("rows: {}", done.rows_done);
+        for sink in &spec.sinks {
+            let body = client::fetch_result(url, &ticket.id, sink.extension())
+                .map_err(|e| CliError::Runtime(format!("{}: result: {e}", spec.name)))?;
+            let path = args
+                .out_dir
+                .join(format!("{}.{}", spec.name, sink.extension()));
+            std::fs::write(&path, body)
+                .map_err(|e| CliError::Runtime(format!("cannot write {}: {e}", path.display())))?;
+            println!("→ {}", path.display());
+        }
+    }
+    println!("\ntotal wall time: {:.1}s", t0.elapsed().as_secs_f64());
+    Ok(())
+}
+
 fn run(args: &Args) -> Result<(), CliError> {
     let all = load_all(args)?;
     if args.list {
@@ -198,6 +254,9 @@ fn run(args: &Args) -> Result<(), CliError> {
         return Ok(());
     }
     let specs = select(all, args)?;
+    if let Some(url) = &args.submit {
+        return run_remote(url, &specs, args);
+    }
 
     println!(
         "experiment preset: {}; out-dir: {}",

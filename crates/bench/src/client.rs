@@ -1,0 +1,404 @@
+//! Minimal dependency-free HTTP/1.1 client for the sweep service
+//! (`qsc-serve`), plus the submit → poll → fetch workflow behind the
+//! `experiments --submit <url>` client mode.
+//!
+//! The client speaks exactly what the service speaks: one request per
+//! connection (`Connection: close`), bodies delimited by `Content-Length`
+//! or chunked transfer coding, JSON via `qsc-json`. It lives in this
+//! crate (not `qsc-serve`) because the service depends on the runner —
+//! the client must not close that cycle.
+
+use qsc_json::Value;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Errors of the service client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The URL is not a plain `http://host:port[/]` address.
+    Url(String),
+    /// Connection/transport failure.
+    Io(std::io::Error),
+    /// The server answered, but not with what the workflow needed
+    /// (non-2xx status, malformed response, job failure).
+    Protocol(String),
+    /// The job did not finish within the polling deadline.
+    Timeout(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Url(m) => write!(f, "bad service URL: {m}"),
+            ClientError::Io(e) => write!(f, "service connection: {e}"),
+            ClientError::Protocol(m) => write!(f, "service: {m}"),
+            ClientError::Timeout(m) => write!(f, "service: timed out {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A parsed HTTP response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code (200, 400, 429, …).
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A header value, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Validates and normalizes a service base URL to its `host:port`
+/// authority.
+fn authority(base: &str) -> Result<String, ClientError> {
+    let rest = base
+        .strip_prefix("http://")
+        .ok_or_else(|| ClientError::Url(format!("`{base}` (expected http://host:port)")))?;
+    let authority = rest.trim_end_matches('/');
+    if authority.is_empty() || authority.contains('/') {
+        return Err(ClientError::Url(format!(
+            "`{base}` (expected http://host:port with no path)"
+        )));
+    }
+    Ok(authority.to_string())
+}
+
+/// One HTTP/1.1 request on a fresh connection.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for transport failures and malformed
+/// responses; any well-formed response (including error statuses) is
+/// returned as an [`HttpResponse`].
+pub fn http_request(
+    base: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<HttpResponse, ClientError> {
+    let authority = authority(base)?;
+    let mut stream = TcpStream::connect(&authority)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+
+    let mut request =
+        format!("{method} {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        request.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    request.push_str("\r\n");
+    if let Some(body) = body {
+        request.push_str(body);
+    }
+    stream.write_all(request.as_bytes())?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> Result<HttpResponse, ClientError> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("truncated response (no header end)".into()))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]);
+    let mut lines = head.split("\r\n");
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ClientError::Protocol("empty response".into()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line `{status_line}`")))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|line| {
+            let (k, v) = line.split_once(':')?;
+            Some((k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect();
+
+    let payload = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body_bytes = if chunked {
+        decode_chunked(payload)?
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if payload.len() < len {
+            return Err(ClientError::Protocol(format!(
+                "truncated body ({} of {len} bytes)",
+                payload.len()
+            )));
+        }
+        payload[..len].to_vec()
+    } else {
+        // Connection-close delimited.
+        payload.to_vec()
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body_bytes).into_owned(),
+    })
+}
+
+fn decode_chunked(mut payload: &[u8]) -> Result<Vec<u8>, ClientError> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = payload
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| ClientError::Protocol("truncated chunk size line".into()))?;
+        let size_text = String::from_utf8_lossy(&payload[..line_end]);
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| ClientError::Protocol(format!("bad chunk size `{size_text}`")))?;
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if payload.len() < size + 2 {
+            return Err(ClientError::Protocol("truncated chunk body".into()));
+        }
+        out.extend_from_slice(&payload[..size]);
+        payload = &payload[size + 2..];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The submit workflow
+// ---------------------------------------------------------------------------
+
+/// The service's answer to a submission.
+#[derive(Debug, Clone)]
+pub struct SubmitTicket {
+    /// The job id to poll.
+    pub id: String,
+    /// `"hit"` when the result came straight from the content-addressed
+    /// cache (the simulator was never invoked), `"miss"` otherwise.
+    pub cache: String,
+    /// The content-address (hex SHA-256 of canonical spec + code version
+    /// + scale).
+    pub key: String,
+}
+
+/// A polled job status.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// `queued` / `running` / `done` / `failed`.
+    pub state: String,
+    /// `"hit"` / `"miss"`.
+    pub cache: String,
+    /// Rows of the primary table completed so far.
+    pub rows_done: usize,
+    /// The failure message, for `failed` jobs.
+    pub error: Option<String>,
+}
+
+fn json_body(response: &HttpResponse) -> Result<Value, ClientError> {
+    Value::parse(&response.body)
+        .map_err(|e| ClientError::Protocol(format!("unparseable response body: {e}")))
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, ClientError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::Protocol(format!("response missing `{key}`")))
+}
+
+/// Submits a spec document, retrying on 429 backpressure for up to
+/// `timeout` (honouring `Retry-After`).
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for invalid specs (the server's 400 with the
+/// parser's line/col message), persistent backpressure, and transport
+/// failures.
+pub fn submit(
+    base: &str,
+    spec_json: &str,
+    scale: &str,
+    timeout: Duration,
+) -> Result<SubmitTicket, ClientError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let response = http_request(
+            base,
+            "POST",
+            &format!("/v1/sweeps?scale={scale}"),
+            Some(spec_json),
+        )?;
+        match response.status {
+            200 | 202 => {
+                let v = json_body(&response)?;
+                return Ok(SubmitTicket {
+                    id: str_field(&v, "id")?,
+                    cache: str_field(&v, "cache")?,
+                    key: str_field(&v, "key")?,
+                });
+            }
+            429 => {
+                let wait = response
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(1);
+                if Instant::now() + Duration::from_secs(wait) > deadline {
+                    return Err(ClientError::Timeout("waiting for queue space (429)".into()));
+                }
+                std::thread::sleep(Duration::from_secs(wait));
+            }
+            status => {
+                return Err(ClientError::Protocol(format!(
+                    "submit rejected ({status}): {}",
+                    response.body.trim()
+                )))
+            }
+        }
+    }
+}
+
+/// Polls a job's status once.
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for unknown jobs and transport failures.
+pub fn status(base: &str, id: &str) -> Result<JobStatus, ClientError> {
+    let response = http_request(base, "GET", &format!("/v1/sweeps/{id}"), None)?;
+    if response.status != 200 {
+        return Err(ClientError::Protocol(format!(
+            "status of job {id} ({}): {}",
+            response.status,
+            response.body.trim()
+        )));
+    }
+    let v = json_body(&response)?;
+    Ok(JobStatus {
+        state: str_field(&v, "state")?,
+        cache: str_field(&v, "cache")?,
+        rows_done: v.get("rows_done").and_then(Value::as_usize).unwrap_or(0),
+        error: v.get("error").and_then(Value::as_str).map(str::to_string),
+    })
+}
+
+/// Polls until the job reaches `done` (returning its final status) or
+/// `failed` / the deadline (an error).
+///
+/// # Errors
+///
+/// Returns [`ClientError::Protocol`] for failed jobs (carrying the
+/// server-side failure message) and [`ClientError::Timeout`] past the
+/// deadline.
+pub fn wait_done(base: &str, id: &str, timeout: Duration) -> Result<JobStatus, ClientError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let st = status(base, id)?;
+        match st.state.as_str() {
+            "done" => return Ok(st),
+            "failed" => {
+                return Err(ClientError::Protocol(format!(
+                    "job {id} failed: {}",
+                    st.error.as_deref().unwrap_or("unknown error")
+                )))
+            }
+            _ => {
+                if Instant::now() > deadline {
+                    return Err(ClientError::Timeout(format!("waiting for job {id}")));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Fetches a finished job's rendered result table (`format` is a sink
+/// name: `csv` | `json`).
+///
+/// # Errors
+///
+/// Returns [`ClientError`] when the job is unknown or not done yet.
+pub fn fetch_result(base: &str, id: &str, format: &str) -> Result<String, ClientError> {
+    let response = http_request(
+        base,
+        "GET",
+        &format!("/v1/sweeps/{id}/result?format={format}"),
+        None,
+    )?;
+    if response.status != 200 {
+        return Err(ClientError::Protocol(format!(
+            "result of job {id} ({}): {}",
+            response.status,
+            response.body.trim()
+        )));
+    }
+    Ok(response.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn authority_normalizes_and_rejects() {
+        assert_eq!(
+            authority("http://127.0.0.1:8791").unwrap(),
+            "127.0.0.1:8791"
+        );
+        assert_eq!(authority("http://h:1/").unwrap(), "h:1");
+        assert!(authority("https://h:1").is_err());
+        assert!(authority("http://h:1/v1").is_err());
+        assert!(authority("h:1").is_err());
+    }
+
+    #[test]
+    fn parses_content_length_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "{}");
+        assert_eq!(r.header("Content-Type"), Some("application/json"));
+    }
+
+    #[test]
+    fn parses_chunked_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3\r\na,b\r\n4\r\n\n1,2\r\n0\r\n\r\n";
+        let r = parse_response(raw.as_slice()).unwrap();
+        assert_eq!(r.body, "a,b\n1,2");
+    }
+
+    #[test]
+    fn truncated_responses_error() {
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort").is_err());
+    }
+}

@@ -30,8 +30,9 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod builtin;
+pub mod client;
 pub mod runner;
 pub mod spec;
 
-pub use runner::{BenchError, ExperimentOutput, SweepRunner};
+pub use runner::{BenchError, ExperimentOutput, Progress, SweepRunner};
 pub use spec::{ExperimentSpec, Scale};

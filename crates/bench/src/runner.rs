@@ -117,6 +117,43 @@ pub struct SweepRunner {
     scale: Scale,
 }
 
+/// Incremental completion event fired by
+/// [`SweepRunner::run_with_progress`] as the primary table materializes:
+/// the column headers once up front, then each completed row (one grid
+/// point's worth at a time for pipeline sweeps). The sweep service's
+/// chunked row streaming is built on these events.
+#[derive(Debug)]
+pub enum Progress<'a> {
+    /// The primary table's column headers (fired once, before any row).
+    Columns(&'a [String]),
+    /// A completed row, in emission order.
+    Row {
+        /// 0-based row index.
+        index: usize,
+        /// The row's rendered cells.
+        cells: &'a [String],
+    },
+}
+
+/// Fires `Row` events for every row appended since the last flush.
+fn flush_rows(table: &Table, sent: &mut usize, on_progress: &mut dyn FnMut(Progress<'_>)) {
+    for index in *sent..table.len() {
+        on_progress(Progress::Row {
+            index,
+            cells: &table.rows()[index],
+        });
+    }
+    *sent = table.len();
+}
+
+/// Replays a fully-built table as progress events (the analytic experiment
+/// kinds compute their tables in one step).
+fn replay_table(table: &Table, on_progress: &mut dyn FnMut(Progress<'_>)) {
+    on_progress(Progress::Columns(table.columns()));
+    let mut sent = 0;
+    flush_rows(table, &mut sent, on_progress);
+}
+
 // ---------------------------------------------------------------------------
 // Recipe resolution
 // ---------------------------------------------------------------------------
@@ -526,25 +563,50 @@ impl SweepRunner {
     /// Returns [`BenchError`] for inconsistent specs and propagated
     /// generator/pipeline failures.
     pub fn run(&self, spec: &ExperimentSpec) -> Result<ExperimentOutput, BenchError> {
+        self.run_with_progress(spec, &mut |_| {})
+    }
+
+    /// Interprets one spec, firing a [`Progress`] event for the column
+    /// headers and for each completed row of the primary table. Pipeline
+    /// sweeps report rows incrementally as each grid point's repetition
+    /// batch finishes (the per-cell completion hook the sweep service
+    /// streams from); the analytic kinds report all rows on completion.
+    ///
+    /// The produced output is identical to [`SweepRunner::run`] — the
+    /// callback only observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError`] for inconsistent specs and propagated
+    /// generator/pipeline failures.
+    pub fn run_with_progress(
+        &self,
+        spec: &ExperimentSpec,
+        on_progress: &mut dyn FnMut(Progress<'_>),
+    ) -> Result<ExperimentOutput, BenchError> {
         let (display, primary, mut notes) = match &spec.kind {
             ExperimentKind::Pipeline(p) => {
-                let table = self.run_pipeline(spec, p)?;
+                let table = self.run_pipeline(spec, p, on_progress)?;
                 (table.clone(), table, Vec::new())
             }
             ExperimentKind::Embedding(e) => {
                 let (summary, series) = self.run_embedding(spec, e)?;
+                replay_table(&series, on_progress);
                 (summary, series, Vec::new())
             }
             ExperimentKind::QpeResolution(q) => {
                 let table = self.run_qpe_resolution(spec, q)?;
+                replay_table(&table, on_progress);
                 (table.clone(), table, Vec::new())
             }
             ExperimentKind::Resources(r) => {
                 let table = self.run_resources(r)?;
+                replay_table(&table, on_progress);
                 (table.clone(), table, Vec::new())
             }
             ExperimentKind::Trotter(t) => {
                 let table = self.run_trotter(spec, t)?;
+                replay_table(&table, on_progress);
                 (table.clone(), table, Vec::new())
             }
         };
@@ -582,10 +644,17 @@ impl SweepRunner {
 
     // -- pipeline sweeps ---------------------------------------------------
 
-    fn run_pipeline(&self, spec: &ExperimentSpec, p: &PipelineSpec) -> Result<Table, BenchError> {
+    fn run_pipeline(
+        &self,
+        spec: &ExperimentSpec,
+        p: &PipelineSpec,
+        on_progress: &mut dyn FnMut(Progress<'_>),
+    ) -> Result<Table, BenchError> {
         let reps = *p.reps.get(self.scale);
         let (base_graph, recipe_scale_set) = self.scaled_graph(spec, &p.graph)?;
         let mut table = Table::new(p.columns.iter().map(|c| c.header.clone()));
+        on_progress(Progress::Columns(table.columns()));
+        let mut sent = 0usize;
 
         match p.layout {
             SweepLayout::Grid => {
@@ -613,6 +682,7 @@ impl SweepRunner {
                         &inner_points,
                     )?;
                     self.emit_rows(&mut table, p, outer, &inner_points, &variants)?;
+                    flush_rows(&table, &mut sent, on_progress);
                 }
             }
             SweepLayout::Stacked => {
@@ -658,6 +728,7 @@ impl SweepRunner {
                         for (ci, pt) in points.iter().enumerate() {
                             stacked_row(&mut table, axis, pt, ci, &variants)?;
                         }
+                        flush_rows(&table, &mut sent, on_progress);
                     } else {
                         for pt in points {
                             let variants = self.execute_point(
@@ -669,6 +740,7 @@ impl SweepRunner {
                                 &[],
                             )?;
                             stacked_row(&mut table, axis, pt, 0, &variants)?;
+                            flush_rows(&table, &mut sent, on_progress);
                         }
                     }
                 }

@@ -1,0 +1,139 @@
+//! End-to-end tests of the `experiments` binary: output-directory
+//! creation (parents included), the error paths' exit codes, and the
+//! `--submit` client mode against a live `qsc-serve` instance (spawned
+//! from the service crate's own tests — here we only verify the local
+//! CLI surface, the service round-trip lives in `qsc-serve`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn experiments() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsc-exp-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write_tiny_spec(dir: &Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("spec dir");
+    let path = dir.join("tiny.json");
+    std::fs::write(
+        &path,
+        r#"{
+  "name": "cli_tiny",
+  "title": "cli test",
+  "kind": "pipeline",
+  "graph": {"family": "dsbm", "k": 2, "p_intra": 0.4, "p_inter": 0.05},
+  "reps": 1,
+  "base": {"k": 2},
+  "variants": [{"name": "classical"}],
+  "axes": [{"name": "n", "path": "graph.n", "values": [32]}],
+  "columns": [
+    {"header": "n", "axis": "n"},
+    {"header": "acc", "variant": "classical", "metric": "matched_accuracy"}
+  ]
+}"#,
+    )
+    .expect("write spec");
+    path
+}
+
+/// `--out-dir` with missing *parents* must be created, not errored on.
+#[test]
+fn out_dir_parents_are_created() {
+    let root = tmp_dir("outdir");
+    let spec = write_tiny_spec(&root);
+    let nested = root.join("a/b/c/results");
+    assert!(!nested.exists());
+
+    let output = experiments()
+        .args(["--spec"])
+        .arg(&spec)
+        .args(["--out-dir"])
+        .arg(&nested)
+        .output()
+        .expect("binary runs");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let csv = nested.join("cli_tiny.csv");
+    assert!(csv.exists(), "series written into the nested directory");
+    let text = std::fs::read_to_string(&csv).expect("csv readable");
+    assert!(text.starts_with("n,acc\n"), "got: {text}");
+}
+
+/// An unwritable out-dir (a *file* squatting on the path) is a runtime
+/// error: message on stderr, exit 1, no panic.
+#[test]
+fn unwritable_out_dir_exits_1_with_message() {
+    let root = tmp_dir("outdir-err");
+    let spec = write_tiny_spec(&root);
+    let squatter = root.join("not-a-dir");
+    std::fs::write(&squatter, "occupied").expect("squatter file");
+
+    let output = experiments()
+        .args(["--spec"])
+        .arg(&spec)
+        .args(["--out-dir"])
+        .arg(&squatter)
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1), "runtime failures exit 1");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("cannot create"),
+        "error names the failure: {stderr}"
+    );
+}
+
+/// Usage errors (unknown flag / unknown experiment) exit 2, runtime
+/// errors (unreadable spec file) exit 1 — scripts rely on the split.
+#[test]
+fn exit_codes_distinguish_usage_from_runtime() {
+    let unknown_flag = experiments()
+        .args(["--fulll"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(unknown_flag.status.code(), Some(2));
+
+    let missing_spec = experiments()
+        .args(["--spec", "/nonexistent/spec.json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(missing_spec.status.code(), Some(1));
+
+    let bad_submit = experiments()
+        .args(["--submit"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad_submit.status.code(), Some(2), "--submit needs a value");
+}
+
+/// `--submit` against a dead server is a runtime error (exit 1) that
+/// names the connection failure, and the out-dir (parents included) is
+/// still created up front so partial tooling can rely on it.
+#[test]
+fn submit_to_dead_server_exits_1() {
+    let root = tmp_dir("submit-dead");
+    let spec = write_tiny_spec(&root);
+    let nested = root.join("x/y/results");
+
+    let output = experiments()
+        .args(["--spec"])
+        .arg(&spec)
+        .args(["--out-dir"])
+        .arg(&nested)
+        // Port 9 (discard) on localhost: nothing listens there.
+        .args(["--submit", "http://127.0.0.1:9"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("submit"), "error names the phase: {stderr}");
+    assert!(nested.exists(), "out-dir parents created before submission");
+}

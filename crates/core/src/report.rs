@@ -86,22 +86,9 @@ impl Table {
     /// Renders RFC-4180-ish CSV (quotes fields containing separators).
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
-        let write_row = |out: &mut String, fields: &[String]| {
-            let encoded: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    if f.contains(',') || f.contains('"') || f.contains('\n') {
-                        format!("\"{}\"", f.replace('"', "\"\""))
-                    } else {
-                        f.clone()
-                    }
-                })
-                .collect();
-            let _ = writeln!(out, "{}", encoded.join(","));
-        };
-        write_row(&mut out, &self.columns);
+        out.push_str(&csv_row(&self.columns));
         for row in &self.rows {
-            write_row(&mut out, row);
+            out.push_str(&csv_row(row));
         }
         out
     }
@@ -167,6 +154,27 @@ impl Table {
         }
         out
     }
+}
+
+/// Encodes one CSV line (including the trailing newline) with the exact
+/// quoting rules of [`Table::to_csv`] — streaming emitters (the sweep
+/// service's row stream) use this so incremental output concatenates to
+/// byte-identical CSV.
+pub fn csv_row<S: AsRef<str>>(fields: &[S]) -> String {
+    let encoded: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let f = f.as_ref();
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                format!("\"{}\"", f.replace('"', "\"\""))
+            } else {
+                f.to_string()
+            }
+        })
+        .collect();
+    let mut out = encoded.join(",");
+    out.push('\n');
+    out
 }
 
 /// Formats a float with a fixed number of decimals (helper for rows).

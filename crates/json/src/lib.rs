@@ -783,6 +783,67 @@ impl Value {
         out.push('\n');
         out
     }
+
+    /// Canonical serialization: compact, object keys sorted bytewise at
+    /// every level, duplicate keys rejected, numbers in the same
+    /// shortest-round-trip form as [`Display`](std::fmt::Display) (so
+    /// every `f64` survives bit-exactly).
+    ///
+    /// Two semantically equal documents — same fields in any order —
+    /// produce identical bytes, which is what makes
+    /// `hash(canonical bytes)` a content address for a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] if any object holds the same key twice
+    /// (impossible for parsed documents — the parser already rejects
+    /// duplicates — but a hand-built [`Value::Obj`] can).
+    pub fn to_json_canonical(&self) -> Result<String, JsonError> {
+        let mut out = String::new();
+        self.write_canonical(&mut out)?;
+        Ok(out)
+    }
+
+    fn write_canonical(&self, out: &mut String) -> Result<(), JsonError> {
+        match self {
+            Value::Null | Value::Bool(_) | Value::Num(_) | Value::Str(_) => {
+                self.write(out, None, 0);
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical(out)?;
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                let mut order: Vec<usize> = (0..fields.len()).collect();
+                order.sort_by(|&a, &b| fields[a].0.cmp(&fields[b].0));
+                for pair in order.windows(2) {
+                    if fields[pair[0]].0 == fields[pair[1]].0 {
+                        return Err(JsonError::msg(format!(
+                            "canonical form: duplicate key `{}`",
+                            fields[pair[0]].0
+                        )));
+                    }
+                }
+                out.push('{');
+                for (i, &idx) in order.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, &fields[idx].0);
+                    out.push(':');
+                    fields[idx].1.write_canonical(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Value {
@@ -934,6 +995,150 @@ mod tests {
         assert_eq!(Value::Num(-1.0).as_usize(), None);
         assert_eq!(Value::Num(1.5).as_usize(), None);
         assert_eq!(Value::Num(1e300).as_u64(), None);
+    }
+
+    /// Tiny splitmix64 step — the generator for the canonical-form
+    /// property tests (the crate is dependency-free, so no `proptest`).
+    fn next(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A random JSON document: scalars biased at depth, nested
+    /// arrays/objects above, keys drawn from a pool (unique per object).
+    fn random_value(state: &mut u64, depth: usize) -> Value {
+        let pick = next(state) % if depth == 0 { 6 } else { 4 };
+        match pick {
+            0 => Value::Null,
+            1 => Value::Bool(next(state).is_multiple_of(2)),
+            2 => {
+                // Bit-pattern floats: exercise subnormal-ish, fractional
+                // and integral values (finite only — JSON has no NaN/inf).
+                let raw = f64::from_bits(next(state) >> 2);
+                Value::Num(if raw.is_finite() { raw } else { 1.0 / 3.0 })
+            }
+            3 => {
+                let n = next(state) % 8;
+                Value::Str((0..n).map(|i| (b'a' + i as u8) as char).collect())
+            }
+            4 => {
+                let n = (next(state) % 4) as usize;
+                Value::Arr((0..n).map(|_| random_value(state, depth - 1)).collect())
+            }
+            _ => {
+                let n = (next(state) % 5) as usize;
+                let mut keys: Vec<String> = (0..n).map(|i| format!("k{i}")).collect();
+                // Shuffle the key order so insertion order varies.
+                for i in (1..keys.len()).rev() {
+                    keys.swap(i, (next(state) % (i as u64 + 1)) as usize);
+                }
+                Value::Obj(
+                    keys.into_iter()
+                        .map(|k| (k, random_value(state, depth - 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Recursively sorts object fields — the reference "semantic equality"
+    /// normal form the canonical writer must agree with.
+    fn sorted(v: &Value) -> Value {
+        match v {
+            Value::Arr(items) => Value::Arr(items.iter().map(sorted).collect()),
+            Value::Obj(fields) => {
+                let mut fields: Vec<(String, Value)> =
+                    fields.iter().map(|(k, v)| (k.clone(), sorted(v))).collect();
+                fields.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Obj(fields)
+            }
+            scalar => scalar.clone(),
+        }
+    }
+
+    #[test]
+    fn canonical_round_trips_semantically_for_random_documents() {
+        let mut state = 42u64;
+        for case in 0..500 {
+            let v = random_value(&mut state, 3);
+            let canon = v
+                .to_json_canonical()
+                .unwrap_or_else(|e| panic!("case {case}: canonical form failed: {e}"));
+            let back = Value::parse(&canon)
+                .unwrap_or_else(|e| panic!("case {case}: canonical bytes do not parse: {e}"));
+            // parse(canon(x)) == x up to key order…
+            assert_eq!(sorted(&back), sorted(&v), "case {case}: {canon}");
+            // …and canonicalization is a fixed point.
+            assert_eq!(back.to_json_canonical().unwrap(), canon, "case {case}");
+        }
+    }
+
+    #[test]
+    fn canonical_is_key_order_independent() {
+        let mut state = 7u64;
+        for case in 0..500 {
+            let v = random_value(&mut state, 3);
+            let shuffled = shuffle_keys(&mut state, &v);
+            assert_eq!(
+                v.to_json_canonical().unwrap(),
+                shuffled.to_json_canonical().unwrap(),
+                "case {case}"
+            );
+        }
+    }
+
+    /// The same document with every object's insertion order permuted.
+    fn shuffle_keys(state: &mut u64, v: &Value) -> Value {
+        match v {
+            Value::Arr(items) => Value::Arr(items.iter().map(|x| shuffle_keys(state, x)).collect()),
+            Value::Obj(fields) => {
+                let mut fields: Vec<(String, Value)> = fields
+                    .iter()
+                    .map(|(k, x)| (k.clone(), shuffle_keys(state, x)))
+                    .collect();
+                for i in (1..fields.len()).rev() {
+                    fields.swap(i, (next(state) % (i as u64 + 1)) as usize);
+                }
+                Value::Obj(fields)
+            }
+            scalar => scalar.clone(),
+        }
+    }
+
+    #[test]
+    fn canonical_preserves_f64_bits() {
+        let mut state = 9u64;
+        for _ in 0..2000 {
+            let x = f64::from_bits(next(&mut state));
+            if !x.is_finite() {
+                continue;
+            }
+            let canon = Value::Num(x).to_json_canonical().unwrap();
+            let back = Value::parse(&canon).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} → {canon} → {back}");
+        }
+    }
+
+    #[test]
+    fn canonical_sorts_keys_and_stays_compact() {
+        let v = Value::parse("{\"b\": 1, \"a\": {\"z\": [1, 2], \"y\": null}}").unwrap();
+        assert_eq!(
+            v.to_json_canonical().unwrap(),
+            r#"{"a":{"y":null,"z":[1,2]},"b":1}"#
+        );
+    }
+
+    #[test]
+    fn canonical_rejects_duplicate_keys() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::Num(1.0)),
+            ("a".into(), Value::Num(2.0)),
+        ]);
+        let err = v.to_json_canonical().unwrap_err();
+        assert!(err.message.contains("duplicate key `a`"), "{err}");
     }
 
     #[test]

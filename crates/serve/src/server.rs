@@ -1,0 +1,444 @@
+//! The HTTP front-end: accept loop, routing, and the endpoint handlers.
+//!
+//! | Endpoint | Behavior |
+//! |---|---|
+//! | `GET /v1/healthz` | liveness + version + queue depth |
+//! | `POST /v1/sweeps?scale=quick\|full` | validate spec → cache hit (`200`) or enqueue (`202`); full queue → `429` + `Retry-After`; invalid spec → `400` with the strict parser's line/col error |
+//! | `GET /v1/sweeps/:id` | job status (`queued`/`running`/`done`/`failed`), cache marker, per-cell failure kinds |
+//! | `GET /v1/sweeps/:id/result?format=csv\|json` | the finished table through the standard sinks |
+//! | `GET /v1/sweeps/:id/stream` | chunked CSV: header immediately, rows as grid points complete |
+
+use crate::cache::{cache_key, code_version, ResultCache};
+use crate::http::{finish_chunks, read_request, respond, start_chunked, write_chunk, Request};
+use crate::job::{failed_cell_kinds, Job, JobSystem, Phase, SubmitError};
+use qsc_bench::{ExperimentSpec, Scale};
+use qsc_core::report::{csv_row, SinkFormat};
+use qsc_json::{ToJson, Value};
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:8791`; port `0` picks a free port).
+    pub addr: String,
+    /// Worker-pool size (0 = nothing drains; useful for backpressure
+    /// tests).
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue answers `429`.
+    pub queue_capacity: usize,
+    /// Directory of the content-addressed result cache.
+    pub cache_dir: PathBuf,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8791".into(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_dir: PathBuf::from("qsc-serve-cache"),
+        }
+    }
+}
+
+/// Startup failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind or the cache directory could not be
+    /// created.
+    Io(std::io::Error),
+    /// The cache layer failed to initialize.
+    Cache(crate::cache::CacheError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve: {e}"),
+            ServeError::Cache(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A running service instance.
+pub struct Server {
+    jobs: Arc<JobSystem>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, starts the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the address cannot be bound or the
+    /// cache directory cannot be created.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        let cache = ResultCache::open(&config.cache_dir).map_err(ServeError::Cache)?;
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
+        let local_addr = listener.local_addr().map_err(ServeError::Io)?;
+        let jobs = JobSystem::start(cache, config.workers, config.queue_capacity);
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept = {
+            let jobs = jobs.clone();
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("qsc-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let jobs = jobs.clone();
+                        // One detached thread per connection: connections
+                        // are short-lived (Connection: close) except for
+                        // row streams, which live as long as their sweep.
+                        let _ = std::thread::Builder::new()
+                            .name("qsc-serve-conn".into())
+                            .spawn(move || handle_connection(stream, &jobs));
+                    }
+                })
+                .map_err(ServeError::Io)?
+        };
+        Ok(Server {
+            jobs,
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service base URL (`http://host:port`).
+    pub fn base_url(&self) -> String {
+        format!("http://{}", self.local_addr)
+    }
+
+    /// The job subsystem (status inspection in tests/benches).
+    pub fn jobs(&self) -> &Arc<JobSystem> {
+        &self.jobs
+    }
+
+    /// Stops accepting, then stops the worker pool. Running sweeps
+    /// finish; open row streams end when their job does.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        self.jobs.shutdown();
+    }
+
+    /// Blocks on the accept loop (the binary's serve-forever mode).
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, jobs: &Arc<JobSystem>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let request = match read_request(&mut stream) {
+        Ok(Ok(request)) => request,
+        Ok(Err(bad)) => {
+            let _ = respond(
+                &mut stream,
+                bad.status,
+                "application/json",
+                &[],
+                &error_body(&bad.message),
+            );
+            return;
+        }
+        Err(_) => return,
+    };
+    // Route errors are I/O-only from here down; a dropped client is fine.
+    let _ = route(&mut stream, &request, jobs);
+}
+
+fn error_body(message: &str) -> String {
+    Value::Obj(vec![("error".into(), Value::Str(message.into()))]).to_string()
+}
+
+fn route(stream: &mut TcpStream, request: &Request, jobs: &Arc<JobSystem>) -> std::io::Result<()> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => handle_healthz(stream, jobs),
+        ("POST", ["v1", "sweeps"]) => handle_submit(stream, request, jobs),
+        ("GET", ["v1", "sweeps", id]) => match jobs.get(id) {
+            Some(job) => handle_status(stream, &job),
+            None => not_found(stream, &format!("no job `{id}`")),
+        },
+        ("GET", ["v1", "sweeps", id, "result"]) => match jobs.get(id) {
+            Some(job) => handle_result(stream, request, &job),
+            None => not_found(stream, &format!("no job `{id}`")),
+        },
+        ("GET", ["v1", "sweeps", id, "stream"]) => match jobs.get(id) {
+            Some(job) => handle_stream(stream, &job),
+            None => not_found(stream, &format!("no job `{id}`")),
+        },
+        (_, ["v1", "sweeps", ..]) | (_, ["v1", "healthz"]) => respond(
+            stream,
+            405,
+            "application/json",
+            &[],
+            &error_body(&format!("method {} not allowed here", request.method)),
+        ),
+        _ => not_found(stream, &format!("no route `{}`", request.path)),
+    }
+}
+
+fn not_found(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
+    respond(stream, 404, "application/json", &[], &error_body(message))
+}
+
+fn handle_healthz(stream: &mut TcpStream, jobs: &Arc<JobSystem>) -> std::io::Result<()> {
+    let body = Value::Obj(vec![
+        ("status".into(), Value::Str("ok".into())),
+        ("version".into(), Value::Str(code_version())),
+        ("queue_depth".into(), Value::Num(jobs.queue_depth() as f64)),
+    ])
+    .to_string();
+    respond(stream, 200, "application/json", &[], &body)
+}
+
+fn handle_submit(
+    stream: &mut TcpStream,
+    request: &Request,
+    jobs: &Arc<JobSystem>,
+) -> std::io::Result<()> {
+    let scale = match request.query_param("scale") {
+        None => Scale::Quick,
+        Some(name) => match Scale::parse(name) {
+            Some(scale) => scale,
+            None => {
+                return respond(
+                    stream,
+                    400,
+                    "application/json",
+                    &[],
+                    &error_body(&format!("unknown scale `{name}` (expected quick | full)")),
+                )
+            }
+        },
+    };
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return respond(
+            stream,
+            400,
+            "application/json",
+            &[],
+            &error_body("body is not UTF-8"),
+        );
+    };
+    // Strict validation: the same qsc-json parser the binary uses, so a
+    // syntax error answers with its exact line/col message and a typo'd
+    // field with the unknown-field rejection.
+    let spec = match ExperimentSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                &error_body(&format!("invalid spec: {e}")),
+            )
+        }
+    };
+    // Key over the *normalized* document (the spec's own round-tripped
+    // JSON), so formatting, key order and spelled-out defaults never
+    // split the cache.
+    let key = match cache_key(&spec.to_json(), &code_version(), scale.name()) {
+        Ok(key) => key,
+        Err(e) => {
+            return respond(
+                stream,
+                500,
+                "application/json",
+                &[],
+                &error_body(&format!("cannot canonicalize spec: {e}")),
+            )
+        }
+    };
+    match jobs.submit(spec, key, scale) {
+        Ok(job) => {
+            let status = if job.cache_hit { 200 } else { 202 };
+            let body = Value::Obj(vec![
+                ("id".into(), Value::Str(job.id.clone())),
+                ("name".into(), Value::Str(job.spec.name.clone())),
+                (
+                    "state".into(),
+                    Value::Str(job.snapshot().phase.name().into()),
+                ),
+                ("cache".into(), Value::Str(cache_marker(&job).into())),
+                ("key".into(), Value::Str(job.key.clone())),
+                ("scale".into(), Value::Str(scale.name().into())),
+            ])
+            .to_string();
+            respond(stream, status, "application/json", &[], &body)
+        }
+        Err(SubmitError::QueueFull { retry_after_s }) => respond(
+            stream,
+            429,
+            "application/json",
+            &[format!("Retry-After: {retry_after_s}")],
+            &error_body("queue full, retry later"),
+        ),
+    }
+}
+
+fn cache_marker(job: &Job) -> &'static str {
+    if job.cache_hit {
+        "hit"
+    } else {
+        "miss"
+    }
+}
+
+fn handle_status(stream: &mut TcpStream, job: &Arc<Job>) -> std::io::Result<()> {
+    let snapshot = job.snapshot();
+    let mut fields = vec![
+        ("id".into(), Value::Str(job.id.clone())),
+        ("name".into(), Value::Str(job.spec.name.clone())),
+        ("state".into(), Value::Str(snapshot.phase.name().into())),
+        ("cache".into(), Value::Str(cache_marker(job).into())),
+        ("key".into(), Value::Str(job.key.clone())),
+        ("scale".into(), Value::Str(job.scale.name().into())),
+        ("rows_done".into(), Value::Num(snapshot.rows_done as f64)),
+    ];
+    if let Some(error) = &snapshot.error {
+        fields.push(("error".into(), Value::Str(error.clone())));
+    }
+    if snapshot.phase == Phase::Done {
+        if let Some(result) = &snapshot.result {
+            let kinds = failed_cell_kinds(result.table.rows());
+            fields.push((
+                "failed_cells".into(),
+                Value::Obj(
+                    kinds
+                        .into_iter()
+                        .map(|(kind, n)| (kind, Value::Num(n as f64)))
+                        .collect(),
+                ),
+            ));
+            fields.push((
+                "notes".into(),
+                Value::Arr(result.notes.iter().map(|n| Value::Str(n.clone())).collect()),
+            ));
+        }
+    }
+    respond(
+        stream,
+        200,
+        "application/json",
+        &[],
+        &Value::Obj(fields).to_string(),
+    )
+}
+
+fn handle_result(stream: &mut TcpStream, request: &Request, job: &Arc<Job>) -> std::io::Result<()> {
+    let format = match request.query_param("format") {
+        None => SinkFormat::Csv,
+        Some(name) => match SinkFormat::parse(name) {
+            Some(format) => format,
+            None => {
+                return respond(
+                    stream,
+                    400,
+                    "application/json",
+                    &[],
+                    &error_body(&format!("unknown format `{name}` (expected csv | json)")),
+                )
+            }
+        },
+    };
+    let snapshot = job.snapshot();
+    match (snapshot.phase, snapshot.result) {
+        (Phase::Done, Some(result)) => {
+            let content_type = match format {
+                SinkFormat::Csv => "text/csv",
+                SinkFormat::Json => "application/json",
+            };
+            respond(stream, 200, content_type, &[], &result.table.render(format))
+        }
+        (Phase::Failed, _) => respond(
+            stream,
+            409,
+            "application/json",
+            &[],
+            &error_body(&format!(
+                "job failed: {}",
+                snapshot.error.as_deref().unwrap_or("unknown error")
+            )),
+        ),
+        (phase, _) => respond(
+            stream,
+            409,
+            "application/json",
+            &[],
+            &error_body(&format!("job is {}, result not ready", phase.name())),
+        ),
+    }
+}
+
+/// Chunked CSV: the header the moment columns exist, then each completed
+/// row as its grid point finishes. The byte stream concatenates to
+/// exactly `Table::to_csv` of the finished result.
+fn handle_stream(stream: &mut TcpStream, job: &Arc<Job>) -> std::io::Result<()> {
+    // Streams outlive the 30 s request-read timeout by design.
+    stream.set_read_timeout(None)?;
+    let Some(columns) = job.wait_columns() else {
+        let snapshot = job.snapshot();
+        return respond(
+            stream,
+            409,
+            "application/json",
+            &[],
+            &error_body(&format!(
+                "job produced no table: {}",
+                snapshot.error.as_deref().unwrap_or("no rows")
+            )),
+        );
+    };
+    start_chunked(stream, 200, "text/csv")?;
+    write_chunk(stream, &csv_row(&columns))?;
+    let mut sent = 0usize;
+    loop {
+        let (rows, terminal) = job.wait_rows(sent);
+        for row in &rows {
+            write_chunk(stream, &csv_row(row))?;
+        }
+        sent += rows.len();
+        if terminal {
+            return finish_chunks(stream);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end service tests over real TCP: submit → execute → fetch,
+//! byte-identity with local runs, cache semantics (hit / miss /
+//! corruption), validation errors, backpressure, and row streaming.
+
+use qsc_bench::client::{fetch_result, http_request, status, submit, wait_done};
+use qsc_bench::{ExperimentSpec, Scale, SweepRunner};
+use qsc_core::report::SinkFormat;
+use qsc_serve::{ServeConfig, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(120);
+
+/// A small but real sweep: two grid points, classical + Lanczos
+/// variants, two repetitions.
+fn spec_json(tag: &str) -> String {
+    format!(
+        r#"{{
+  "name": "svc_test",
+  "title": "service test {tag}",
+  "kind": "pipeline",
+  "graph": {{"family": "dsbm", "k": 2, "p_intra": 0.4, "p_inter": 0.05}},
+  "reps": 2,
+  "base": {{"k": 2}},
+  "variants": [
+    {{"name": "classical"}},
+    {{"name": "lanczos", "embedder": "lanczos_csr"}}
+  ],
+  "axes": [{{"name": "n", "path": "graph.n", "values": [32, 48]}}],
+  "columns": [
+    {{"header": "n", "axis": "n"}},
+    {{"header": "classical_acc", "variant": "classical", "metric": "matched_accuracy", "mean_std": 3}},
+    {{"header": "lanczos_acc", "variant": "lanczos", "metric": "matched_accuracy", "mean_std": 3}}
+  ]
+}}"#
+    )
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qsc-serve-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(tag: &str, workers: usize, queue: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: queue,
+        cache_dir: tmp_dir(tag),
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn served_results_are_byte_identical_to_local_runs_and_cached() {
+    let server = start("identity", 2, 8);
+    let base = server.base_url();
+    let text = spec_json("identity");
+
+    // Local ground truth through the very same runner.
+    let spec = ExperimentSpec::parse(&text).expect("spec parses");
+    let local = SweepRunner::new(Scale::Quick)
+        .run(&spec)
+        .expect("local run");
+    let local_csv = local.primary.render(SinkFormat::Csv);
+    let local_json = local.primary.render(SinkFormat::Json);
+
+    // First submission: a miss that actually executes.
+    let ticket = submit(&base, &text, "quick", TIMEOUT).expect("submit");
+    assert_eq!(ticket.cache, "miss");
+    assert_eq!(ticket.key.len(), 64, "key is hex sha256");
+    let done = wait_done(&base, &ticket.id, TIMEOUT).expect("runs to done");
+    assert_eq!(done.state, "done");
+    assert_eq!(done.rows_done, 2, "one row per grid point");
+
+    let served_csv = fetch_result(&base, &ticket.id, "csv").expect("csv result");
+    let served_json = fetch_result(&base, &ticket.id, "json").expect("json result");
+    assert_eq!(served_csv, local_csv, "served CSV must be byte-identical");
+    assert_eq!(
+        served_json, local_json,
+        "served JSON must be byte-identical"
+    );
+
+    // Second submission: same key, served from cache, born done —
+    // the simulator is not invoked (the job skips the queue entirely).
+    let again = submit(&base, &text, "quick", TIMEOUT).expect("resubmit");
+    assert_eq!(again.cache, "hit");
+    assert_eq!(again.key, ticket.key, "same spec, same content address");
+    assert_ne!(again.id, ticket.id, "hits still get their own job id");
+    let st = status(&base, &again.id).expect("status");
+    assert_eq!(st.state, "done", "cache hits are born done");
+    assert_eq!(st.cache, "hit");
+    assert_eq!(
+        fetch_result(&base, &again.id, "csv").expect("cached csv"),
+        local_csv
+    );
+
+    // A one-field change is a different key → a miss.
+    let other = submit(&base, &spec_json("identity-b"), "quick", TIMEOUT).expect("changed spec");
+    assert_eq!(other.cache, "miss");
+    assert_ne!(other.key, ticket.key);
+
+    // Same spec at a different scale is a different key too.
+    let full = submit(&base, &text, "full", TIMEOUT).expect("full-scale submit");
+    assert_eq!(full.cache, "miss");
+    assert_ne!(full.key, ticket.key);
+}
+
+#[test]
+fn corrupt_cache_entries_are_recomputed_not_served() {
+    let dir = tmp_dir("svc-corrupt");
+    let mut server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 8,
+        cache_dir: dir.clone(),
+    })
+    .expect("server starts");
+    let base = server.base_url();
+    let text = spec_json("corrupt");
+
+    let ticket = submit(&base, &text, "quick", TIMEOUT).expect("submit");
+    wait_done(&base, &ticket.id, TIMEOUT).expect("runs");
+    let good = fetch_result(&base, &ticket.id, "csv").expect("result");
+
+    // Vandalize the stored entry.
+    let entry = dir.join(format!("{}.json", ticket.key));
+    assert!(entry.exists(), "result was persisted");
+    std::fs::write(&entry, "{\"checksum\": \"deadbeef\", \"entry\": 1}").expect("corrupt");
+
+    // Resubmission must miss (eviction), re-run, and converge to the
+    // same bytes.
+    let again = submit(&base, &text, "quick", TIMEOUT).expect("resubmit");
+    assert_eq!(again.cache, "miss", "corrupt entry must not be served");
+    wait_done(&base, &again.id, TIMEOUT).expect("re-runs");
+    assert_eq!(fetch_result(&base, &again.id, "csv").expect("bytes"), good);
+
+    // And now it is cached again.
+    let third = submit(&base, &text, "quick", TIMEOUT).expect("third");
+    assert_eq!(third.cache, "hit");
+    server.shutdown();
+}
+
+#[test]
+fn invalid_specs_answer_400_with_parser_errors() {
+    let server = start("invalid", 1, 4);
+    let base = server.base_url();
+
+    // Syntax error: the strict parser's line/col lands in the message.
+    let response = http_request(
+        &base,
+        "POST",
+        "/v1/sweeps",
+        Some("{\n  \"name\": \"x\",,\n}"),
+    )
+    .expect("transport");
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body.contains("2:15"),
+        "error must carry the parser position: {}",
+        response.body
+    );
+
+    // Unknown field: the spec reader's rejection. The spec is otherwise
+    // complete (missing required fields are reported first).
+    let bad_field = spec_json("unknown").replacen(
+        "\"reps\": 2,",
+        "\"reps\": 2,\n  \"totally_unknown_field\": 1,",
+        1,
+    );
+    let response = http_request(&base, "POST", "/v1/sweeps", Some(&bad_field)).expect("transport");
+    assert_eq!(response.status, 400);
+    assert!(
+        response.body.contains("totally_unknown_field"),
+        "unknown fields must be named: {}",
+        response.body
+    );
+
+    // Unknown scale.
+    let response =
+        http_request(&base, "POST", "/v1/sweeps?scale=huge", Some("{}")).expect("transport");
+    assert_eq!(response.status, 400);
+    assert!(response.body.contains("unknown scale"));
+}
+
+#[test]
+fn full_queue_answers_429_with_retry_after() {
+    // Zero workers: nothing ever drains, so the queue fills
+    // deterministically.
+    let server = start("backpressure", 0, 1);
+    let base = server.base_url();
+
+    let first =
+        http_request(&base, "POST", "/v1/sweeps", Some(&spec_json("bp-1"))).expect("transport");
+    assert_eq!(first.status, 202, "first submission takes the only slot");
+
+    let second =
+        http_request(&base, "POST", "/v1/sweeps", Some(&spec_json("bp-2"))).expect("transport");
+    assert_eq!(second.status, 429);
+    assert_eq!(second.header("retry-after"), Some("1"));
+
+    // A cache hit bypasses the queue even when it is full: prove it by
+    // pre-storing the result under the spec's key via a sibling server
+    // sharing the cache dir... simpler: hits need a warm cache, which a
+    // zero-worker server cannot produce — covered in the identity test.
+}
+
+#[test]
+fn routing_errors_and_health() {
+    let server = start("routing", 1, 4);
+    let base = server.base_url();
+
+    let health = http_request(&base, "GET", "/v1/healthz", None).expect("transport");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+    assert!(health.body.contains("queue_depth"));
+
+    let missing = http_request(&base, "GET", "/v1/sweeps/job-999", None).expect("transport");
+    assert_eq!(missing.status, 404);
+
+    let wrong_method = http_request(&base, "DELETE", "/v1/sweeps", None).expect("transport");
+    assert_eq!(wrong_method.status, 405);
+
+    let no_route = http_request(&base, "GET", "/v2/nope", None).expect("transport");
+    assert_eq!(no_route.status, 404);
+
+    // Result of a job that does not exist.
+    let no_result =
+        http_request(&base, "GET", "/v1/sweeps/job-999/result", None).expect("transport");
+    assert_eq!(no_result.status, 404);
+}
+
+#[test]
+fn stream_concatenates_to_the_exact_csv() {
+    let server = start("stream", 2, 8);
+    let base = server.base_url();
+    let text = spec_json("stream");
+
+    let ticket = submit(&base, &text, "quick", TIMEOUT).expect("submit");
+    // Open the stream while the job is (possibly still) running: the
+    // chunked body ends only when the job does.
+    let streamed = http_request(
+        &base,
+        "GET",
+        &format!("/v1/sweeps/{}/stream", ticket.id),
+        None,
+    )
+    .expect("stream");
+    assert_eq!(streamed.status, 200);
+    assert_eq!(streamed.header("transfer-encoding"), Some("chunked"));
+
+    wait_done(&base, &ticket.id, TIMEOUT).expect("done");
+    let full = fetch_result(&base, &ticket.id, "csv").expect("result");
+    assert_eq!(
+        streamed.body, full,
+        "streamed rows must equal the result CSV"
+    );
+
+    // Result before completion answers 409 (fresh slow-path job).
+    let slow = submit(&base, &spec_json("stream-slow"), "quick", TIMEOUT).expect("submit");
+    let early = http_request(
+        &base,
+        "GET",
+        &format!("/v1/sweeps/{}/result", slow.id),
+        None,
+    )
+    .expect("transport");
+    assert!(
+        early.status == 409 || early.status == 200,
+        "pre-completion result is 409 (or 200 if the tiny sweep already won the race), got {}",
+        early.status
+    );
+    wait_done(&base, &slow.id, TIMEOUT).expect("done");
+}
