@@ -1,0 +1,52 @@
+//! Micro-benches for the `"search"` experiment kind: successive halving
+//! vs exhaustive grid on the same search space. Halving evaluates
+//! `pool@1 → pool/η@η → …` repetition units instead of `pool × reps`, so
+//! it must beat the grid's wall-clock at quick scale — the budget-aware
+//! early stopping is the point of the strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qsc_bench::{ExperimentSpec, Scale, SweepRunner};
+use std::hint::black_box;
+
+/// A k-search whose candidates each need their own embedding, so the
+/// evaluation count dominates the wall-clock.
+fn search_spec(strategy: &str) -> ExperimentSpec {
+    let text = format!(
+        r#"{{
+          "name": "bench_search",
+          "kind": "search",
+          "graph": {{"family": "dsbm", "n": 80, "k": 3,
+                     "p_intra": 0.3, "p_inter": 0.15, "eta_flow": 0.8,
+                     "meta": "cycle"}},
+          "reps": 4,
+          "base": {{"k": 3}},
+          "search": {{
+            "space": [
+              {{"path": "pipeline.k", "values": [2, 3, 4, 5]}}
+            ],
+            "objective": {{"metric": "adjusted_rand_index"}},
+            "strategy": {strategy}
+          }}
+        }}"#
+    );
+    ExperimentSpec::parse(&text).expect("bench spec")
+}
+
+fn bench_halving_vs_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_halving_vs_grid");
+    group.sample_size(10);
+    let runner = SweepRunner::new(Scale::Quick);
+    let grid = search_spec(r#"{"kind": "grid"}"#);
+    group.bench_function("grid", |b| {
+        b.iter(|| runner.run(black_box(&grid)).expect("grid search"))
+    });
+    // 4@1 → 2@2 → 1@4: 8 evaluation units vs the grid's 16.
+    let halving = search_spec(r#"{"kind": "successive_halving", "budget": 16, "eta": 2}"#);
+    group.bench_function("successive_halving", |b| {
+        b.iter(|| runner.run(black_box(&halving)).expect("halving search"))
+    });
+    group.finish();
+}
+
+criterion_group!(search, bench_halving_vs_grid);
+criterion_main!(search);

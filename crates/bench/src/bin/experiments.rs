@@ -14,11 +14,15 @@
 //! the service, executed (or answered from its content-addressed cache —
 //! the `cache: hit` / `cache: miss` marker is printed per experiment),
 //! and the result sinks are downloaded into `--out-dir`, byte-identical
-//! to a local run. Unknown flags and unknown experiment names are
-//! **usage errors** (usage + exit 2) — a misspelled `--fulll` or `tabel1`
-//! never silently runs the wrong thing again. Runtime failures — an
-//! unreadable `--spec` file, an unwritable `--out-dir`, a failing
-//! experiment — print a message and exit 1 (never a panic).
+//! to a local run. Search specs (`"kind": "search"`) go to the service's
+//! `/v1/searches` endpoint; everything else to `/v1/sweeps`. Unknown
+//! flags, unknown experiment names and **invalid spec files** (unknown
+//! fields, contradictory search blocks) are usage errors (exit 2) — a
+//! misspelled `--fulll` or `tabel1` never silently runs the wrong thing
+//! again, and a contradictory spec is the caller's mistake, not the
+//! environment's. Runtime failures — an unreadable `--spec` file, an
+//! unwritable `--out-dir`, a failing experiment — print a message and
+//! exit 1 (never a panic).
 
 use qsc_bench::builtin::BUILTIN;
 use qsc_bench::{client, ExperimentSpec, Scale, SweepRunner};
@@ -137,8 +141,10 @@ fn load_all(args: &Args) -> Result<Vec<(bool, ExperimentSpec)>, CliError> {
     for path in &args.spec_files {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::Runtime(format!("cannot read {}: {e}", path.display())))?;
+        // A file that *reads* but does not *validate* is the caller's
+        // mistake (typo, contradictory search block) → usage error.
         let spec = ExperimentSpec::parse(&text)
-            .map_err(|e| CliError::Runtime(format!("{}: {e}", path.display())))?;
+            .map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))?;
         if specs.iter().any(|(_, s)| s.name == spec.name) {
             return Err(CliError::Runtime(format!(
                 "{}: experiment name `{}` is already taken",
@@ -214,8 +220,14 @@ fn run_remote(url: &str, specs: &[ExperimentSpec], args: &Args) -> Result<(), Cl
     println!("submitting to {url} (scale: {})", args.scale.name());
     let t0 = Instant::now();
     for spec in specs {
-        let ticket = client::submit(
+        let endpoint = if matches!(spec.kind, qsc_bench::spec::ExperimentKind::Search(_)) {
+            client::Endpoint::Searches
+        } else {
+            client::Endpoint::Sweeps
+        };
+        let ticket = client::submit_to(
             url,
+            endpoint,
             &spec.to_json().to_string(),
             args.scale.name(),
             submit_timeout,

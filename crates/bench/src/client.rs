@@ -236,8 +236,27 @@ fn str_field(v: &Value, key: &str) -> Result<String, ClientError> {
         .ok_or_else(|| ClientError::Protocol(format!("response missing `{key}`")))
 }
 
-/// Submits a spec document, retrying on 429 backpressure for up to
-/// `timeout` (honouring `Retry-After`).
+/// The submission endpoints the service exposes: sweeps (every
+/// non-search experiment kind) and hyper-parameter searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/sweeps` — the general experiment endpoint.
+    Sweeps,
+    /// `POST /v1/searches` — `"kind": "search"` specs only.
+    Searches,
+}
+
+impl Endpoint {
+    fn path(&self) -> &'static str {
+        match self {
+            Endpoint::Sweeps => "/v1/sweeps",
+            Endpoint::Searches => "/v1/searches",
+        }
+    }
+}
+
+/// Submits a spec document to `/v1/sweeps`, retrying on 429 backpressure
+/// for up to `timeout` (honouring `Retry-After`).
 ///
 /// # Errors
 ///
@@ -250,12 +269,30 @@ pub fn submit(
     scale: &str,
     timeout: Duration,
 ) -> Result<SubmitTicket, ClientError> {
+    submit_to(base, Endpoint::Sweeps, spec_json, scale, timeout)
+}
+
+/// [`submit`] against an explicit [`Endpoint`] — search specs must go to
+/// [`Endpoint::Searches`] (the sweeps endpoint rejects them with 400, and
+/// vice versa).
+///
+/// # Errors
+///
+/// Returns [`ClientError`] for invalid or wrong-kind specs (the server's
+/// 400), persistent backpressure, and transport failures.
+pub fn submit_to(
+    base: &str,
+    endpoint: Endpoint,
+    spec_json: &str,
+    scale: &str,
+    timeout: Duration,
+) -> Result<SubmitTicket, ClientError> {
     let deadline = Instant::now() + timeout;
     loop {
         let response = http_request(
             base,
             "POST",
-            &format!("/v1/sweeps?scale={scale}"),
+            &format!("{}?scale={scale}", endpoint.path()),
             Some(spec_json),
         )?;
         match response.status {

@@ -32,6 +32,7 @@
 pub mod builtin;
 pub mod client;
 pub mod runner;
+mod search_runner;
 pub mod spec;
 
 pub use runner::{BenchError, ExperimentOutput, Progress, SweepRunner};

@@ -84,7 +84,7 @@ impl From<qsc_core::Error> for BenchError {
     }
 }
 
-fn spec_err(message: impl Into<String>) -> BenchError {
+pub(crate) fn spec_err(message: impl Into<String>) -> BenchError {
     BenchError::Spec(JsonError::msg(message))
 }
 
@@ -161,20 +161,20 @@ fn replay_table(table: &Table, on_progress: &mut dyn FnMut(Progress<'_>)) {
 /// A fully resolved pipeline recipe (patches merged, axis assignments
 /// applied).
 #[derive(Debug, Clone, PartialEq, Default)]
-struct Recipe {
-    k: usize,
-    q: Option<f64>,
-    symmetrize: bool,
-    normalize_rows: bool,
-    embedder: Option<EmbedderChoice>,
-    quantum: Option<QuantumParams>,
-    delta: Option<f64>,
-    backend: Option<BackendConfig>,
-    refine: bool,
+pub(crate) struct Recipe {
+    pub(crate) k: usize,
+    pub(crate) q: Option<f64>,
+    pub(crate) symmetrize: bool,
+    pub(crate) normalize_rows: bool,
+    pub(crate) embedder: Option<EmbedderChoice>,
+    pub(crate) quantum: Option<QuantumParams>,
+    pub(crate) delta: Option<f64>,
+    pub(crate) backend: Option<BackendConfig>,
+    pub(crate) refine: bool,
 }
 
 impl Recipe {
-    fn from_patch(patch: &RecipePatch) -> Recipe {
+    pub(crate) fn from_patch(patch: &RecipePatch) -> Recipe {
         Recipe {
             k: patch.k.unwrap_or(2),
             q: patch.q,
@@ -190,7 +190,7 @@ impl Recipe {
 
     /// Applies one non-graph `set` assignment (`pipeline.*`, `quantum.*`,
     /// `clusterer.delta`, `backend`).
-    fn apply_path(&mut self, path: &str, value: &Value) -> Result<(), BenchError> {
+    pub(crate) fn apply_path(&mut self, path: &str, value: &Value) -> Result<(), BenchError> {
         if let Some(field) = path.strip_prefix("quantum.") {
             let params = self.quantum.get_or_insert_with(QuantumParams::default);
             set_quantum_field(params, field, value)?;
@@ -256,7 +256,7 @@ impl Recipe {
 
     /// Builds the configured [`Pipeline`] (matching exactly what the
     /// hand-written experiments used to construct).
-    fn build(&self) -> Result<Pipeline, BenchError> {
+    pub(crate) fn build(&self) -> Result<Pipeline, BenchError> {
         let mut pl = Pipeline::hermitian(self.k);
         if self.symmetrize {
             pl = pl.symmetrize();
@@ -304,7 +304,7 @@ fn apply_set_to(
 
 /// One executed repetition: the outcome plus the labels metrics score
 /// (refined when the variant requests refinement).
-struct RunRecord {
+pub(crate) struct RunRecord {
     outcome: ClusteringOutcome,
     labels: Vec<usize>,
     /// Lazily measured clusterability, shared by every clusterability
@@ -318,7 +318,7 @@ struct RunRecord {
 /// in place so surviving records keep their per-rep instance alignment.
 ///
 /// [`ResiliencePolicy`]: qsc_core::ResiliencePolicy
-enum RunSlot {
+pub(crate) enum RunSlot {
     Ok(Box<RunRecord>),
     Failed(FailureKind),
 }
@@ -330,6 +330,45 @@ impl RunSlot {
             RunSlot::Failed(_) => None,
         }
     }
+
+    /// The failure that emptied this slot, if it failed.
+    pub(crate) fn failure(&self) -> Option<FailureKind> {
+        match self {
+            RunSlot::Ok(_) => None,
+            RunSlot::Failed(kind) => Some(*kind),
+        }
+    }
+}
+
+/// Aggregated values of `metric` over a repetition batch's slots: one
+/// value per surviving repetition whose inputs were available. Shared by
+/// the sweep columns and the search engine's objective/cost evaluation.
+pub(crate) fn slot_metric_values(
+    slots: &[RunSlot],
+    instances: &[GeneratedInstance],
+    k: usize,
+    metric: MetricKind,
+) -> Vec<f64> {
+    slots
+        .iter()
+        .zip(instances)
+        .filter_map(|(slot, inst)| {
+            let run = slot.record()?;
+            let mut ctx = run.outcome.metric_context(
+                k,
+                Some(&inst.graph),
+                (!inst.labels.is_empty()).then_some(inst.labels.as_slice()),
+            );
+            ctx.labels = &run.labels;
+            ctx.edge_disagreement = inst.edge_disagreement;
+            if metric.uses_clusterability() {
+                ctx.clusterability = *run
+                    .clusterability
+                    .get_or_init(|| measure_clusterability(&run.outcome.embedding, &run.labels));
+            }
+            metric.compute(&ctx)
+        })
+        .collect()
 }
 
 /// What makes two variants' executions interchangeable: same workload,
@@ -359,26 +398,7 @@ impl VariantRuns {
     /// Aggregated values of `metric` at combo `combo` (one per surviving
     /// rep whose inputs were available).
     fn metric_values(&self, metric: MetricKind, combo: usize) -> Vec<f64> {
-        self.combos[combo]
-            .iter()
-            .zip(&self.instances)
-            .filter_map(|(slot, inst)| {
-                let run = slot.record()?;
-                let mut ctx = run.outcome.metric_context(
-                    self.k,
-                    Some(&inst.graph),
-                    (!inst.labels.is_empty()).then_some(inst.labels.as_slice()),
-                );
-                ctx.labels = &run.labels;
-                ctx.edge_disagreement = inst.edge_disagreement;
-                if metric.uses_clusterability() {
-                    ctx.clusterability = *run.clusterability.get_or_init(|| {
-                        measure_clusterability(&run.outcome.embedding, &run.labels)
-                    });
-                }
-                metric.compute(&ctx)
-            })
-            .collect()
+        slot_metric_values(&self.combos[combo], &self.instances, self.k, metric)
     }
 
     /// `Some(kind)` when **every** repetition of `combo` failed — the
@@ -609,6 +629,11 @@ impl SweepRunner {
                 replay_table(&table, on_progress);
                 (table.clone(), table, Vec::new())
             }
+            ExperimentKind::Search(se) => {
+                let (table, notes) = crate::search_runner::run_search(self, spec, se)?;
+                replay_table(&table, on_progress);
+                (table.clone(), table, notes)
+            }
         };
         for analysis in &spec.analyses {
             notes.push(run_analysis(analysis, &primary)?);
@@ -625,7 +650,7 @@ impl SweepRunner {
 
     /// The spec's graph with this scale's `scale_set` graph assignments
     /// applied, plus the non-graph assignments (returned for the recipe).
-    fn scaled_graph<'a>(
+    pub(crate) fn scaled_graph<'a>(
         &self,
         spec: &'a ExperimentSpec,
         graph: &GraphSpec,
@@ -1084,7 +1109,7 @@ impl SweepRunner {
     }
 }
 
-fn to_slots(
+pub(crate) fn to_slots(
     outs: Vec<Result<ClusteringOutcome, FailureKind>>,
     instances: &[GeneratedInstance],
     recipe: &Recipe,

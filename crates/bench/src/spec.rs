@@ -35,7 +35,8 @@
 //!
 //! `kind` selects the experiment engine: `"pipeline"` (the generic sweep),
 //! `"embedding"` (coordinate dumps, Fig. 1), `"qpe_resolution"` (Fig. 3),
-//! `"resources"` (Fig. 5) or `"trotter"` (Fig. 6).
+//! `"resources"` (Fig. 5), `"trotter"` (Fig. 6) or `"search"`
+//! (hyper-parameter search, see [`qsc_search`] and `docs/SEARCH.md`).
 
 use qsc_cluster::registry::MetricKind;
 use qsc_core::config::{BackendConfig, QuantumParams};
@@ -734,6 +735,27 @@ pub struct TrotterSpec {
     pub steps: Vec<usize>,
 }
 
+/// A hyper-parameter search: one workload, one base recipe, and a
+/// `"search"` block (space + objective + strategy) optimized by the
+/// [`qsc_search`] engine over the isolated batch runners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchExperiment {
+    /// The workload generator every candidate is evaluated on.
+    pub graph: GraphSpec,
+    /// Full repetition count per candidate (halving promotes towards it).
+    pub reps: Scaled<usize>,
+    /// Seeding policy (per-repetition seeds are shared across candidates,
+    /// so candidate comparisons are paired).
+    pub seeds: SeedPolicy,
+    /// The recipe every candidate starts from; search dimensions override
+    /// individual knobs on top of it.
+    pub base: RecipePatch,
+    /// Fault-tolerance policy applied to every candidate's batch runs.
+    pub resilience: ResiliencePolicy,
+    /// Space, objective and strategy.
+    pub search: qsc_search::SearchSpec,
+}
+
 /// The experiment engines a spec can select.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExperimentKind {
@@ -748,6 +770,8 @@ pub enum ExperimentKind {
     Resources(ResourcesSpec),
     /// Trotterization error (Fig. 6).
     Trotter(TrotterSpec),
+    /// Hyper-parameter search (boxed for the same reason as `Pipeline`).
+    Search(Box<SearchExperiment>),
 }
 
 /// A complete, serializable experiment: what one table/figure of the
@@ -1008,6 +1032,7 @@ impl ToJson for ExperimentSpec {
             ExperimentKind::QpeResolution(_) => "qpe_resolution",
             ExperimentKind::Resources(_) => "resources",
             ExperimentKind::Trotter(_) => "trotter",
+            ExperimentKind::Search(_) => "search",
         };
         push(&mut f, "kind", s(kind_name));
         if !self.scale_set.is_empty() {
@@ -1103,6 +1128,16 @@ impl ToJson for ExperimentSpec {
                 push(&mut f, "q", num(t.q));
                 push(&mut f, "time", num(t.time));
                 push(&mut f, "steps", usize_list_to_json(&t.steps));
+            }
+            ExperimentKind::Search(se) => {
+                push(&mut f, "graph", se.graph.to_json());
+                push(&mut f, "reps", scaled_to_json(&se.reps, |n| num(*n as f64)));
+                push(&mut f, "seeds", se.seeds.to_json());
+                push(&mut f, "base", se.base.to_json());
+                if !se.resilience.is_default() {
+                    push(&mut f, "resilience", se.resilience.to_json());
+                }
+                push(&mut f, "search", se.search.to_json());
             }
         }
         Value::Obj(f)
@@ -1343,10 +1378,58 @@ impl FromJson for ExperimentSpec {
                 time: r.f64_or("time", 1.0)?,
                 steps: decode_usize_list(r.required("steps")?, "steps")?,
             }),
+            "search" => {
+                let graph = GraphSpec::from_json(r.required("graph")?)?;
+                let reps = match r.take("reps") {
+                    None => Scaled::uniform(1),
+                    Some(v) => Scaled::decode(v, "reps", |v| {
+                        v.as_usize()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| JsonError::msg("reps: expected a positive integer"))
+                    })?,
+                };
+                let seeds = match r.take("seeds") {
+                    None => SeedPolicy::default(),
+                    Some(v) => SeedPolicy::decode(v)?,
+                };
+                let base = match r.take("base") {
+                    None => RecipePatch::default(),
+                    Some(v) => {
+                        let mut br = v.reader("base")?;
+                        let patch = RecipePatch::decode_fields(&mut br)?;
+                        br.finish()?;
+                        patch
+                    }
+                };
+                let resilience = match r.take("resilience") {
+                    None => ResiliencePolicy::default(),
+                    Some(v) => ResiliencePolicy::from_json(v)?,
+                };
+                let search = qsc_search::SearchSpec::from_json(r.required("search")?)?;
+                // A dimension that a scale_set assignment also pins is
+                // contradictory: the fixed axis would silently overwrite
+                // (or be overwritten by) every candidate.
+                for (_, path, _) in &scale_set {
+                    if search.space.dims.iter().any(|d| &d.path == path) {
+                        return Err(JsonError::msg(format!(
+                            "search.space: dimension `{path}` collides with the fixed scale_set \
+                             axis `{path}`"
+                        )));
+                    }
+                }
+                ExperimentKind::Search(Box::new(SearchExperiment {
+                    graph,
+                    reps,
+                    seeds,
+                    base,
+                    resilience,
+                    search,
+                }))
+            }
             other => {
                 return Err(JsonError::msg(format!(
                     "kind: unknown experiment kind `{other}` (expected pipeline | embedding | \
-                     qpe_resolution | resources | trotter)"
+                     qpe_resolution | resources | trotter | search)"
                 )))
             }
         };

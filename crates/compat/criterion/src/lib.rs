@@ -13,7 +13,11 @@
 //!
 //! The `QSC_BENCH_JSON` environment variable, when set to a path, appends
 //! one JSON line per benchmark (`{"name": ..., "median_ns": ...}`), which
-//! is how `BENCH_*.json` baselines are produced.
+//! is how `BENCH_*.json` baselines are produced. Every line (and the
+//! stdout report) records the worker count the run used (`workers`:
+//! `RAYON_NUM_THREADS` if set, else the detected core count) and the
+//! machine's detected core count (`cores`), so baselines from different
+//! machines or thread caps are never compared as like-for-like.
 
 #![warn(missing_docs)]
 
@@ -93,6 +97,21 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Detected core count (1 if detection fails).
+fn detected_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The worker count this bench run actually uses: an explicit
+/// `RAYON_NUM_THREADS` cap, else every detected core.
+fn worker_count() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(detected_cores)
+}
+
 fn report(name: &str, b: &Bencher) {
     let mut sorted = b.samples.clone();
     sorted.sort();
@@ -101,8 +120,9 @@ fn report(name: &str, b: &Bencher) {
         return;
     }
     let median = sorted[sorted.len() / 2];
+    let (workers, cores) = (worker_count(), detected_cores());
     println!(
-        "bench: {name} ... min {}  median {}  max {}  ({} samples x {} iters)",
+        "bench: {name} ... min {}  median {}  max {}  ({} samples x {} iters, {workers} workers / {cores} cores)",
         fmt_duration(sorted[0]),
         fmt_duration(median),
         fmt_duration(*sorted.last().expect("non-empty")),
@@ -117,7 +137,7 @@ fn report(name: &str, b: &Bencher) {
         {
             let _ = writeln!(
                 fh,
-                "{{\"name\": \"{name}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                "{{\"name\": \"{name}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"workers\": {workers}, \"cores\": {cores}}}",
                 median.as_nanos(),
                 sorted[0].as_nanos(),
                 sorted.last().expect("non-empty").as_nanos(),

@@ -20,6 +20,8 @@ use qsc_core::report::{SinkFormat, Table};
 use qsc_json::{JsonError, Value};
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Bump to invalidate every cached result on a change that affects
 /// numeric output without changing the crate version (kernel tweaks,
@@ -178,10 +180,30 @@ impl CachedResult {
     }
 }
 
-/// The on-disk cache: one checksummed JSON file per key.
+/// A point-in-time view of cache activity since the cache was opened.
+/// Counters are process-lifetime (they reset on restart); `entries` is
+/// the current on-disk entry count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entry files currently on disk.
+    pub entries: u64,
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that found nothing servable (absent or evicted).
+    pub misses: u64,
+    /// Corrupt entries deleted during lookup.
+    pub evictions: u64,
+}
+
+/// The on-disk cache: one checksummed JSON file per key. Clones share
+/// the same activity counters, so stats aggregate across every worker
+/// holding a handle.
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
 }
 
 impl ResultCache {
@@ -193,7 +215,12 @@ impl ResultCache {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CacheError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            evictions: Arc::new(AtomicU64::new(0)),
+        })
     }
 
     /// The entry file of a key.
@@ -206,15 +233,45 @@ impl ResultCache {
     /// never served.
     pub fn lookup(&self, key: &str) -> Option<CachedResult> {
         let path = self.entry_path(key);
-        let text = std::fs::read_to_string(&path).ok()?;
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
         match Self::validate(&text) {
-            Ok(result) => Some(result),
+            Ok(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result)
+            }
             Err(_) => {
                 // Eviction is best-effort: a failed delete just means the
                 // next lookup revalidates (and re-fails) the same bytes.
                 let _ = std::fs::remove_file(&path);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
+        }
+    }
+
+    /// A snapshot of cache activity since this cache was opened, plus the
+    /// current on-disk entry count (temp files excluded).
+    pub fn stats(&self) -> CacheStats {
+        let entries = std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| {
+                        let name = e.file_name();
+                        let name = name.to_string_lossy();
+                        name.ends_with(".json") && !name.starts_with('.')
+                    })
+                    .count() as u64
+            })
+            .unwrap_or(0);
+        CacheStats {
+            entries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -360,5 +417,48 @@ mod tests {
         // And a fresh store afterwards serves again.
         cache.store(&key, &sample()).unwrap();
         assert_eq!(cache.lookup(&key), Some(sample()));
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions() {
+        let cache = ResultCache::open(tmp_dir("stats")).unwrap();
+        let key = "1".repeat(64);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0
+            }
+        );
+
+        // Cold miss, then store → hit; clones share the counters.
+        assert!(cache.lookup(&key).is_none());
+        cache.store(&key, &sample()).unwrap();
+        let clone = cache.clone();
+        assert!(clone.lookup(&key).is_some());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 1,
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+
+        // Corruption: the failed lookup is both an eviction and a miss.
+        std::fs::write(cache.entry_path(&key), "garbage").unwrap();
+        assert!(cache.lookup(&key).is_none());
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                entries: 0,
+                hits: 1,
+                misses: 2,
+                evictions: 1
+            }
+        );
     }
 }

@@ -2,9 +2,10 @@
 //!
 //! | Endpoint | Behavior |
 //! |---|---|
-//! | `GET /v1/healthz` | liveness + version + queue depth |
-//! | `POST /v1/sweeps?scale=quick\|full` | validate spec → cache hit (`200`) or enqueue (`202`); full queue → `429` + `Retry-After`; invalid spec → `400` with the strict parser's line/col error |
-//! | `GET /v1/sweeps/:id` | job status (`queued`/`running`/`done`/`failed`), cache marker, per-cell failure kinds |
+//! | `GET /v1/healthz` | liveness + version + queue depth + cache statistics (entries, hits, misses, evictions since start) |
+//! | `POST /v1/sweeps?scale=quick\|full` | validate non-search spec → cache hit (`200`) or enqueue (`202`); full queue → `429` + `Retry-After`; invalid spec or a `"kind": "search"` spec → `400` with a precise error |
+//! | `POST /v1/searches?scale=quick\|full` | same contract for `"kind": "search"` specs — the hyper-parameter search runs through the same job queue and content-addressed cache; non-search specs → `400` pointing at `/v1/sweeps` |
+//! | `GET /v1/sweeps/:id` | job status (`queued`/`running`/`done`/`failed`), cache marker, per-cell failure kinds — search jobs poll here too (one id namespace) |
 //! | `GET /v1/sweeps/:id/result?format=csv\|json` | the finished table through the standard sinks |
 //! | `GET /v1/sweeps/:id/stream` | chunked CSV: header immediately, rows as grid points complete |
 
@@ -191,7 +192,8 @@ fn route(stream: &mut TcpStream, request: &Request, jobs: &Arc<JobSystem>) -> st
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
         ("GET", ["v1", "healthz"]) => handle_healthz(stream, jobs),
-        ("POST", ["v1", "sweeps"]) => handle_submit(stream, request, jobs),
+        ("POST", ["v1", "sweeps"]) => handle_submit(stream, request, jobs, SubmitKind::Sweep),
+        ("POST", ["v1", "searches"]) => handle_submit(stream, request, jobs, SubmitKind::Search),
         ("GET", ["v1", "sweeps", id]) => match jobs.get(id) {
             Some(job) => handle_status(stream, &job),
             None => not_found(stream, &format!("no job `{id}`")),
@@ -204,13 +206,15 @@ fn route(stream: &mut TcpStream, request: &Request, jobs: &Arc<JobSystem>) -> st
             Some(job) => handle_stream(stream, &job),
             None => not_found(stream, &format!("no job `{id}`")),
         },
-        (_, ["v1", "sweeps", ..]) | (_, ["v1", "healthz"]) => respond(
-            stream,
-            405,
-            "application/json",
-            &[],
-            &error_body(&format!("method {} not allowed here", request.method)),
-        ),
+        (_, ["v1", "sweeps", ..]) | (_, ["v1", "searches", ..]) | (_, ["v1", "healthz"]) => {
+            respond(
+                stream,
+                405,
+                "application/json",
+                &[],
+                &error_body(&format!("method {} not allowed here", request.method)),
+            )
+        }
         _ => not_found(stream, &format!("no route `{}`", request.path)),
     }
 }
@@ -220,19 +224,40 @@ fn not_found(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
 }
 
 fn handle_healthz(stream: &mut TcpStream, jobs: &Arc<JobSystem>) -> std::io::Result<()> {
+    let stats = jobs.cache().stats();
     let body = Value::Obj(vec![
         ("status".into(), Value::Str("ok".into())),
         ("version".into(), Value::Str(code_version())),
         ("queue_depth".into(), Value::Num(jobs.queue_depth() as f64)),
+        (
+            "cache".into(),
+            Value::Obj(vec![
+                ("entries".into(), Value::Num(stats.entries as f64)),
+                ("hits".into(), Value::Num(stats.hits as f64)),
+                ("misses".into(), Value::Num(stats.misses as f64)),
+                ("evictions".into(), Value::Num(stats.evictions as f64)),
+            ]),
+        ),
     ])
     .to_string();
     respond(stream, 200, "application/json", &[], &body)
+}
+
+/// Which submission endpoint is talking: `/v1/sweeps` takes every
+/// non-search experiment kind, `/v1/searches` only `"kind": "search"`.
+/// A spec posted to the wrong one is a `400`, not a silent accept —
+/// clients should never discover an endpoint mix-up from a result table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SubmitKind {
+    Sweep,
+    Search,
 }
 
 fn handle_submit(
     stream: &mut TcpStream,
     request: &Request,
     jobs: &Arc<JobSystem>,
+    endpoint: SubmitKind,
 ) -> std::io::Result<()> {
     let scale = match request.query_param("scale") {
         None => Scale::Quick,
@@ -273,6 +298,32 @@ fn handle_submit(
             )
         }
     };
+    let is_search = matches!(spec.kind, qsc_bench::spec::ExperimentKind::Search(_));
+    match endpoint {
+        SubmitKind::Sweep if is_search => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                &error_body(&format!(
+                    "spec `{}` has kind `search`: submit it to POST /v1/searches",
+                    spec.name
+                )),
+            )
+        }
+        SubmitKind::Search if !is_search => return respond(
+            stream,
+            400,
+            "application/json",
+            &[],
+            &error_body(&format!(
+                "spec `{}` is not a search (kind must be `search`): submit it to POST /v1/sweeps",
+                spec.name
+            )),
+        ),
+        _ => {}
+    }
     // Key over the *normalized* document (the spec's own round-tripped
     // JSON), so formatting, key order and spelled-out defaults never
     // split the cache.

@@ -2,7 +2,9 @@
 //! byte-identity with local runs, cache semantics (hit / miss /
 //! corruption), validation errors, backpressure, and row streaming.
 
-use qsc_bench::client::{fetch_result, http_request, status, submit, wait_done};
+use qsc_bench::client::{
+    fetch_result, http_request, status, submit, submit_to, wait_done, Endpoint,
+};
 use qsc_bench::{ExperimentSpec, Scale, SweepRunner};
 use qsc_core::report::SinkFormat;
 use qsc_serve::{ServeConfig, Server};
@@ -229,6 +231,129 @@ fn routing_errors_and_health() {
     let no_result =
         http_request(&base, "GET", "/v1/sweeps/job-999/result", None).expect("transport");
     assert_eq!(no_result.status, 404);
+}
+
+/// A small hyper-parameter search spec for the search endpoint tests.
+fn search_spec_json() -> String {
+    r#"{
+  "name": "svc_search",
+  "title": "service search test",
+  "kind": "search",
+  "graph": {"family": "dsbm", "n": 48, "k": 2,
+            "p_intra": 0.4, "p_inter": 0.1, "eta_flow": 0.8,
+            "meta": "cycle"},
+  "reps": 2,
+  "base": {"k": 2},
+  "search": {
+    "space": [{"path": "pipeline.k", "values": [2, 3]}],
+    "objective": {"metric": "adjusted_rand_index", "goal": "maximize"},
+    "strategy": {"kind": "grid"}
+  },
+  "sinks": ["csv"]
+}"#
+    .to_string()
+}
+
+/// Pulls one counter out of the healthz `"cache"` object.
+fn cache_stat(base: &str, field: &str) -> u64 {
+    let health = http_request(base, "GET", "/v1/healthz", None).expect("healthz");
+    assert_eq!(health.status, 200);
+    let needle = format!("\"{field}\":");
+    let at = health
+        .body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("healthz has no `{field}`: {}", health.body));
+    health.body[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric stat")
+}
+
+/// Searches go through `/v1/searches` end to end — same queue, same
+/// cache, byte-identical to a local run — and the endpoints reject
+/// wrong-kind specs with a 400 that names the right endpoint. Healthz
+/// exposes the cache counters the round trip moves.
+#[test]
+fn search_endpoint_round_trips_with_cache_and_kind_gating() {
+    let server = start("search", 2, 8);
+    let base = server.base_url();
+    let text = search_spec_json();
+
+    // Wrong endpoint, both directions: precise 400s, nothing enqueued.
+    let wrong = http_request(&base, "POST", "/v1/sweeps", Some(&text)).expect("transport");
+    assert_eq!(wrong.status, 400);
+    assert!(
+        wrong.body.contains("/v1/searches"),
+        "sweeps endpoint must point search specs at /v1/searches: {}",
+        wrong.body
+    );
+    let wrong = http_request(
+        &base,
+        "POST",
+        "/v1/searches",
+        Some(&spec_json("not-a-search")),
+    )
+    .expect("transport");
+    assert_eq!(wrong.status, 400);
+    assert!(
+        wrong.body.contains("/v1/sweeps"),
+        "searches endpoint must point sweeps at /v1/sweeps: {}",
+        wrong.body
+    );
+
+    // A contradictory search block is a 400 naming the offending field.
+    let contradictory = text.replacen(
+        r#""strategy": {"kind": "grid"}"#,
+        r#""strategy": {"kind": "successive_halving", "budget": 1, "eta": 2}"#,
+        1,
+    );
+    let bad = http_request(&base, "POST", "/v1/searches", Some(&contradictory)).expect("transport");
+    assert_eq!(bad.status, 400);
+    assert!(
+        bad.body.contains("search.strategy.budget"),
+        "contradiction must name its field: {}",
+        bad.body
+    );
+
+    // Local ground truth through the same runner.
+    let spec = ExperimentSpec::parse(&text).expect("spec parses");
+    let local = SweepRunner::new(Scale::Quick)
+        .run(&spec)
+        .expect("local run");
+    let local_csv = local.primary.render(SinkFormat::Csv);
+
+    // First submission misses and executes; the winner is in the notes.
+    let hits_before = cache_stat(&base, "hits");
+    let ticket = submit_to(&base, Endpoint::Searches, &text, "quick", TIMEOUT).expect("submit");
+    assert_eq!(ticket.cache, "miss");
+    wait_done(&base, &ticket.id, TIMEOUT).expect("search runs to done");
+    let st = status(&base, &ticket.id).expect("status");
+    assert_eq!(st.state, "done");
+    let raw =
+        http_request(&base, "GET", &format!("/v1/sweeps/{}", ticket.id), None).expect("raw status");
+    assert!(
+        raw.body.contains("winner: trial"),
+        "status notes carry the winner: {}",
+        raw.body
+    );
+    assert_eq!(
+        fetch_result(&base, &ticket.id, "csv").expect("trial table"),
+        local_csv,
+        "served trial table must be byte-identical to the local run"
+    );
+
+    // Second submission is answered from the content-addressed cache.
+    let again = submit_to(&base, Endpoint::Searches, &text, "quick", TIMEOUT).expect("resubmit");
+    assert_eq!(again.cache, "hit", "identical search must hit the cache");
+    assert_eq!(again.key, ticket.key);
+    assert!(
+        cache_stat(&base, "hits") > hits_before,
+        "healthz hit counter must move on a cache hit"
+    );
+    assert!(cache_stat(&base, "entries") >= 1);
+    assert!(cache_stat(&base, "misses") >= 1);
 }
 
 #[test]
