@@ -175,12 +175,12 @@ fn bench_sharded(c: &mut Criterion) {
     let state = plain.execute(&circuit, 5, &mut rng).expect("run");
     group.bench_function("qpe12_sample4096_plain", |b| {
         let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| black_box(plain.sample(black_box(&state), 4096, &mut rng)))
+        b.iter(|| black_box(plain.sample(black_box(&state), 4096, &mut rng).unwrap()))
     });
     let sharded = ShardedStatevector::with_shards(4);
     group.bench_function("qpe12_sample4096_shards4", |b| {
         let mut rng = StdRng::seed_from_u64(4);
-        b.iter(|| black_box(sharded.sample(black_box(&state), 4096, &mut rng)))
+        b.iter(|| black_box(sharded.sample(black_box(&state), 4096, &mut rng).unwrap()))
     });
     plain.recycle(state);
     group.finish();

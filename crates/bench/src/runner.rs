@@ -28,7 +28,7 @@ use qsc_core::refine::{refine_partition, RefineConfig};
 use qsc_core::report::{fmt, fmt_mean_std, mean, SinkFormat, Table};
 use qsc_core::{
     Clusterer, ClusteringOutcome, FailureKind, GraphInstance, LanczosCsr, LanczosDense, Pipeline,
-    QMeans,
+    QMeans, ResiliencePolicy,
 };
 use qsc_graph::normalized_hermitian_laplacian;
 use qsc_graph::spec::{GeneratedInstance, GraphSpec};
@@ -40,6 +40,7 @@ use qsc_sim::synthesis::{derived_two_qubit_count, two_level_decompose};
 use qsc_sim::PhaseEstimator;
 use std::cell::OnceCell;
 use std::fmt as stdfmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Errors of the sweep engine: spec-level mistakes plus propagated
@@ -112,9 +113,20 @@ pub struct ExperimentOutput {
 }
 
 /// Interprets [`ExperimentSpec`]s at a fixed scale.
-#[derive(Debug, Clone, Copy)]
+///
+/// With [`SweepRunner::with_fleet`] the runner fans grid points across a
+/// set of remote executor services round-robin: each point's resolved
+/// backend is wrapped as a remote backend targeting one host, with the
+/// remaining hosts and finally the local backend as the fallback chain —
+/// so an executor dying mid-sweep costs retries, never result cells, and
+/// the produced tables stay byte-identical to a local run.
+#[derive(Debug, Clone)]
 pub struct SweepRunner {
     scale: Scale,
+    fleet: Vec<String>,
+    /// Round-robin cursor over `fleet`, shared across clones so nested
+    /// runs (searches) keep rotating instead of restarting at host 0.
+    next_host: Arc<AtomicUsize>,
 }
 
 /// Incremental completion event fired by
@@ -568,12 +580,57 @@ fn eval_columns(
 impl SweepRunner {
     /// A runner at the given scale preset.
     pub fn new(scale: Scale) -> Self {
-        Self { scale }
+        Self {
+            scale,
+            fleet: Vec::new(),
+            next_host: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Fans grid points across the given executor addresses (round-robin,
+    /// with the other hosts and then local execution as per-point
+    /// fallbacks). An empty list keeps execution local.
+    pub fn with_fleet(mut self, hosts: impl IntoIterator<Item = String>) -> Self {
+        self.fleet = hosts.into_iter().collect();
+        self
+    }
+
+    /// The configured executor fleet (empty = local execution).
+    pub fn fleet(&self) -> &[String] {
+        &self.fleet
     }
 
     /// The runner's scale.
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// Wraps one grid point's resolved backend for fleet execution: the
+    /// next host round-robin carries the point, the remaining hosts and
+    /// finally the local backend line up as fallbacks ahead of the spec's
+    /// own chain. A spec that already targets a remote backend explicitly
+    /// is left untouched.
+    fn fleet_wrap(&self, recipe: &Recipe, policy: &ResiliencePolicy) -> (Recipe, ResiliencePolicy) {
+        let inner = recipe.backend.clone().unwrap_or_default();
+        if self.fleet.is_empty() || matches!(inner, BackendConfig::Remote { .. }) {
+            return (recipe.clone(), policy.clone());
+        }
+        let remote_to = |addr: &String| BackendConfig::Remote {
+            addr: addr.clone(),
+            inner: Box::new(inner.clone()),
+        };
+        let n = self.fleet.len();
+        let first = self.next_host.fetch_add(1, Ordering::Relaxed) % n;
+        let mut recipe = recipe.clone();
+        recipe.backend = Some(remote_to(&self.fleet[first]));
+        let mut policy = policy.clone();
+        let mut chain: Vec<BackendConfig> = (1..n)
+            .map(|offset| remote_to(&self.fleet[(first + offset) % n]))
+            .collect();
+        chain.push(inner);
+        chain.append(&mut policy.fallbacks);
+        policy.fallbacks = chain;
+        (recipe, policy)
     }
 
     /// Interprets one spec.
@@ -852,7 +909,8 @@ impl SweepRunner {
                 .map(|(rep, inst)| GraphInstance::with_seed(&inst.graph, seeds.pipeline_seed(rep)))
                 .collect();
 
-            let pl = recipe.build()?.resilience(p.resilience.clone())?;
+            let (exec_recipe, exec_policy) = self.fleet_wrap(&recipe, &p.resilience);
+            let pl = exec_recipe.build()?.resilience(exec_policy)?;
             let combos: Vec<Vec<RunSlot>> = if inner_points.is_empty() {
                 let outs = pl.run_many_isolated(&batch);
                 let outs = outs.into_iter().map(|r| r.map_err(|e| e.kind)).collect();

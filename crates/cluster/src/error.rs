@@ -25,6 +25,12 @@ pub enum ClusterError {
         /// Description of the problem.
         context: String,
     },
+    /// The execution backend behind the distance estimates failed
+    /// (e.g. a remote executor became unreachable mid-run).
+    Backend {
+        /// The backend's error message.
+        context: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -41,6 +47,9 @@ impl fmt::Display for ClusterError {
             }
             ClusterError::InvalidConfig { context } => {
                 write!(f, "invalid clustering configuration: {context}")
+            }
+            ClusterError::Backend { context } => {
+                write!(f, "clustering backend failed: {context}")
             }
         }
     }

@@ -58,6 +58,10 @@ pub struct QMeansNoise<'b> {
     /// Upper bound on the squared distances, normalizing them into the
     /// `[0, 1]` probability the backend's estimator observes.
     distance_scale: f64,
+    /// First backend failure, stashed because [`NoiseModel`] hooks are
+    /// infallible: once set, later estimates pass through un-observed and
+    /// [`qmeans_inner`] surfaces the error after the run.
+    error: Option<qsc_sim::SimError>,
 }
 
 impl<'b> QMeansNoise<'b> {
@@ -68,6 +72,7 @@ impl<'b> QMeansNoise<'b> {
             rng: StdRng::seed_from_u64(seed),
             backend: None,
             distance_scale: 1.0,
+            error: None,
         }
     }
 
@@ -85,6 +90,7 @@ impl<'b> QMeansNoise<'b> {
             rng: StdRng::seed_from_u64(seed),
             backend: Some(backend),
             distance_scale: distance_scale.max(f64::MIN_POSITIVE),
+            error: None,
         }
     }
 }
@@ -106,11 +112,16 @@ impl NoiseModel for QMeansNoise<'_> {
             est = (est + self.rng.gen_range(-self.delta..self.delta)).max(0.0);
         }
         if let Some(backend) = self.backend {
-            // Shot-based distance estimation: the (δ-perturbed) squared
-            // distance, normalized to a probability, observed through the
-            // backend's measurement statistics.
-            let p = (est / self.distance_scale).clamp(0.0, 1.0);
-            est = backend.estimate_probability(p, &mut self.rng) * self.distance_scale;
+            if self.error.is_none() {
+                // Shot-based distance estimation: the (δ-perturbed) squared
+                // distance, normalized to a probability, observed through
+                // the backend's measurement statistics.
+                let p = (est / self.distance_scale).clamp(0.0, 1.0);
+                match backend.estimate_probability(p, &mut self.rng) {
+                    Ok(obs) => est = obs * self.distance_scale,
+                    Err(e) => self.error = Some(e),
+                }
+            }
         }
         est.max(0.0)
     }
@@ -255,6 +266,11 @@ fn qmeans_inner(
         if best.as_ref().is_none_or(|b| run.inertia < b.inertia) {
             best = Some(run);
         }
+    }
+    if let Some(e) = noise.error {
+        return Err(ClusterError::Backend {
+            context: e.to_string(),
+        });
     }
     Ok(best.expect("restarts >= 1"))
 }

@@ -161,6 +161,27 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for lossless transport of a
+        /// generator across a process boundary (e.g. a wire protocol).
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state captured with [`StdRng::state`].
+        /// The resulting stream continues exactly where the original left
+        /// off. An all-zero state is nudged to a fixed non-zero state
+        /// (xoshiro256** has no all-zero orbit).
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
+        }
+    }
+
     impl Rng for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
@@ -227,6 +248,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
         assert!((heads as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let snap = rng.state();
+        let mut resumed = StdRng::from_state(snap);
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use qsc_graph::Q_CLASSICAL;
 use qsc_json::{num, obj, FromJson, JsonError, ToJson, Value};
 use qsc_sim::backend::{Backend, NoisyStatevector, ShotSampler, Statevector};
-use qsc_sim::{DensityMatrix, ShardedStatevector};
+use qsc_sim::{DensityMatrix, RemoteBackend, ShardedStatevector};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -127,6 +127,17 @@ pub enum BackendConfig {
         /// Shots behind every probability estimate.
         shots: usize,
     },
+    /// Execution delegated to a remote executor service hosting the
+    /// `inner` backend (`qsc-serve --backend …`). Results — including
+    /// seeded trajectory noise — are bit-identical to running `inner`
+    /// in-process; transport failures surface as retryable errors that
+    /// never perturb the seed.
+    Remote {
+        /// Executor address, `host:port`.
+        addr: String,
+        /// The backend the executor hosts (must not itself be remote).
+        inner: Box<BackendConfig>,
+    },
 }
 
 impl BackendConfig {
@@ -139,6 +150,7 @@ impl BackendConfig {
             BackendConfig::Noisy { .. } => "noisy",
             BackendConfig::Density { .. } => "density",
             BackendConfig::Shots { .. } => "shots",
+            BackendConfig::Remote { .. } => "remote",
         }
     }
 
@@ -198,6 +210,29 @@ impl BackendConfig {
                 }
                 Ok(Arc::new(ShotSampler::new(shots)))
             }
+            BackendConfig::Remote {
+                ref addr,
+                ref inner,
+            } => {
+                if matches!(**inner, BackendConfig::Remote { .. }) {
+                    return Err(crate::error::Error::InvalidRequest {
+                        context: "a remote backend cannot host another remote backend".into(),
+                    });
+                }
+                // Building the inner backend locally validates its
+                // parameters up front and exposes the trait surface
+                // (exactness, purity, register limit) the remote proxy
+                // must mirror; the instance itself is discarded —
+                // construction is allocation-free for every kind.
+                let hosted = inner.build()?;
+                Ok(Arc::new(
+                    RemoteBackend::new(addr.clone(), inner.to_json()).with_traits(
+                        hosted.exact_statistics(),
+                        hosted.pure_state(),
+                        hosted.phase_register_limit(),
+                    ),
+                ))
+            }
         }
     }
 }
@@ -226,6 +261,13 @@ impl ToJson for BackendConfig {
                 readout_flip,
             } => obj([("density", noise_obj(*depolarizing, *readout_flip))]),
             BackendConfig::Shots { shots } => obj([("shots", num(*shots as f64))]),
+            BackendConfig::Remote { addr, inner } => obj([(
+                "remote",
+                obj([
+                    ("addr", Value::Str(addr.clone())),
+                    ("inner", inner.to_json()),
+                ]),
+            )]),
         }
     }
 }
@@ -279,9 +321,25 @@ impl FromJson for BackendConfig {
                             JsonError::msg("backend.shots: expected a positive integer")
                         })?,
                     }
+                } else if let Some(remote) = r.take("remote") {
+                    let mut rr = remote.reader("backend.remote")?;
+                    let addr = rr.req_str("addr")?.to_string();
+                    let inner = BackendConfig::from_json(rr.required("inner")?)?;
+                    rr.finish()?;
+                    if matches!(inner, BackendConfig::Remote { .. }) {
+                        return Err(JsonError::msg(
+                            "backend.remote.inner: a remote backend cannot nest another \
+                             remote backend",
+                        ));
+                    }
+                    BackendConfig::Remote {
+                        addr,
+                        inner: Box::new(inner),
+                    }
                 } else {
                     return Err(JsonError::msg(
-                        "backend: expected a `sharded`, `noisy`, `density` or `shots` variant",
+                        "backend: expected a `sharded`, `noisy`, `density`, `shots` or \
+                         `remote` variant",
                     ));
                 };
                 r.finish()?;
@@ -328,6 +386,11 @@ pub fn set_backend_field(
              backend kind in `base` or the variant first)"
         ))
     };
+    // A sweep axis over a remote backend tunes the *hosted* backend: the
+    // field travels to the executor inside the inner config.
+    if let BackendConfig::Remote { inner, .. } = config {
+        return set_backend_field(inner, field, value);
+    }
     match field {
         "depolarizing" => match config {
             BackendConfig::Noisy { depolarizing, .. }
@@ -554,6 +617,86 @@ mod tests {
             let v = Value::parse(bad).unwrap();
             assert!(BackendConfig::from_json(&v).is_err(), "accepted {bad}");
         }
+    }
+
+    #[test]
+    fn remote_backend_config_round_trips_and_rejects_nesting() {
+        let config = BackendConfig::Remote {
+            addr: "127.0.0.1:8791".into(),
+            inner: Box::new(BackendConfig::Noisy {
+                depolarizing: 0.05,
+                readout_flip: 0.01,
+            }),
+        };
+        let v = config.to_json();
+        assert_eq!(BackendConfig::from_json(&v).unwrap(), config, "{v}");
+        let reparsed = Value::parse(&v.to_string()).unwrap();
+        assert_eq!(BackendConfig::from_json(&reparsed).unwrap(), config);
+
+        let nested = Value::parse(
+            r#"{"remote": {"addr": "a:1", "inner": {"remote": {"addr": "b:2", "inner": "statevector"}}}}"#,
+        )
+        .unwrap();
+        assert!(BackendConfig::from_json(&nested).is_err());
+        let missing_inner = Value::parse(r#"{"remote": {"addr": "a:1"}}"#).unwrap();
+        assert!(BackendConfig::from_json(&missing_inner).is_err());
+    }
+
+    #[test]
+    fn remote_backend_config_builds_and_mirrors_inner_traits() {
+        let remote = |inner: BackendConfig| BackendConfig::Remote {
+            addr: "127.0.0.1:1".into(),
+            inner: Box::new(inner),
+        };
+        let exact = remote(BackendConfig::Statevector).build().unwrap();
+        assert_eq!(exact.name(), "remote");
+        assert!(exact.exact_statistics() && exact.pure_state());
+        let noisy = remote(BackendConfig::Noisy {
+            depolarizing: 0.1,
+            readout_flip: 0.0,
+        })
+        .build()
+        .unwrap();
+        assert!(!noisy.exact_statistics());
+        let density = remote(BackendConfig::Density {
+            depolarizing: 0.1,
+            readout_flip: 0.0,
+        })
+        .build()
+        .unwrap();
+        assert!(!density.pure_state());
+        assert!(density.phase_register_limit().is_some());
+
+        // Invalid inner parameters fail at build, before any connection.
+        assert!(remote(BackendConfig::Shots { shots: 0 }).build().is_err());
+        let nested = BackendConfig::Remote {
+            addr: "a:1".into(),
+            inner: Box::new(remote(BackendConfig::Statevector)),
+        };
+        assert!(nested.build().is_err());
+    }
+
+    #[test]
+    fn remote_backend_field_assignment_reaches_the_inner_config() {
+        let mut config = BackendConfig::Remote {
+            addr: "127.0.0.1:1".into(),
+            inner: Box::new(BackendConfig::Noisy {
+                depolarizing: 0.0,
+                readout_flip: 0.0,
+            }),
+        };
+        set_backend_field(&mut config, "depolarizing", &Value::Num(0.25)).unwrap();
+        let BackendConfig::Remote { inner, .. } = &config else {
+            panic!("kind changed");
+        };
+        assert_eq!(
+            **inner,
+            BackendConfig::Noisy {
+                depolarizing: 0.25,
+                readout_flip: 0.0
+            }
+        );
+        assert!(set_backend_field(&mut config, "shots", &Value::Num(1.0)).is_err());
     }
 
     #[test]

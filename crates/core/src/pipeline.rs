@@ -56,6 +56,7 @@ use qsc_graph::{normalized_hermitian_laplacian_csr, MixedGraph};
 use qsc_linalg::params::condition_number_from_eigenvalues;
 use qsc_linalg::CsrMatrix;
 use qsc_sim::backend::{Backend, Statevector};
+use qsc_sim::SimError;
 use rayon::prelude::*;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -738,31 +739,48 @@ impl Pipeline {
         let mut fallbacks = self.fallback_backends.iter();
         let mut retries_left = self.resilience.retries;
         let mut attempts = 0usize;
-        // `None` = run on `self`; set when a budget failure degrades to a
-        // fallback backend.
+        // Attempts that actually *started* the work — transport failures
+        // (the remote executor was unreachable; nothing ran) do not count,
+        // so a remote retry keeps the unperturbed seed and stays
+        // bit-identical to a first-try local run.
+        let mut seed_attempts = 0usize;
+        // `None` = run on `self`; set when a budget or transport failure
+        // degrades to a fallback backend.
         let mut current: Option<Pipeline> = None;
         loop {
             let pl = current.as_ref().unwrap_or(self);
-            let attempt_seed = Self::attempt_seed(seed, attempts);
+            let attempt_seed = Self::attempt_seed(seed, seed_attempts);
             attempts += 1;
             // catch_unwind pre-empts the worker pool's panic trap, so one
             // panicking instance cannot poison the batch. AssertUnwindSafe
             // is sound here: `pl` and `work` are only read again after a
             // full fresh attempt, never resumed mid-state.
             let outcome = catch_unwind(AssertUnwindSafe(|| pl.run_with_faults(attempt_seed, work)));
-            let failure = match outcome {
+            let (failure, transport) = match outcome {
                 Ok(Ok(value)) => return Ok(value),
-                Ok(Err(e)) => InstanceError {
-                    kind: FailureKind::classify(&e),
-                    message: e.to_string(),
-                    attempts,
-                },
-                Err(payload) => InstanceError {
-                    kind: FailureKind::Panic,
-                    message: panic_message(payload.as_ref()),
-                    attempts,
-                },
+                Ok(Err(e)) => {
+                    let transport = matches!(e, Error::Sim(SimError::Remote { .. }));
+                    (
+                        InstanceError {
+                            kind: FailureKind::classify(&e),
+                            message: e.to_string(),
+                            attempts,
+                        },
+                        transport,
+                    )
+                }
+                Err(payload) => (
+                    InstanceError {
+                        kind: FailureKind::Panic,
+                        message: panic_message(payload.as_ref()),
+                        attempts,
+                    },
+                    false,
+                ),
             };
+            if !transport {
+                seed_attempts += 1;
+            }
             // An inconsistent request fails identically on every attempt
             // and every backend: no retry, no fallback.
             if failure.kind == FailureKind::Invalid {
@@ -770,6 +788,17 @@ impl Pipeline {
             }
             if let Some(limit) = deadline {
                 if start.elapsed() >= limit {
+                    // An unreachable executor burns wall-clock without the
+                    // work ever starting; when a fallback backend remains,
+                    // degrade to it immediately (no further retries against
+                    // the dead host) rather than charging the instance with
+                    // the deadline.
+                    if transport {
+                        if let Some(backend) = fallbacks.next() {
+                            current = Some(self.with_backend_arc(backend.clone()));
+                            continue;
+                        }
+                    }
                     return Err(InstanceError {
                         kind: FailureKind::Deadline,
                         message: format!(
@@ -781,9 +810,11 @@ impl Pipeline {
                     });
                 }
             }
-            if failure.kind == FailureKind::Budget {
-                // Degrade to the next fallback backend; switching backends
-                // does not consume a retry.
+            // Budget failures degrade immediately (retrying the same
+            // backend cannot shrink the state); transport failures retry
+            // the same executor first, then degrade down the chain.
+            if failure.kind == FailureKind::Budget || (transport && retries_left == 0) {
+                // Switching backends does not consume a retry.
                 match fallbacks.next() {
                     Some(backend) => {
                         current = Some(self.with_backend_arc(backend.clone()));

@@ -144,24 +144,23 @@ impl Embedder for QpeTomography {
         // bins below ν get p_j ≈ 1; far eigenvalues are suppressed by the
         // Fejér-kernel tails; only boundary eigenvalues are genuinely fuzzy. ---
         let bins = 1usize << params.qpe_bits;
-        let survival: Vec<f64> = eig
-            .eigenvalues
-            .iter()
-            .map(|&l| {
-                // The phase-register statistics come from the execution
-                // backend: exact Fejér probabilities on `Statevector`
-                // (bit-identical to the analytic path), finite-shot
-                // frequencies on `ShotSampler`, noise-degraded on
-                // `NoisyStatevector`.
-                let dist =
-                    ctx.backend
-                        .phase_distribution(l / params.qpe_scale, params.qpe_bits, &mut rng);
+        let mut survival: Vec<f64> = Vec::with_capacity(eig.eigenvalues.len());
+        for &l in &eig.eigenvalues {
+            // The phase-register statistics come from the execution
+            // backend: exact Fejér probabilities on `Statevector`
+            // (bit-identical to the analytic path), finite-shot
+            // frequencies on `ShotSampler`, noise-degraded on
+            // `NoisyStatevector`, fetched over the wire on `Remote`.
+            let dist =
+                ctx.backend
+                    .phase_distribution(l / params.qpe_scale, params.qpe_bits, &mut rng)?;
+            survival.push(
                 (0..bins)
                     .filter(|&m| params.qpe_scale * m as f64 / bins as f64 <= nu)
                     .map(|m| dist[m])
-                    .sum::<f64>()
-            })
-            .collect();
+                    .sum::<f64>(),
+            );
+        }
 
         // Dimensions with non-negligible survival form the embedding; bound
         // the blow-up from bin collisions.

@@ -254,7 +254,8 @@ impl FromJson for ResiliencePolicy {
                     let point = FaultPoint::parse(name).ok_or_else(|| {
                         JsonError::msg(format!(
                             "resilience.fault_plan.rates: unknown fault point `{name}` \
-                             (expected task_start | backend_run | lanczos_iteration | allocation)"
+                             (expected task_start | backend_run | lanczos_iteration | \
+                             allocation | remote_call)"
                         ))
                     })?;
                     let rate = rate.as_f64().ok_or_else(|| {
@@ -322,6 +323,16 @@ mod tests {
         assert_eq!(
             FailureKind::classify(&Error::Sim(SimError::InvalidParameter {
                 context: "x".into()
+            })),
+            FailureKind::Other
+        );
+        // Transport failures land in the generic `error` bucket — the
+        // retry/fallback logic recognizes them structurally (see
+        // `guarded`), not by kind.
+        assert_eq!(
+            FailureKind::classify(&Error::Sim(SimError::Remote {
+                addr: "127.0.0.1:1".into(),
+                context: "connection refused".into()
             })),
             FailureKind::Other
         );

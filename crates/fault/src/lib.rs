@@ -52,15 +52,20 @@ pub enum FaultPoint {
     LanczosIteration,
     /// A state-register allocation check — fires as a budget error.
     Allocation,
+    /// One remote-executor HTTP call — fires as a transport error,
+    /// exercising the remote retry/fallback path without a real network
+    /// failure.
+    RemoteCall,
 }
 
 impl FaultPoint {
     /// Every fault point, in stable order.
-    pub const ALL: [FaultPoint; 4] = [
+    pub const ALL: [FaultPoint; 5] = [
         FaultPoint::TaskStart,
         FaultPoint::BackendRun,
         FaultPoint::LanczosIteration,
         FaultPoint::Allocation,
+        FaultPoint::RemoteCall,
     ];
 
     /// The stable string name used in specs and reports.
@@ -70,6 +75,7 @@ impl FaultPoint {
             FaultPoint::BackendRun => "backend_run",
             FaultPoint::LanczosIteration => "lanczos_iteration",
             FaultPoint::Allocation => "allocation",
+            FaultPoint::RemoteCall => "remote_call",
         }
     }
 
@@ -84,6 +90,7 @@ impl FaultPoint {
             FaultPoint::BackendRun => 1,
             FaultPoint::LanczosIteration => 2,
             FaultPoint::Allocation => 3,
+            FaultPoint::RemoteCall => 4,
         }
     }
 }
@@ -96,7 +103,7 @@ impl FaultPoint {
 pub struct FaultPlan {
     /// Seed feeding every firing decision.
     pub seed: u64,
-    rates: [f64; 4],
+    rates: [f64; 5],
 }
 
 impl FaultPlan {
@@ -104,7 +111,7 @@ impl FaultPlan {
     pub fn seeded(seed: u64) -> Self {
         Self {
             seed,
-            rates: [0.0; 4],
+            rates: [0.0; 5],
         }
     }
 
@@ -165,7 +172,7 @@ struct ScopeEntry {
     plan: FaultPlan,
     instance_key: u64,
     /// Per-point call counters for sites without a natural index.
-    counters: [u64; 4],
+    counters: [u64; 5],
 }
 
 thread_local! {
@@ -192,7 +199,7 @@ pub fn scope<T>(plan: FaultPlan, instance_key: u64, f: impl FnOnce() -> T) -> T 
         s.borrow_mut().push(ScopeEntry {
             plan,
             instance_key,
-            counters: [0; 4],
+            counters: [0; 5],
         })
     });
     let _guard = ScopeGuard;

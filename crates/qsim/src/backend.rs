@@ -49,7 +49,7 @@
 //! // include readout errors.
 //! let noisy = NoisyStatevector::new(0.01, 0.02);
 //! let state = noisy.execute(&bell, 0, &mut rng)?;
-//! let counts = noisy.sample(&state, 100, &mut rng);
+//! let counts = noisy.sample(&state, 100, &mut rng)?;
 //! assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 100);
 //! ideal.recycle(state);
 //! # Ok(())
@@ -182,7 +182,7 @@ pub fn qpe_register_gate_count(t: usize) -> usize {
 /// let mut rng = StdRng::seed_from_u64(7);
 /// let mut state = backend.prepare(2, 0);          // |00⟩, pooled buffer
 /// backend.run(&circuit, &mut state, &mut rng)?;   // Bell pair
-/// let counts = backend.sample(&state, 100, &mut rng);
+/// let counts = backend.sample(&state, 100, &mut rng)?;
 /// assert_eq!(counts.iter().map(|(_, c)| c).sum::<usize>(), 100);
 /// backend.recycle(state);                          // buffer back to the pool
 /// assert_eq!(backend.pool().pooled(), 1);
@@ -269,13 +269,23 @@ pub trait Backend: Send + Sync {
     /// let backend = NoisyStatevector::new(0.0, 0.25); // readout flips only
     /// let mut rng = StdRng::seed_from_u64(5);
     /// let state = backend.execute(&bell, 0, &mut rng)?;
-    /// let counts = backend.sample(&state, 1000, &mut rng);
+    /// let counts = backend.sample(&state, 1000, &mut rng)?;
     /// // The ideal support is {00, 11}; flips populate 01 and 10 too.
     /// assert!(counts.iter().any(|(m, _)| *m == 0b01 || *m == 0b10));
     /// # Ok(())
     /// # }
     /// ```
-    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)>;
+    ///
+    /// # Errors
+    ///
+    /// Local backends never fail here; [`SimError::Remote`] surfaces
+    /// transport failures from the remote backend.
+    fn sample(
+        &self,
+        state: &QuantumState,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, SimError>;
 
     /// Returns a state's buffer to the pool for reuse.
     fn recycle(&self, state: QuantumState);
@@ -321,13 +331,26 @@ pub trait Backend: Send + Sync {
     /// use qsc_sim::backend::{Backend, Statevector};
     /// use rand::{rngs::StdRng, SeedableRng};
     ///
+    /// # fn main() -> Result<(), qsc_sim::SimError> {
     /// let mut rng = StdRng::seed_from_u64(1);
     /// // φ = 3/8 is exactly representable in 3 bits: all mass on m = 3.
-    /// let dist = Statevector::new().phase_distribution(0.375, 3, &mut rng);
+    /// let dist = Statevector::new().phase_distribution(0.375, 3, &mut rng)?;
     /// assert_eq!(dist.len(), 8);
     /// assert!((dist[3] - 1.0).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
     /// ```
-    fn phase_distribution(&self, phi: f64, t: usize, rng: &mut StdRng) -> Vec<f64>;
+    ///
+    /// # Errors
+    ///
+    /// Local backends never fail here; [`SimError::Remote`] surfaces
+    /// transport failures from the remote backend.
+    fn phase_distribution(
+        &self,
+        phi: f64,
+        t: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>, SimError>;
 
     /// How this backend observes a success probability `p ∈ [0, 1]`:
     /// exactly, through readout bias, or as a finite-shot frequency — the
@@ -338,13 +361,21 @@ pub trait Backend: Send + Sync {
     /// use qsc_sim::backend::{Backend, ShotSampler, Statevector};
     /// use rand::{rngs::StdRng, SeedableRng};
     ///
+    /// # fn main() -> Result<(), qsc_sim::SimError> {
     /// let mut rng = StdRng::seed_from_u64(2);
-    /// assert_eq!(Statevector::new().estimate_probability(0.37, &mut rng), 0.37);
+    /// assert_eq!(Statevector::new().estimate_probability(0.37, &mut rng)?, 0.37);
     /// // A finite-shot backend returns an empirical frequency instead.
-    /// let est = ShotSampler::new(100).estimate_probability(0.37, &mut rng);
+    /// let est = ShotSampler::new(100).estimate_probability(0.37, &mut rng)?;
     /// assert_eq!(est, (est * 100.0).round() / 100.0);
+    /// # Ok(())
+    /// # }
     /// ```
-    fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> f64;
+    ///
+    /// # Errors
+    ///
+    /// Local backends never fail here; [`SimError::Remote`] surfaces
+    /// transport failures from the remote backend.
+    fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> Result<f64, SimError>;
 
     /// Convenience: [`prepare`](Backend::prepare) then
     /// [`run`](Backend::run), returning the final state.
@@ -436,8 +467,13 @@ impl Backend for Statevector {
         state.check_norm(NORM_DRIFT_TOL, self.name())
     }
 
-    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
-        state.sample_counts(shots, rng)
+    fn sample(
+        &self,
+        state: &QuantumState,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, SimError> {
+        Ok(state.sample_counts(shots, rng))
     }
 
     fn recycle(&self, state: QuantumState) {
@@ -448,12 +484,17 @@ impl Backend for Statevector {
         true
     }
 
-    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
-        qpe_phase_distribution(phi, t)
+    fn phase_distribution(
+        &self,
+        phi: f64,
+        t: usize,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f64>, SimError> {
+        Ok(qpe_phase_distribution(phi, t))
     }
 
-    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
-        p
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> Result<f64, SimError> {
+        Ok(p)
     }
 }
 
@@ -583,7 +624,12 @@ impl Backend for NoisyStatevector {
         state.check_norm(NORM_DRIFT_TOL, self.name())
     }
 
-    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    fn sample(
+        &self,
+        state: &QuantumState,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, SimError> {
         let mut counts = std::collections::BTreeMap::new();
         for _ in 0..shots {
             let mut outcome = state.sample(rng);
@@ -596,7 +642,7 @@ impl Backend for NoisyStatevector {
             }
             *counts.entry(outcome).or_insert(0usize) += 1;
         }
-        counts.into_iter().collect()
+        Ok(counts.into_iter().collect())
     }
 
     fn recycle(&self, state: QuantumState) {
@@ -607,7 +653,12 @@ impl Backend for NoisyStatevector {
         self.depolarizing == 0.0 && self.readout_flip == 0.0
     }
 
-    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
+    fn phase_distribution(
+        &self,
+        phi: f64,
+        t: usize,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f64>, SimError> {
         let mut probs = qpe_phase_distribution(phi, t);
         if self.depolarizing > 0.0 {
             // Depolarizing survival of the register pass mixes the ideal
@@ -621,15 +672,15 @@ impl Backend for NoisyStatevector {
         // Independent per-bit flips — the same classical readout channel
         // the density backend applies.
         crate::density::apply_readout_flips(&mut probs, self.readout_flip);
-        probs
+        Ok(probs)
     }
 
-    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> Result<f64, SimError> {
         if self.readout_flip == 0.0 {
-            return p;
+            return Ok(p);
         }
         // A flipped readout reports the complementary outcome.
-        p * (1.0 - self.readout_flip) + (1.0 - p) * self.readout_flip
+        Ok(p * (1.0 - self.readout_flip) + (1.0 - p) * self.readout_flip)
     }
 }
 
@@ -695,8 +746,13 @@ impl Backend for ShotSampler {
         state.check_norm(NORM_DRIFT_TOL, self.name())
     }
 
-    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
-        state.sample_counts(shots, rng)
+    fn sample(
+        &self,
+        state: &QuantumState,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, SimError> {
+        Ok(state.sample_counts(shots, rng))
     }
 
     fn recycle(&self, state: QuantumState) {
@@ -707,7 +763,12 @@ impl Backend for ShotSampler {
         false
     }
 
-    fn phase_distribution(&self, phi: f64, t: usize, rng: &mut StdRng) -> Vec<f64> {
+    fn phase_distribution(
+        &self,
+        phi: f64,
+        t: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<f64>, SimError> {
         let ideal = qpe_phase_distribution(phi, t);
         let mut counts = vec![0usize; ideal.len()];
         for _ in 0..self.shots {
@@ -722,20 +783,20 @@ impl Backend for ShotSampler {
             }
             counts[chosen] += 1;
         }
-        counts
+        Ok(counts
             .into_iter()
             .map(|c| c as f64 / self.shots as f64)
-            .collect()
+            .collect())
     }
 
-    fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> f64 {
+    fn estimate_probability(&self, p: f64, rng: &mut StdRng) -> Result<f64, SimError> {
         let mut hits = 0usize;
         for _ in 0..self.shots {
             if rng.gen::<f64>() < p {
                 hits += 1;
             }
         }
-        hits as f64 / self.shots as f64
+        Ok(hits as f64 / self.shots as f64)
     }
 }
 
@@ -828,7 +889,7 @@ mod tests {
         let noisy = NoisyStatevector::new(0.0, 0.25);
         let mut rng = StdRng::seed_from_u64(5);
         let state = noisy.execute(&c, 0, &mut rng).unwrap();
-        let counts = noisy.sample(&state, 4000, &mut rng);
+        let counts = noisy.sample(&state, 4000, &mut rng).unwrap();
         let off_support: usize = counts
             .iter()
             .filter(|(m, _)| *m == 0b01 || *m == 0b10)
@@ -845,13 +906,19 @@ mod tests {
     fn noisy_phase_distribution_flattens_toward_uniform() {
         let mut rng = StdRng::seed_from_u64(6);
         let t = 4;
-        let ideal = Statevector::new().phase_distribution(0.25, t, &mut rng);
-        let noisy = NoisyStatevector::new(0.05, 0.0).phase_distribution(0.25, t, &mut rng);
+        let ideal = Statevector::new()
+            .phase_distribution(0.25, t, &mut rng)
+            .unwrap();
+        let noisy = NoisyStatevector::new(0.05, 0.0)
+            .phase_distribution(0.25, t, &mut rng)
+            .unwrap();
         let peak = |d: &[f64]| d.iter().cloned().fold(0.0, f64::max);
         assert!(peak(&noisy) < peak(&ideal));
         assert!((noisy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Zero noise reproduces the ideal distribution exactly.
-        let zero = NoisyStatevector::new(0.0, 0.0).phase_distribution(0.25, t, &mut rng);
+        let zero = NoisyStatevector::new(0.0, 0.0)
+            .phase_distribution(0.25, t, &mut rng)
+            .unwrap();
         assert_eq!(zero, ideal);
     }
 
@@ -861,7 +928,9 @@ mod tests {
         let t = 3;
         let ideal = qpe_phase_distribution(0.3, t);
         let l1 = |shots: usize, rng: &mut StdRng| {
-            let emp = ShotSampler::new(shots).phase_distribution(0.3, t, rng);
+            let emp = ShotSampler::new(shots)
+                .phase_distribution(0.3, t, rng)
+                .unwrap();
             emp.iter()
                 .zip(&ideal)
                 .map(|(a, b)| (a - b).abs())
@@ -879,7 +948,7 @@ mod tests {
     fn shot_sampler_probability_estimates_are_frequencies() {
         let backend = ShotSampler::new(1000);
         let mut rng = StdRng::seed_from_u64(8);
-        let est = backend.estimate_probability(0.37, &mut rng);
+        let est = backend.estimate_probability(0.37, &mut rng).unwrap();
         assert!((est - 0.37).abs() < 0.06, "estimate {est}");
         assert!((est * 1000.0).round() / 1000.0 == est, "a /shots frequency");
         assert!(!backend.exact_statistics());

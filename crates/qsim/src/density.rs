@@ -464,7 +464,12 @@ impl Backend for DensityMatrix {
     /// ([`DensityMatrix::outcome_distribution`]): the only randomness left
     /// is the multinomial draw itself — the state carries no trajectory
     /// noise.
-    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    fn sample(
+        &self,
+        state: &QuantumState,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, SimError> {
         let probs = self.outcome_distribution(state);
         let mut counts = std::collections::BTreeMap::new();
         for _ in 0..shots {
@@ -479,7 +484,7 @@ impl Backend for DensityMatrix {
             }
             *counts.entry(chosen).or_insert(0usize) += 1;
         }
-        counts.into_iter().collect()
+        Ok(counts.into_iter().collect())
     }
 
     fn recycle(&self, state: QuantumState) {
@@ -514,11 +519,16 @@ impl Backend for DensityMatrix {
     /// — **bit-exact** with the `Statevector` backend. Contrast with
     /// `NoisyStatevector::phase_distribution`, which *approximates* the
     /// depolarizing effect by a single global survival factor.
-    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
+    fn phase_distribution(
+        &self,
+        phi: f64,
+        t: usize,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f64>, SimError> {
         if self.depolarizing == 0.0 {
             let mut probs = qpe_phase_distribution(phi, t);
             apply_readout_flips(&mut probs, self.readout_flip);
-            return probs;
+            return Ok(probs);
         }
         let mut register = Circuit::new(t);
         for j in 0..t {
@@ -540,16 +550,16 @@ impl Backend for DensityMatrix {
             .expect("register pass is well-formed");
         let probs = self.outcome_distribution(&state);
         self.recycle(state);
-        probs
+        Ok(probs)
     }
 
     /// Readout bias applied analytically: `p(1−e) + (1−p)e` — no shot
     /// resampling, so repeated calls return the identical value.
-    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> Result<f64, SimError> {
         if self.readout_flip == 0.0 {
-            return p;
+            return Ok(p);
         }
-        p * (1.0 - self.readout_flip) + (1.0 - p) * self.readout_flip
+        Ok(p * (1.0 - self.readout_flip) + (1.0 - p) * self.readout_flip)
     }
 }
 
@@ -709,13 +719,13 @@ mod tests {
         for t in [3usize, 5] {
             for phi in [0.0, 0.3, 0.8125] {
                 assert_eq!(
-                    dm.phase_distribution(phi, t, &mut rng),
-                    sv.phase_distribution(phi, t, &mut rng),
+                    dm.phase_distribution(phi, t, &mut rng).unwrap(),
+                    sv.phase_distribution(phi, t, &mut rng).unwrap(),
                     "phi {phi} t {t}"
                 );
             }
         }
-        assert_eq!(dm.estimate_probability(0.37, &mut rng), 0.37);
+        assert_eq!(dm.estimate_probability(0.37, &mut rng).unwrap(), 0.37);
         assert!(dm.exact_statistics());
         assert!(!DensityMatrix::new(0.01, 0.0).exact_statistics());
     }
@@ -724,8 +734,8 @@ mod tests {
     fn noisy_phase_distribution_is_deterministic_and_flattened() {
         let dm = DensityMatrix::new(0.05, 0.0);
         let mut rng = StdRng::seed_from_u64(6);
-        let a = dm.phase_distribution(0.25, 4, &mut rng);
-        let b = dm.phase_distribution(0.25, 4, &mut rng);
+        let a = dm.phase_distribution(0.25, 4, &mut rng).unwrap();
+        let b = dm.phase_distribution(0.25, 4, &mut rng).unwrap();
         assert_eq!(a, b, "exact channel: no run-to-run variance");
         assert!((a.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let ideal = qpe_phase_distribution(0.25, 4);
@@ -792,7 +802,7 @@ mod tests {
         let dm = DensityMatrix::new(0.0, 0.25);
         let mut rng = StdRng::seed_from_u64(9);
         let rho = dm.execute(&bell(), 0, &mut rng).unwrap();
-        let counts = dm.sample(&rho, 4000, &mut rng);
+        let counts = dm.sample(&rho, 4000, &mut rng).unwrap();
         let total: usize = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 4000);
         let off: usize = counts

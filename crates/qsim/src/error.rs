@@ -60,6 +60,17 @@ pub enum SimError {
         /// The fault-point name that fired.
         point: &'static str,
     },
+    /// A remote-executor call failed in transport or on the far side —
+    /// connection refused, dropped mid-response, malformed reply, or a
+    /// non-2xx status. Local simulation never produces this variant, so
+    /// the resilience layer can recognize it and retry *without*
+    /// perturbing the seed (the work itself never started).
+    Remote {
+        /// The executor address the call targeted.
+        addr: String,
+        /// What went wrong (transport error or server-reported message).
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -98,6 +109,9 @@ impl fmt::Display for SimError {
             }
             SimError::Injected { point } => {
                 write!(f, "injected fault at {point}")
+            }
+            SimError::Remote { addr, context } => {
+                write!(f, "remote executor {addr}: {context}")
             }
         }
     }

@@ -38,6 +38,8 @@
 //! * [`qft`] — gate-level quantum Fourier transform,
 //! * [`qpe`] — phase estimation (a circuit compiler, gate-level execution
 //!   and the exact analytic outcome distribution, cross-validated),
+//! * [`remote`] — the strict-JSON wire codec and [`RemoteBackend`], which
+//!   executes any of the above on a remote executor service bit-identically,
 //! * [`tomography`] — finite-shot vector readout,
 //! * [`amplitude`] — amplitude estimation / amplification models,
 //! * [`resources`] — qubit/gate/depth forecasting.
@@ -75,7 +77,7 @@
 //! let backend = NoisyStatevector::new(0.01, 0.02); // gate + readout error
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let state = backend.execute(&c, 0, &mut rng)?;
-//! let counts = backend.sample(&state, 1000, &mut rng);
+//! let counts = backend.sample(&state, 1000, &mut rng)?;
 //! assert_eq!(counts.iter().map(|(_, n)| n).sum::<usize>(), 1000);
 //! # Ok(())
 //! # }
@@ -93,6 +95,7 @@ pub mod error;
 pub mod gates;
 pub mod qft;
 pub mod qpe;
+pub mod remote;
 pub mod resources;
 pub mod shard;
 pub mod state;
@@ -104,6 +107,7 @@ pub use circuit::{Circuit, Op};
 pub use density::DensityMatrix;
 pub use error::SimError;
 pub use qpe::PhaseEstimator;
+pub use remote::RemoteBackend;
 pub use resources::ResourceEstimate;
 pub use shard::ShardedStatevector;
 pub use state::QuantumState;

@@ -235,10 +235,15 @@ impl Backend for ShardedStatevector {
     /// Sharded sampling: per-shard probability masses are computed in
     /// parallel (chunk-ordered reduction — deterministic), then every shot
     /// walks the shard masses and scans only the chosen shard.
-    fn sample(&self, state: &QuantumState, shots: usize, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    fn sample(
+        &self,
+        state: &QuantumState,
+        shots: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<(usize, usize)>, SimError> {
         let shard_bits = self.shard_bits(state.num_qubits());
         if shard_bits == 0 {
-            return state.sample_counts(shots, rng);
+            return Ok(state.sample_counts(shots, rng));
         }
         let chunk_len = state.dim() >> shard_bits;
         let amps = state.amplitudes();
@@ -271,7 +276,7 @@ impl Backend for ShardedStatevector {
             }
             *counts.entry(outcome).or_insert(0usize) += 1;
         }
-        counts.into_iter().collect()
+        Ok(counts.into_iter().collect())
     }
 
     fn recycle(&self, state: QuantumState) {
@@ -282,12 +287,17 @@ impl Backend for ShardedStatevector {
         true
     }
 
-    fn phase_distribution(&self, phi: f64, t: usize, _rng: &mut StdRng) -> Vec<f64> {
-        qpe_phase_distribution(phi, t)
+    fn phase_distribution(
+        &self,
+        phi: f64,
+        t: usize,
+        _rng: &mut StdRng,
+    ) -> Result<Vec<f64>, SimError> {
+        Ok(qpe_phase_distribution(phi, t))
     }
 
-    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> f64 {
-        p
+    fn estimate_probability(&self, p: f64, _rng: &mut StdRng) -> Result<f64, SimError> {
+        Ok(p)
     }
 }
 
@@ -397,7 +407,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let state = backend.execute(&c, 0, &mut rng).unwrap();
         // QFT of |0⟩ is uniform over 16 outcomes.
-        let counts = backend.sample(&state, 8000, &mut rng);
+        let counts = backend.sample(&state, 8000, &mut rng).unwrap();
         let total: usize = counts.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 8000);
         for (_, c) in counts {
@@ -412,8 +422,12 @@ mod tests {
         let c = Circuit::qft(5);
         let mut rng = StdRng::seed_from_u64(3);
         let state = backend.execute(&c, 3, &mut rng).unwrap();
-        let a = backend.sample(&state, 100, &mut StdRng::seed_from_u64(9));
-        let b = backend.sample(&state, 100, &mut StdRng::seed_from_u64(9));
+        let a = backend
+            .sample(&state, 100, &mut StdRng::seed_from_u64(9))
+            .unwrap();
+        let b = backend
+            .sample(&state, 100, &mut StdRng::seed_from_u64(9))
+            .unwrap();
         assert_eq!(a, b);
         backend.recycle(state);
     }

@@ -48,6 +48,7 @@ fn start_server() -> Server {
         workers: 2,
         queue_capacity: 256,
         cache_dir: dir,
+        ..ServeConfig::default()
     })
     .expect("start bench server")
 }
@@ -102,5 +103,91 @@ fn bench_serve(c: &mut Criterion) {
     drop(server);
 }
 
-criterion_group!(serve, bench_serve);
+/// Loopback executor round trips per `Backend` op next to the in-process
+/// baseline the wire path reproduces bit-identically — the gap is the whole
+/// cost of offloading (canonical-JSON encode, HTTP/1.1, decode). The
+/// `estimate_probability` pair is the floor: one scalar in, one scalar out,
+/// so its remote timing is essentially the bare round trip.
+fn bench_remote_roundtrip(c: &mut Criterion) {
+    use qsc_core::config::BackendConfig;
+    use qsc_sim::{Circuit, Op};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let dir = std::env::temp_dir().join(format!("qsc-exec-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0, // exec requests are served by connection threads
+        cache_dir: dir,
+        ..ServeConfig::default()
+    })
+    .expect("start executor");
+
+    let local = BackendConfig::Statevector.build().expect("local backend");
+    let remote = BackendConfig::Remote {
+        addr: server.local_addr().to_string(),
+        inner: Box::new(BackendConfig::Statevector),
+    }
+    .build()
+    .expect("remote backend");
+
+    let mut ghz = Circuit::new(4);
+    ghz.push(Op::H(0)).expect("op");
+    for q in 0..3 {
+        ghz.push(Op::Cnot {
+            control: q,
+            target: q + 1,
+        })
+        .expect("op");
+    }
+
+    let mut group = c.benchmark_group("remote_roundtrip");
+    group.sample_size(10);
+    for (label, backend) in [("run_local", &local), ("run_remote", &remote)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(11);
+                let state = backend
+                    .execute(black_box(&ghz), 0, &mut rng)
+                    .expect("ghz runs");
+                backend.recycle(state);
+            })
+        });
+    }
+    for (label, backend) in [("sample_local", &local), ("sample_remote", &remote)] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let state = backend.execute(&ghz, 0, &mut rng).expect("ghz runs");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(23);
+                black_box(
+                    backend
+                        .sample(black_box(&state), 256, &mut rng)
+                        .expect("sampling succeeds"),
+                )
+            })
+        });
+        backend.recycle(state);
+    }
+    for (label, backend) in [
+        ("estimate_probability_local", &local),
+        ("estimate_probability_remote", &remote),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(37);
+                black_box(
+                    backend
+                        .estimate_probability(black_box(0.375), &mut rng)
+                        .expect("scalar estimate succeeds"),
+                )
+            })
+        });
+    }
+    group.finish();
+    drop(server);
+}
+
+criterion_group!(serve, bench_serve, bench_remote_roundtrip);
 criterion_main!(serve);

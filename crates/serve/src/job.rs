@@ -204,6 +204,8 @@ struct Shared {
     available: Condvar,
     shutdown: AtomicBool,
     cache: ResultCache,
+    /// Executor fleet the workers fan grid points across; empty = local.
+    executors: Vec<String>,
 }
 
 /// The queue + worker pool + job registry.
@@ -220,11 +222,24 @@ impl JobSystem {
     /// `queue_capacity` pending jobs. Zero workers is legal (useful to
     /// test backpressure: nothing ever drains).
     pub fn start(cache: ResultCache, workers: usize, queue_capacity: usize) -> Arc<JobSystem> {
+        JobSystem::start_with_fleet(cache, workers, queue_capacity, Vec::new())
+    }
+
+    /// [`JobSystem::start`], with sweeps fanning their grid points across
+    /// the `executors` fleet (`host:port` addresses, round-robin with
+    /// retry-elsewhere). An empty fleet runs sweeps locally.
+    pub fn start_with_fleet(
+        cache: ResultCache,
+        workers: usize,
+        queue_capacity: usize,
+        executors: Vec<String>,
+    ) -> Arc<JobSystem> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Vec::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             cache,
+            executors,
         });
         let system = Arc::new(JobSystem {
             shared: shared.clone(),
@@ -346,7 +361,7 @@ fn worker_loop(shared: &Shared) {
 /// Runs one job to completion: sweep → row buffer → cache → `done`.
 fn execute(shared: &Shared, job: &Arc<Job>) {
     job.set_phase(Phase::Running);
-    let runner = SweepRunner::new(job.scale);
+    let runner = SweepRunner::new(job.scale).with_fleet(shared.executors.iter().cloned());
     // The isolated runners already confine per-repetition panics; this
     // outer guard confines anything else (spec-level logic) to the job.
     let run = catch_unwind(AssertUnwindSafe(|| {

@@ -24,6 +24,7 @@
 //! | [`cache`] | checksummed on-disk result cache; corrupt entries evicted, never served |
 //! | [`job`] | bounded backpressure queue, worker pool, per-job progress |
 //! | [`http`] | request parsing + fixed-length/chunked responses |
+//! | [`exec`] | the executor endpoint: hosted backends behind `POST /v1/exec` |
 //! | [`server`] | routing, the endpoints, the accept loop |
 //!
 //! See `docs/SERVICE.md` for the HTTP API reference, and
@@ -34,11 +35,13 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod exec;
 pub mod http;
 pub mod job;
 pub mod server;
 pub mod sha256;
 
 pub use cache::{cache_key, code_version, CachedResult, ResultCache, CACHE_EPOCH};
+pub use exec::{ExecError, ExecHost};
 pub use job::{Job, JobSnapshot, JobSystem, Phase, SubmitError};
 pub use server::{ServeConfig, ServeError, Server};

@@ -2,8 +2,11 @@
 //!
 //! ```text
 //! qsc-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache-dir DIR]
+//!           [--backend JSON] [--executors HOST:PORT,HOST:PORT,...]
 //! ```
 
+use qsc_core::config::BackendConfig;
+use qsc_json::{FromJson, Value};
 use qsc_serve::{ServeConfig, Server};
 use std::process::ExitCode;
 
@@ -15,6 +18,10 @@ options:
   --workers N        worker-pool size (default 2; 0 never drains the queue)
   --queue N          bounded queue capacity (default 64; full queue -> 429)
   --cache-dir DIR    content-addressed result cache (default qsc-serve-cache)
+  --backend JSON     default backend hosted by POST /v1/exec
+                     (default \"statevector\"; remote is not hostable)
+  --executors LIST   comma-separated executor addresses sweeps fan grid
+                     points across (default empty: sweeps run locally)
   --help             this text
 ";
 
@@ -40,6 +47,23 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
                     .map_err(|_| "--queue needs a positive integer".to_string())?;
             }
             "--cache-dir" => config.cache_dir = value("--cache-dir")?.into(),
+            "--backend" => {
+                let text = value("--backend")?;
+                let doc = Value::parse(&text).map_err(|e| format!("--backend: {e}"))?;
+                config.backend =
+                    BackendConfig::from_json(&doc).map_err(|e| format!("--backend: {e}"))?;
+                if matches!(config.backend, BackendConfig::Remote { .. }) {
+                    return Err("--backend: an executor cannot host a remote backend".into());
+                }
+            }
+            "--executors" => {
+                config.executors = value("--executors")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -101,12 +125,18 @@ mod tests {
             "7",
             "--cache-dir",
             "/tmp/c",
+            "--backend",
+            r#"{"noisy": {"depolarizing": 0.05, "readout_flip": 0.0}}"#,
+            "--executors",
+            "h1:8791, h2:8791,",
         ]))
         .unwrap();
         assert_eq!(config.addr, "127.0.0.1:0");
         assert_eq!(config.workers, 3);
         assert_eq!(config.queue_capacity, 7);
         assert_eq!(config.cache_dir, std::path::PathBuf::from("/tmp/c"));
+        assert_eq!(config.backend.kind_name(), "noisy");
+        assert_eq!(config.executors, vec!["h1:8791", "h2:8791"]);
     }
 
     #[test]
@@ -115,5 +145,9 @@ mod tests {
         assert!(parse_args(&strings(&["--workers"])).is_err());
         assert!(parse_args(&strings(&["--workers", "x"])).is_err());
         assert!(parse_args(&strings(&["--queue", "0"])).is_err());
+        assert!(parse_args(&strings(&["--backend", "{broken"])).is_err());
+        assert!(parse_args(&strings(&["--backend", "\"statevctor\""])).is_err());
+        let chained = r#"{"remote": {"addr": "x:1", "inner": "statevector"}}"#;
+        assert!(parse_args(&strings(&["--backend", chained])).is_err());
     }
 }

@@ -10,9 +10,11 @@
 //! | `GET /v1/sweeps/:id/stream` | chunked CSV: header immediately, rows as grid points complete |
 
 use crate::cache::{cache_key, code_version, ResultCache};
+use crate::exec::{ExecError, ExecHost};
 use crate::http::{finish_chunks, read_request, respond, start_chunked, write_chunk, Request};
 use crate::job::{failed_cell_kinds, Job, JobSystem, Phase, SubmitError};
 use qsc_bench::{ExperimentSpec, Scale};
+use qsc_core::config::BackendConfig;
 use qsc_core::report::{csv_row, SinkFormat};
 use qsc_json::{ToJson, Value};
 use std::fmt;
@@ -35,6 +37,12 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Directory of the content-addressed result cache.
     pub cache_dir: PathBuf,
+    /// Default backend hosted by `POST /v1/exec` for requests without a
+    /// `backend` field (requests carrying one override it per call).
+    pub backend: BackendConfig,
+    /// Executor fleet the sweep workers fan grid points across
+    /// (round-robin with retry-elsewhere); empty = run sweeps locally.
+    pub executors: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -44,6 +52,8 @@ impl Default for ServeConfig {
             workers: 2,
             queue_capacity: 64,
             cache_dir: PathBuf::from("qsc-serve-cache"),
+            backend: BackendConfig::default(),
+            executors: Vec::new(),
         }
     }
 }
@@ -72,6 +82,7 @@ impl std::error::Error for ServeError {}
 /// A running service instance.
 pub struct Server {
     jobs: Arc<JobSystem>,
+    exec: Arc<ExecHost>,
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
@@ -88,11 +99,18 @@ impl Server {
         let cache = ResultCache::open(&config.cache_dir).map_err(ServeError::Cache)?;
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Io)?;
         let local_addr = listener.local_addr().map_err(ServeError::Io)?;
-        let jobs = JobSystem::start(cache, config.workers, config.queue_capacity);
+        let jobs = JobSystem::start_with_fleet(
+            cache,
+            config.workers,
+            config.queue_capacity,
+            config.executors.clone(),
+        );
+        let exec = Arc::new(ExecHost::new(config.backend.clone()));
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let accept = {
             let jobs = jobs.clone();
+            let exec = exec.clone();
             let shutdown = shutdown.clone();
             std::thread::Builder::new()
                 .name("qsc-serve-accept".into())
@@ -103,18 +121,20 @@ impl Server {
                         }
                         let Ok(stream) = stream else { continue };
                         let jobs = jobs.clone();
+                        let exec = exec.clone();
                         // One detached thread per connection: connections
                         // are short-lived (Connection: close) except for
                         // row streams, which live as long as their sweep.
                         let _ = std::thread::Builder::new()
                             .name("qsc-serve-conn".into())
-                            .spawn(move || handle_connection(stream, &jobs));
+                            .spawn(move || handle_connection(stream, &jobs, &exec));
                     }
                 })
                 .map_err(ServeError::Io)?
         };
         Ok(Server {
             jobs,
+            exec,
             local_addr,
             shutdown,
             accept: Some(accept),
@@ -134,6 +154,11 @@ impl Server {
     /// The job subsystem (status inspection in tests/benches).
     pub fn jobs(&self) -> &Arc<JobSystem> {
         &self.jobs
+    }
+
+    /// The executor host behind `POST /v1/exec`.
+    pub fn exec(&self) -> &Arc<ExecHost> {
+        &self.exec
     }
 
     /// Stops accepting, then stops the worker pool. Running sweeps
@@ -164,7 +189,7 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, jobs: &Arc<JobSystem>) {
+fn handle_connection(mut stream: TcpStream, jobs: &Arc<JobSystem>, exec: &Arc<ExecHost>) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let request = match read_request(&mut stream) {
         Ok(Ok(request)) => request,
@@ -181,17 +206,23 @@ fn handle_connection(mut stream: TcpStream, jobs: &Arc<JobSystem>) {
         Err(_) => return,
     };
     // Route errors are I/O-only from here down; a dropped client is fine.
-    let _ = route(&mut stream, &request, jobs);
+    let _ = route(&mut stream, &request, jobs, exec);
 }
 
 fn error_body(message: &str) -> String {
     Value::Obj(vec![("error".into(), Value::Str(message.into()))]).to_string()
 }
 
-fn route(stream: &mut TcpStream, request: &Request, jobs: &Arc<JobSystem>) -> std::io::Result<()> {
+fn route(
+    stream: &mut TcpStream,
+    request: &Request,
+    jobs: &Arc<JobSystem>,
+    exec: &Arc<ExecHost>,
+) -> std::io::Result<()> {
     let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["v1", "healthz"]) => handle_healthz(stream, jobs),
+        ("GET", ["v1", "healthz"]) => handle_healthz(stream, jobs, exec),
+        ("POST", ["v1", "exec"]) => handle_exec(stream, request, exec),
         ("POST", ["v1", "sweeps"]) => handle_submit(stream, request, jobs, SubmitKind::Sweep),
         ("POST", ["v1", "searches"]) => handle_submit(stream, request, jobs, SubmitKind::Search),
         ("GET", ["v1", "sweeps", id]) => match jobs.get(id) {
@@ -206,15 +237,16 @@ fn route(stream: &mut TcpStream, request: &Request, jobs: &Arc<JobSystem>) -> st
             Some(job) => handle_stream(stream, &job),
             None => not_found(stream, &format!("no job `{id}`")),
         },
-        (_, ["v1", "sweeps", ..]) | (_, ["v1", "searches", ..]) | (_, ["v1", "healthz"]) => {
-            respond(
-                stream,
-                405,
-                "application/json",
-                &[],
-                &error_body(&format!("method {} not allowed here", request.method)),
-            )
-        }
+        (_, ["v1", "sweeps", ..])
+        | (_, ["v1", "searches", ..])
+        | (_, ["v1", "healthz"])
+        | (_, ["v1", "exec"]) => respond(
+            stream,
+            405,
+            "application/json",
+            &[],
+            &error_body(&format!("method {} not allowed here", request.method)),
+        ),
         _ => not_found(stream, &format!("no route `{}`", request.path)),
     }
 }
@@ -223,7 +255,11 @@ fn not_found(stream: &mut TcpStream, message: &str) -> std::io::Result<()> {
     respond(stream, 404, "application/json", &[], &error_body(message))
 }
 
-fn handle_healthz(stream: &mut TcpStream, jobs: &Arc<JobSystem>) -> std::io::Result<()> {
+fn handle_healthz(
+    stream: &mut TcpStream,
+    jobs: &Arc<JobSystem>,
+    exec: &Arc<ExecHost>,
+) -> std::io::Result<()> {
     let stats = jobs.cache().stats();
     let body = Value::Obj(vec![
         ("status".into(), Value::Str("ok".into())),
@@ -238,9 +274,42 @@ fn handle_healthz(stream: &mut TcpStream, jobs: &Arc<JobSystem>) -> std::io::Res
                 ("evictions".into(), Value::Num(stats.evictions as f64)),
             ]),
         ),
+        (
+            "exec".into(),
+            Value::Obj(vec![
+                ("backend".into(), Value::Str(exec.default_kind().into())),
+                ("inflight".into(), Value::Num(exec.inflight() as f64)),
+                ("executed".into(), Value::Num(exec.executed() as f64)),
+            ]),
+        ),
     ])
     .to_string();
     respond(stream, 200, "application/json", &[], &body)
+}
+
+fn handle_exec(
+    stream: &mut TcpStream,
+    request: &Request,
+    exec: &Arc<ExecHost>,
+) -> std::io::Result<()> {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return respond(
+            stream,
+            400,
+            "application/json",
+            &[],
+            &error_body("body is not UTF-8"),
+        );
+    };
+    match exec.execute(text) {
+        Ok(body) => respond(stream, 200, "application/json", &[], &body),
+        Err(ExecError::BadRequest(message)) => {
+            respond(stream, 400, "application/json", &[], &error_body(&message))
+        }
+        Err(ExecError::Internal(message)) => {
+            respond(stream, 500, "application/json", &[], &error_body(&message))
+        }
+    }
 }
 
 /// Which submission endpoint is talking: `/v1/sweeps` takes every
@@ -312,16 +381,18 @@ fn handle_submit(
                 )),
             )
         }
-        SubmitKind::Search if !is_search => return respond(
-            stream,
-            400,
-            "application/json",
-            &[],
-            &error_body(&format!(
+        SubmitKind::Search if !is_search => {
+            return respond(
+                stream,
+                400,
+                "application/json",
+                &[],
+                &error_body(&format!(
                 "spec `{}` is not a search (kind must be `search`): submit it to POST /v1/sweeps",
                 spec.name
             )),
-        ),
+            )
+        }
         _ => {}
     }
     // Key over the *normalized* document (the spec's own round-tripped

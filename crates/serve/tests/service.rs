@@ -50,6 +50,7 @@ fn start(tag: &str, workers: usize, queue: usize) -> Server {
         workers,
         queue_capacity: queue,
         cache_dir: tmp_dir(tag),
+        ..ServeConfig::default()
     })
     .expect("server starts")
 }
@@ -117,6 +118,7 @@ fn corrupt_cache_entries_are_recomputed_not_served() {
         workers: 1,
         queue_capacity: 8,
         cache_dir: dir.clone(),
+        ..ServeConfig::default()
     })
     .expect("server starts");
     let base = server.base_url();
@@ -231,6 +233,182 @@ fn routing_errors_and_health() {
     let no_result =
         http_request(&base, "GET", "/v1/sweeps/job-999/result", None).expect("transport");
     assert_eq!(no_result.status, 404);
+}
+
+/// One wire-encoded `run` request for the executor endpoint (a Bell
+/// circuit from basis 0, seeded).
+fn exec_request_json() -> String {
+    use qsc_json::Value;
+    use qsc_sim::remote::{circuit_to_json, rng_to_json};
+    use qsc_sim::{Circuit, Op};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut circuit = Circuit::new(2);
+    circuit.push(Op::H(0)).expect("op");
+    circuit
+        .push(Op::Cnot {
+            control: 0,
+            target: 1,
+        })
+        .expect("op");
+    Value::Obj(vec![
+        ("op".into(), Value::Str("run".into())),
+        ("circuit".into(), circuit_to_json(&circuit)),
+        (
+            "basis".into(),
+            Value::Obj(vec![
+                ("num_qubits".into(), Value::Num(2.0)),
+                ("index".into(), Value::Num(0.0)),
+            ]),
+        ),
+        ("rng".into(), rng_to_json(&StdRng::seed_from_u64(7))),
+    ])
+    .to_json_canonical()
+    .expect("request encodes")
+}
+
+#[test]
+fn healthz_reports_exec_backend_and_counters() {
+    let server = start("exec-health", 0, 4);
+    let base = server.base_url();
+
+    let health = http_request(&base, "GET", "/v1/healthz", None).expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.contains("\"backend\":\"statevector\""),
+        "{}",
+        health.body
+    );
+    assert!(health.body.contains("\"inflight\":0"), "{}", health.body);
+    assert!(health.body.contains("\"executed\":0"), "{}", health.body);
+
+    // One executed request ticks the counter.
+    let resp = http_request(&base, "POST", "/v1/exec", Some(&exec_request_json())).expect("exec");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    assert!(resp.body.contains("\"amplitudes\""), "{}", resp.body);
+    let health = http_request(&base, "GET", "/v1/healthz", None).expect("healthz");
+    assert!(health.body.contains("\"executed\":1"), "{}", health.body);
+    assert!(health.body.contains("\"inflight\":0"), "{}", health.body);
+
+    // Malformed bodies answer 400; wrong methods answer 405.
+    let bad = http_request(&base, "POST", "/v1/exec", Some("{nope")).expect("bad body");
+    assert_eq!(bad.status, 400);
+    let wrong = http_request(&base, "GET", "/v1/exec", None).expect("wrong method");
+    assert_eq!(wrong.status, 405);
+}
+
+/// A sweep whose variant runs the simulated quantum path, so grid points
+/// actually exercise the executor fleet.
+fn quantum_spec_json(tag: &str) -> String {
+    format!(
+        r#"{{
+  "name": "svc_fleet",
+  "title": "fleet test {tag}",
+  "kind": "pipeline",
+  "graph": {{"family": "dsbm", "k": 2, "p_intra": 0.4, "p_inter": 0.05}},
+  "reps": 2,
+  "base": {{"k": 2, "quantum": {{}}}},
+  "variants": [{{"name": "qpe"}}],
+  "axes": [{{"name": "n", "path": "graph.n", "values": [12, 16]}}],
+  "columns": [
+    {{"header": "n", "axis": "n"}},
+    {{"header": "acc", "variant": "qpe", "metric": "matched_accuracy", "mean_std": 3}}
+  ]
+}}"#
+    )
+}
+
+#[test]
+fn fleet_fanout_is_byte_identical_to_single_host_and_local() {
+    let exec_a = start("fleet-exec-a", 0, 4);
+    let exec_b = start("fleet-exec-b", 0, 4);
+    let a = exec_a.local_addr().to_string();
+    let b = exec_b.local_addr().to_string();
+
+    let text = quantum_spec_json("fanout");
+    let spec = ExperimentSpec::parse(&text).expect("spec parses");
+    let local_csv = SweepRunner::new(Scale::Quick)
+        .run(&spec)
+        .expect("local run")
+        .primary
+        .render(SinkFormat::Csv);
+    assert!(!local_csv.contains("failed("), "{local_csv}");
+
+    // Single-host fan-out, straight through the runner.
+    let single_csv = SweepRunner::new(Scale::Quick)
+        .with_fleet([a.clone()])
+        .run(&spec)
+        .expect("single-host run")
+        .primary
+        .render(SinkFormat::Csv);
+    assert_eq!(single_csv, local_csv, "single-host must be byte-identical");
+
+    // Two-host fan-out through a full service.
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        cache_dir: tmp_dir("fleet-main"),
+        executors: vec![a, b],
+        ..ServeConfig::default()
+    })
+    .expect("server starts");
+    let base = server.base_url();
+    let ticket = submit(&base, &text, "quick", TIMEOUT).expect("submit");
+    let done = wait_done(&base, &ticket.id, TIMEOUT).expect("runs to done");
+    assert_eq!(done.state, "done");
+    let served_csv = fetch_result(&base, &ticket.id, "csv").expect("csv");
+    assert_eq!(
+        served_csv, local_csv,
+        "two-executor fan-out must be byte-identical to the local run"
+    );
+
+    // Both executors actually served circuits.
+    assert!(exec_a.exec().executed() > 0, "executor A never used");
+    assert!(exec_b.exec().executed() > 0, "executor B never used");
+}
+
+#[test]
+fn fleet_sweep_survives_mid_run_executor_kill() {
+    use qsc_bench::Progress;
+    use std::cell::RefCell;
+
+    let exec_a = start("kill-exec-a", 0, 4);
+    let exec_b = start("kill-exec-b", 0, 4);
+    let a = exec_a.local_addr().to_string();
+    let b = exec_b.local_addr().to_string();
+
+    let text = quantum_spec_json("kill");
+    let spec = ExperimentSpec::parse(&text).expect("spec parses");
+    let local_csv = SweepRunner::new(Scale::Quick)
+        .run(&spec)
+        .expect("local run")
+        .primary
+        .render(SinkFormat::Csv);
+
+    // Kill executor A the moment the first grid point's row lands, so
+    // the remaining points find it dead and must retry elsewhere.
+    let victim = RefCell::new(Some(exec_a));
+    let output = SweepRunner::new(Scale::Quick)
+        .with_fleet([a, b])
+        .run_with_progress(&spec, &mut |event| {
+            if let Progress::Row { .. } = event {
+                if let Some(mut server) = victim.borrow_mut().take() {
+                    server.shutdown();
+                }
+            }
+        })
+        .expect("sweep survives the kill");
+    let csv = output.primary.render(SinkFormat::Csv);
+    assert!(
+        !csv.contains("failed("),
+        "no cell may fail while a fallback exists:\n{csv}"
+    );
+    assert_eq!(
+        csv, local_csv,
+        "post-kill fallbacks keep the sweep byte-identical to local"
+    );
 }
 
 /// A small hyper-parameter search spec for the search endpoint tests.

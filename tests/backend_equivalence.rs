@@ -272,12 +272,12 @@ proptest! {
         // The distribution-level hooks are bit-exact, not merely close.
         let phi = (seed % 997) as f64 / 997.0;
         prop_assert_eq!(
-            dm.phase_distribution(phi, 5, &mut rng),
-            sv.phase_distribution(phi, 5, &mut rng)
+            dm.phase_distribution(phi, 5, &mut rng).unwrap(),
+            sv.phase_distribution(phi, 5, &mut rng).unwrap()
         );
         prop_assert_eq!(
-            dm.estimate_probability(phi, &mut rng),
-            sv.estimate_probability(phi, &mut rng)
+            dm.estimate_probability(phi, &mut rng).unwrap(),
+            sv.estimate_probability(phi, &mut rng).unwrap()
         );
         dm.recycle(rho);
         sv.recycle(pure);
@@ -295,6 +295,101 @@ proptest! {
         let lines: Vec<&str> = qasm.lines().collect();
         let qreg = lines.iter().position(|l| l.starts_with("qreg")).expect("qreg");
         prop_assert_eq!(lines.len() - qreg - 1, circuit.gate_count());
+    }
+}
+
+#[test]
+fn remote_loopback_is_bit_identical_for_every_hosted_backend_kind() {
+    use qsc_serve::{ServeConfig, Server};
+    use qsc_suite::core::config::BackendConfig;
+
+    let cache_dir = std::env::temp_dir().join(format!("qsc-remote-eq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0, // exec requests are served by connection threads
+        cache_dir,
+        ..ServeConfig::default()
+    })
+    .expect("executor starts");
+    let addr = server.local_addr().to_string();
+
+    let inners = [
+        BackendConfig::Statevector,
+        BackendConfig::Sharded { shards: Some(2) },
+        BackendConfig::Noisy {
+            depolarizing: 0.05,
+            readout_flip: 0.02,
+        },
+        BackendConfig::Density {
+            depolarizing: 0.05,
+            readout_flip: 0.01,
+        },
+    ];
+    for inner in inners {
+        let local = inner.build().expect("local backend");
+        let remote = BackendConfig::Remote {
+            addr: addr.clone(),
+            inner: Box::new(inner.clone()),
+        }
+        .build()
+        .expect("remote backend");
+        // The remote proxy must advertise exactly the hosted backend's
+        // statistical traits, or callers would take different fast paths.
+        assert_eq!(remote.exact_statistics(), local.exact_statistics());
+        assert_eq!(remote.pure_state(), local.pure_state());
+        assert_eq!(remote.phase_register_limit(), local.phase_register_limit());
+
+        for seed in [3u64, 17, 40] {
+            let circuit = random_circuit(3, 15, seed);
+            let basis = (seed % 8) as usize;
+            let mut rng_l = StdRng::seed_from_u64(seed);
+            let mut rng_r = StdRng::seed_from_u64(seed);
+            let a = local
+                .execute(&circuit, basis, &mut rng_l)
+                .expect("local run");
+            let b = remote
+                .execute(&circuit, basis, &mut rng_r)
+                .expect("remote run");
+            assert_eq!(
+                a.amplitudes(),
+                b.amplitudes(),
+                "{} amplitudes, seed {seed}",
+                inner.kind_name()
+            );
+            assert_eq!(rng_l, rng_r, "rng streams diverged on run");
+            assert_eq!(
+                local.sample(&a, 200, &mut rng_l).expect("local sample"),
+                remote.sample(&b, 200, &mut rng_r).expect("remote sample"),
+                "{} samples, seed {seed}",
+                inner.kind_name()
+            );
+            assert_eq!(rng_l, rng_r, "rng streams diverged on sample");
+            let phi = (seed % 97) as f64 / 97.0;
+            assert_eq!(
+                local
+                    .phase_distribution(phi, 4, &mut rng_l)
+                    .expect("local phases"),
+                remote
+                    .phase_distribution(phi, 4, &mut rng_r)
+                    .expect("remote phases"),
+                "{} phase distribution, seed {seed}",
+                inner.kind_name()
+            );
+            assert_eq!(
+                local
+                    .estimate_probability(phi, &mut rng_l)
+                    .expect("local estimate"),
+                remote
+                    .estimate_probability(phi, &mut rng_r)
+                    .expect("remote estimate"),
+                "{} probability estimate, seed {seed}",
+                inner.kind_name()
+            );
+            assert_eq!(rng_l, rng_r, "rng streams diverged on distributions");
+            remote.recycle(b);
+            local.recycle(a);
+        }
     }
 }
 

@@ -284,6 +284,143 @@ fn nan_guard_classifies_as_numeric_failure() {
     assert_eq!(FailureKind::NonFinite.name(), "numeric");
 }
 
+/// A remote backend hosting a plain statevector at `addr`.
+fn remote_config(addr: &str) -> BackendConfig {
+    BackendConfig::Remote {
+        addr: addr.into(),
+        inner: Box::new(BackendConfig::Statevector),
+    }
+}
+
+#[test]
+fn remote_call_drops_classify_as_transport_errors() {
+    // Rate 1.0 drops every remote call *before* it touches the network,
+    // so the (dead) address below is never actually contacted.
+    let plan = FaultPlan::seeded(13).with_rate(FaultPoint::RemoteCall, 1.0);
+    let inst = flow_instance(20, 6);
+    let batch = [GraphInstance::with_seed(&inst.graph, 0)];
+    let pl = Pipeline::hermitian(2)
+        .quantum(&QuantumParams::default())
+        .backend_config(&remote_config("127.0.0.1:1"))
+        .expect("backend")
+        .resilience(ResiliencePolicy {
+            retries: 2,
+            fault_plan: Some(plan),
+            ..ResiliencePolicy::default()
+        })
+        .expect("policy");
+    let err = pl.run_many_isolated(&batch)[0]
+        .as_ref()
+        .expect_err("every remote call drops and there is no fallback")
+        .clone();
+    assert_eq!(err.kind, FailureKind::Other);
+    assert_eq!(err.kind.name(), "error");
+    assert_eq!(
+        err.attempts, 3,
+        "transport failures retry the same executor before giving up"
+    );
+    assert!(
+        err.message.contains("remote_call"),
+        "message: {}",
+        err.message
+    );
+}
+
+#[test]
+fn remote_drops_fall_back_to_local_without_perturbing_the_seed() {
+    // Transport failures never start the work, so they must not advance
+    // the retry seed perturbation: once the fallback chain degrades to the
+    // local inner backend, the outcome is bit-identical to a plain local
+    // run — the strongest observable proof that attempt 0's seed survived
+    // the dead executor.
+    let plan = FaultPlan::seeded(21).with_rate(FaultPoint::RemoteCall, 1.0);
+    let insts: Vec<PlantedGraph> = (0..3).map(|i| flow_instance(20, 60 + i)).collect();
+    let batch: Vec<GraphInstance<'_>> = insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+        .collect();
+    let qp = QuantumParams::default();
+    let expected = Pipeline::hermitian(2)
+        .quantum(&qp)
+        .run_many(&batch)
+        .expect("local ground truth");
+    let remote = Pipeline::hermitian(2)
+        .quantum(&qp)
+        .backend_config(&remote_config("127.0.0.1:1"))
+        .expect("backend")
+        .resilience(ResiliencePolicy {
+            fallbacks: vec![BackendConfig::Statevector],
+            fault_plan: Some(plan),
+            ..ResiliencePolicy::default()
+        })
+        .expect("policy");
+    let out = remote.run_many_isolated(&batch);
+    for (got, exp) in out.iter().zip(&expected) {
+        let got = got.as_ref().expect("the fallback chain must engage");
+        assert_eq!(
+            timeless(got),
+            timeless(exp),
+            "fallback outcome must be bit-identical to a local run"
+        );
+    }
+}
+
+#[test]
+fn remote_fault_pattern_is_worker_count_invariant() {
+    // A real loopback executor serves the calls the plan lets through;
+    // dropped calls (rate 0.5, decided by the pure plan hash) exhaust the
+    // retry and degrade to the local inner. Either way every instance must
+    // be bit-identical to a plain local run — at any worker count, which
+    // is what CI's RAYON_NUM_THREADS matrix re-checks over this file.
+    let cache_dir = std::env::temp_dir().join(format!("qsc-fault-remote-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let server = qsc_serve::Server::start(qsc_serve::ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 0, // exec requests are served by connection threads
+        cache_dir,
+        ..qsc_serve::ServeConfig::default()
+    })
+    .expect("executor starts");
+    let addr = server.local_addr().to_string();
+
+    let plan = FaultPlan::seeded(31).with_rate(FaultPoint::RemoteCall, 0.5);
+    let insts: Vec<PlantedGraph> = (0..4).map(|i| flow_instance(16, 80 + i)).collect();
+    let batch: Vec<GraphInstance<'_>> = insts
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| GraphInstance::with_seed(&inst.graph, i as u64))
+        .collect();
+    let qp = QuantumParams::default();
+    let expected = Pipeline::hermitian(2)
+        .quantum(&qp)
+        .run_many(&batch)
+        .expect("local ground truth");
+    let remote = Pipeline::hermitian(2)
+        .quantum(&qp)
+        .backend_config(&remote_config(&addr))
+        .expect("backend")
+        .resilience(ResiliencePolicy {
+            retries: 1,
+            fallbacks: vec![BackendConfig::Statevector],
+            fault_plan: Some(plan),
+            ..ResiliencePolicy::default()
+        })
+        .expect("policy");
+    let first = remote.run_many_isolated(&batch);
+    let second = remote.run_many_isolated(&batch);
+    for ((a, b), exp) in first.iter().zip(&second).zip(&expected) {
+        let a = a.as_ref().expect("fallback covers every injected drop");
+        let b = b.as_ref().expect("fallback covers every injected drop");
+        assert_eq!(timeless(a), timeless(b), "run-to-run divergence");
+        assert_eq!(
+            timeless(a),
+            timeless(exp),
+            "remote/fallback mix must equal the local run bit for bit"
+        );
+    }
+}
+
 #[test]
 fn clusterer_sweep_isolation_matches_plain_sweep() {
     use qsc_suite::core::{Clusterer, KMeans};

@@ -131,7 +131,7 @@ fn readout_flip_sampling_converges_to_the_exact_distribution() {
     let noisy = NoisyStatevector::new(0.0, e);
     let state = noisy.execute(&bell, 0, &mut rng).unwrap();
     let shots = 40_000usize;
-    let counts = noisy.sample(&state, shots, &mut rng);
+    let counts = noisy.sample(&state, shots, &mut rng).unwrap();
     let mut freq = [0.0f64; 4];
     for (m, c) in counts {
         freq[m] = c as f64 / shots as f64;
