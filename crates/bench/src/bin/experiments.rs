@@ -254,6 +254,9 @@ fn run_remote(url: &str, specs: &[ExperimentSpec], args: &Args) -> Result<(), Cl
 }
 
 fn run(args: &Args) -> Result<(), CliError> {
+    // A typo'd or unsupported QSC_KERNELS is the caller's mistake: reject
+    // it up front (exit 2) instead of silently running another tier.
+    qsc_linalg::kernels::validate().map_err(|e| CliError::Usage(e.to_string()))?;
     let all = load_all(args)?;
     if args.list {
         // The listing always shows the full name-addressable set —

@@ -137,3 +137,45 @@ fn submit_to_dead_server_exits_1() {
     assert!(stderr.contains("submit"), "error names the phase: {stderr}");
     assert!(nested.exists(), "out-dir parents created before submission");
 }
+
+/// An unknown `QSC_KERNELS` value is a usage error: named message on
+/// stderr, exit 2, no panic — and no sweep runs on a silently different
+/// tier. Forced available tiers are honored and run normally.
+#[test]
+fn bogus_kernel_tier_exits_2_with_named_error() {
+    let root = tmp_dir("kernels-env");
+    let spec = write_tiny_spec(&root);
+
+    let bogus = experiments()
+        .env("QSC_KERNELS", "sse9")
+        .args(["--spec"])
+        .arg(&spec)
+        .output()
+        .expect("binary runs");
+    assert_eq!(bogus.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&bogus.stderr);
+    assert!(
+        stderr.contains("QSC_KERNELS"),
+        "names the variable: {stderr}"
+    );
+    assert!(stderr.contains("sse9"), "names the bad value: {stderr}");
+
+    // The always-available forced tiers run the sweep to completion.
+    for tier in ["scalar", "portable"] {
+        let out_dir = root.join(format!("out-{tier}"));
+        let forced = experiments()
+            .env("QSC_KERNELS", tier)
+            .args(["--spec"])
+            .arg(&spec)
+            .args(["--out-dir"])
+            .arg(&out_dir)
+            .output()
+            .expect("binary runs");
+        assert!(
+            forced.status.success(),
+            "{tier}: {}",
+            String::from_utf8_lossy(&forced.stderr)
+        );
+        assert!(out_dir.join("cli_tiny.csv").exists());
+    }
+}

@@ -15,9 +15,12 @@
 //! one JSON line per benchmark (`{"name": ..., "median_ns": ...}`), which
 //! is how `BENCH_*.json` baselines are produced. Every line (and the
 //! stdout report) records the worker count the run used (`workers`:
-//! `RAYON_NUM_THREADS` if set, else the detected core count) and the
-//! machine's detected core count (`cores`), so baselines from different
-//! machines or thread caps are never compared as like-for-like.
+//! `RAYON_NUM_THREADS` if set, else the detected core count), the
+//! machine's detected core count (`cores`), and the complex-kernel tier
+//! (`kernels`: `QSC_KERNELS` if set to an available tier, else the
+//! detected best — the same resolution `qsc_linalg::kernels::active`
+//! performs), so baselines from different machines, thread caps, or
+//! kernel tiers are never compared as like-for-like.
 
 #![warn(missing_docs)]
 
@@ -102,6 +105,29 @@ fn detected_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// The kernel tier the benched code runs on. This shim sits below
+/// `qsc-linalg` in the dependency graph, so it mirrors the resolution of
+/// `qsc_linalg::kernels::active` (env override if available, else best
+/// detected) instead of calling it.
+fn kernel_tier() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    let avx2 = std::arch::is_x86_feature_detected!("avx2");
+    #[cfg(not(target_arch = "x86_64"))]
+    let avx2 = false;
+    match std::env::var("QSC_KERNELS").as_deref() {
+        Ok("scalar") => "scalar",
+        Ok("portable") => "portable",
+        Ok("avx2") if avx2 => "avx2",
+        _ => {
+            if avx2 {
+                "avx2"
+            } else {
+                "portable"
+            }
+        }
+    }
+}
+
 /// The worker count this bench run actually uses: an explicit
 /// `RAYON_NUM_THREADS` cap, else every detected core.
 fn worker_count() -> usize {
@@ -121,8 +147,9 @@ fn report(name: &str, b: &Bencher) {
     }
     let median = sorted[sorted.len() / 2];
     let (workers, cores) = (worker_count(), detected_cores());
+    let kernels = kernel_tier();
     println!(
-        "bench: {name} ... min {}  median {}  max {}  ({} samples x {} iters, {workers} workers / {cores} cores)",
+        "bench: {name} ... min {}  median {}  max {}  ({} samples x {} iters, {workers} workers / {cores} cores, {kernels} kernels)",
         fmt_duration(sorted[0]),
         fmt_duration(median),
         fmt_duration(*sorted.last().expect("non-empty")),
@@ -137,7 +164,7 @@ fn report(name: &str, b: &Bencher) {
         {
             let _ = writeln!(
                 fh,
-                "{{\"name\": \"{name}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"workers\": {workers}, \"cores\": {cores}}}",
+                "{{\"name\": \"{name}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"workers\": {workers}, \"cores\": {cores}, \"kernels\": \"{kernels}\"}}",
                 median.as_nanos(),
                 sorted[0].as_nanos(),
                 sorted.last().expect("non-empty").as_nanos(),

@@ -154,6 +154,15 @@ impl BackendConfig {
         }
     }
 
+    /// The kernel tier every backend built from this config executes on
+    /// (`scalar` | `portable` | `avx2`) — process-wide runtime dispatch,
+    /// overridable via `QSC_KERNELS`. Reported so served sweeps record
+    /// which tier produced their bytes; the tiers are bit-identical, so
+    /// the field is provenance, not a result discriminator.
+    pub fn kernels_tier() -> &'static str {
+        qsc_linalg::kernels::active().name()
+    }
+
     /// Instantiates the configured backend.
     ///
     /// # Errors

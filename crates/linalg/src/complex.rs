@@ -22,6 +22,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(z * z.conj(), Complex64::new(25.0, 0.0));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,

@@ -11,6 +11,8 @@
 //!   plus unitary (normal-matrix) eigendecomposition for QPE,
 //! * [`lanczos`] — partial (lowest-`k`) eigensolver over dense or sparse
 //!   operators, the Krylov baseline,
+//! * [`kernels`] — runtime-dispatched SIMD tiers (scalar / portable /
+//!   AVX2) for the complex hot-loop kernels,
 //! * [`parallel`] — the shared gating policy of the parallel kernels,
 //! * [`lu`] — LU solves, determinants, inverses,
 //! * [`expm`] — unitary evolution operators `e^{iHt}`,
@@ -43,6 +45,7 @@ pub mod csr;
 pub mod eig;
 pub mod error;
 pub mod expm;
+pub mod kernels;
 pub mod lanczos;
 pub mod lu;
 pub mod matrix;

@@ -2,6 +2,7 @@
 
 use crate::complex::{Complex64, C_ONE, C_ZERO};
 use crate::error::LinalgError;
+use crate::kernels;
 use crate::parallel;
 use crate::vector;
 use rand::Rng;
@@ -251,11 +252,7 @@ impl CMatrix {
         assert_eq!(x.len(), self.ncols, "matvec: dimension mismatch");
         let mut y = vec![C_ZERO; self.nrows];
         let row_dot = |i: usize, slot: &mut Complex64| {
-            let mut acc = C_ZERO;
-            for (a, b) in self.row(i).iter().zip(x) {
-                acc += *a * *b;
-            }
-            *slot = acc;
+            *slot = kernels::dot(self.row(i), x);
         };
         if parallel::should_parallelize(self.nrows * self.ncols) {
             let rb = parallel::row_block(self.nrows, self.ncols);
@@ -311,13 +308,13 @@ impl CMatrix {
                     for (di, orow) in rows.chunks_mut(ncols_out).enumerate() {
                         let arow = self.row(i0 + di);
                         for (k, &a) in arow[kt..kt_end].iter().enumerate() {
+                            // The zero-skip is load-bearing for bit-identity
+                            // with the serial reference: it must stay in
+                            // front of the kernel call, not inside it.
                             if a == C_ZERO {
                                 continue;
                             }
-                            let rrow = rhs.row(kt + k);
-                            for (o, b) in orow.iter_mut().zip(rrow) {
-                                *o += a * *b;
-                            }
+                            kernels::axpy(a, rhs.row(kt + k), orow);
                         }
                     }
                 }
@@ -344,11 +341,7 @@ impl CMatrix {
                 if a == C_ZERO {
                     continue;
                 }
-                let rrow = rhs.row(k);
-                let orow = out.row_mut(i);
-                for (o, b) in orow.iter_mut().zip(rrow) {
-                    *o += a * *b;
-                }
+                kernels::axpy(a, rhs.row(k), out.row_mut(i));
             }
         }
         out
@@ -368,10 +361,7 @@ impl CMatrix {
                 if c == C_ZERO {
                     continue;
                 }
-                let arow = &self.row(k)[i..];
-                for (o, b) in row.iter_mut().zip(arow) {
-                    *o += c * *b;
-                }
+                kernels::axpy(c, &self.row(k)[i..], row);
             }
         };
         if parallel::should_parallelize(m * n * n / 2) {

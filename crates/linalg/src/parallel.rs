@@ -23,6 +23,11 @@
 //!   they are bit-identical to it. The property tests in
 //!   `tests/parallel_kernels.rs` enforce agreement to 1e-12 on random
 //!   inputs.
+//!
+//! The SIMD tiers in [`crate::kernels`] preserve both invariants: every
+//! dispatched kernel performs exactly the scalar operations in the scalar
+//! operand order (no FMA, no reassociation), so the tier in use — like the
+//! thread count — cannot change a single output bit.
 
 /// Number of scalar mul-adds below which a kernel stays serial.
 ///

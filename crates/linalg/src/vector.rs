@@ -5,6 +5,7 @@
 //! their buffers and only need the operations.
 
 use crate::complex::{Complex64, C_ZERO};
+use crate::kernels;
 
 /// Hermitian inner product `⟨a, b⟩ = Σ conj(a_i)·b_i`.
 ///
@@ -24,7 +25,7 @@ use crate::complex::{Complex64, C_ZERO};
 /// ```
 pub fn cdot(a: &[Complex64], b: &[Complex64]) -> Complex64 {
     assert_eq!(a.len(), b.len(), "cdot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+    kernels::cdot(a, b)
 }
 
 /// Euclidean (ℓ2) norm of a complex vector.
@@ -68,16 +69,12 @@ pub fn normalize(a: &mut [Complex64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: Complex64, x: &[Complex64], y: &mut [Complex64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * *xi;
-    }
+    kernels::axpy(alpha, x, y);
 }
 
 /// Scales every element of `a` by the complex factor `alpha`.
 pub fn scale(alpha: Complex64, a: &mut [Complex64]) {
-    for z in a.iter_mut() {
-        *z *= alpha;
-    }
+    kernels::scale(alpha, a);
 }
 
 /// Squared Euclidean distance between two complex vectors.

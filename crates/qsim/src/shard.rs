@@ -28,6 +28,12 @@
 //! under `RAYON_NUM_THREADS` ∈ {1, 2, 4} in CI. Sampling is deterministic
 //! given the seed but draws through per-shard cumulative masses, so its
 //! draw stream is not bitwise the same as `Statevector::sample`'s.
+//!
+//! The per-shard kernels route through the runtime-dispatched SIMD tiers
+//! of `qsc_linalg::kernels`, which preserve the `gate_pair` arithmetic
+//! bit-for-bit on every tier (`QSC_KERNELS` ∈ {scalar, portable, avx2} —
+//! see `docs/KERNELS.md`), so the bit-identity claim above is independent
+//! of the kernel tier as well as the shard and worker counts.
 
 use crate::backend::{Backend, BufferPool};
 use crate::circuit::{Circuit, Mat2, Op};
@@ -35,6 +41,7 @@ use crate::error::SimError;
 use crate::gates;
 use crate::qpe::qpe_phase_distribution;
 use crate::state::{apply2_flat, apply_controlled2_flat, swap_bits_flat, QuantumState};
+use qsc_linalg::kernels;
 use qsc_linalg::{CMatrix, Complex64, C_ZERO};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -114,10 +121,15 @@ fn chunk_controlled(chunk: &mut [Complex64], g: &Mat2, control: usize, target: u
 /// performs.
 fn chunk_cphase(chunk: &mut [Complex64], control: usize, target: usize, theta: f64) {
     let phase = Complex64::cis(theta);
-    let both = (1usize << control) | (1usize << target);
-    for (i, a) in chunk.iter_mut().enumerate() {
-        if i & both == both {
-            *a *= phase;
+    let hi_bit = 1usize << control.max(target);
+    let lo_bit = 1usize << control.min(target);
+    // Indices with both bits set are the upper halves of 2·lo_bit sub-blocks
+    // inside the upper halves of 2·hi_bit groups — the same run-based walk
+    // (and the same ascending index order) as the full-state kernel.
+    for group in chunk.chunks_mut(2 * hi_bit) {
+        let upper = &mut group[hi_bit..];
+        for sub in upper.chunks_mut(2 * lo_bit) {
+            kernels::scale(phase, &mut sub[lo_bit..]);
         }
     }
 }
@@ -144,12 +156,7 @@ fn chunk_block_unitary(chunk: &mut [Complex64], u: &CMatrix, control: Option<usi
             }
         }
         for (i, slot) in scratch.iter_mut().enumerate() {
-            let row = u.row(i);
-            let mut acc = C_ZERO;
-            for (x, y) in row.iter().zip(slice.iter()) {
-                acc += *x * *y;
-            }
-            *slot = acc;
+            *slot = kernels::dot(u.row(i), slice);
         }
         slice.copy_from_slice(&scratch);
     }

@@ -1,20 +1,17 @@
 //! Quantum state vectors and the primitive operations on them.
 
 use crate::error::SimError;
+use qsc_linalg::kernels;
 use qsc_linalg::parallel;
 use qsc_linalg::vector::{cdot, norm2};
 use qsc_linalg::{CMatrix, Complex64, C_ONE, C_ZERO};
 use rand::Rng;
 use rayon::prelude::*;
 
-/// Applies a 2×2 gate to one amplitude pair.
-#[inline(always)]
-pub(crate) fn gate_pair(gate: &[[Complex64; 2]; 2], x: &mut Complex64, y: &mut Complex64) {
-    let a0 = *x;
-    let a1 = *y;
-    *x = gate[0][0] * a0 + gate[0][1] * a1;
-    *y = gate[1][0] * a0 + gate[1][1] * a1;
-}
+// Every pair-loop below routes through `qsc_linalg::kernels::gate2`, whose
+// scalar tier is the reference `gate_pair` arithmetic
+// (`x' = g00·x + g01·y`, `y' = g10·x + g11·y`) and whose SIMD tiers
+// reproduce it bit-for-bit (see `docs/KERNELS.md`).
 
 /// Number of stride-blocks handed to one parallel task, sized so a task
 /// carries at least [`parallel::REDUCE_GRAIN`] amplitudes.
@@ -26,7 +23,7 @@ fn blocks_per_task(stride: usize) -> usize {
 // ---------------------------------------------------------------------------
 // Flat-buffer kernels shared by the shard and density backends. They apply
 // gates by *flat bit position* over a raw amplitude buffer with the exact
-// `gate_pair` arithmetic of the state methods above — the bit-identity both
+// `gate_pair` arithmetic of the state methods below — the bit-identity both
 // backends' equivalence claims rest on. (The shard backend passes
 // `1 << qubit` within a chunk; the density backend additionally shifts by
 // the register width to reach the row side of a vectorized ρ.)
@@ -38,9 +35,7 @@ pub(crate) fn apply2_flat(buf: &mut [Complex64], g: &[[Complex64; 2]; 2], fbit: 
     let stride = 2 * fbit;
     for chunk in buf.chunks_mut(stride) {
         let (lo, hi) = chunk.split_at_mut(fbit);
-        for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-            gate_pair(g, x, y);
-        }
+        kernels::gate2(g, lo, hi);
     }
 }
 
@@ -52,12 +47,24 @@ pub(crate) fn apply_controlled2_flat(
     tfbit: usize,
 ) {
     let stride = 2 * tfbit;
-    for (bi, chunk) in buf.chunks_mut(stride).enumerate() {
-        let base = bi * stride;
-        let (lo, hi) = chunk.split_at_mut(tfbit);
-        for (off, (x, y)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
-            if (base + off) & cfbit != 0 {
-                gate_pair(g, x, y);
+    if cfbit < tfbit {
+        // The gated offsets form the upper halves of 2·cfbit sub-blocks of
+        // each chunk half — same pairs, same ascending order as the
+        // per-index branch this replaces.
+        for chunk in buf.chunks_mut(stride) {
+            let (lo, hi) = chunk.split_at_mut(tfbit);
+            for (lc, hc) in lo.chunks_mut(2 * cfbit).zip(hi.chunks_mut(2 * cfbit)) {
+                kernels::gate2(g, &mut lc[cfbit..], &mut hc[cfbit..]);
+            }
+        }
+    } else {
+        // Control above target: every offset inside a chunk satisfies
+        // off < 2·tfbit ≤ cfbit, so the control bit is constant across the
+        // chunk and gates it wholesale.
+        for (bi, chunk) in buf.chunks_mut(stride).enumerate() {
+            if (bi * stride) & cfbit != 0 {
+                let (lo, hi) = chunk.split_at_mut(tfbit);
+                kernels::gate2(g, lo, hi);
             }
         }
     }
@@ -309,14 +316,10 @@ impl QuantumState {
                 lo.par_chunks_mut(grain)
                     .zip(hi.par_chunks_mut(grain))
                     .for_each(|(lc, hc)| {
-                        for (x, y) in lc.iter_mut().zip(hc.iter_mut()) {
-                            gate_pair(gate, x, y);
-                        }
+                        kernels::gate2(gate, lc, hc);
                     });
             } else {
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    gate_pair(gate, x, y);
-                }
+                kernels::gate2(gate, lo, hi);
             }
             return Ok(());
         }
@@ -325,9 +328,7 @@ impl QuantumState {
         let stride = 2 * bit;
         let run_block = |block: &mut [Complex64]| {
             let (lo, hi) = block.split_at_mut(bit);
-            for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                gate_pair(gate, x, y);
-            }
+            kernels::gate2(gate, lo, hi);
         };
         if parallel_run {
             self.amps
@@ -379,9 +380,7 @@ impl QuantumState {
             let run_block = |block: &mut [Complex64]| {
                 let (lo, hi) = block.split_at_mut(tbit);
                 for (lc, hc) in lo.chunks_mut(2 * cbit).zip(hi.chunks_mut(2 * cbit)) {
-                    for (x, y) in lc[cbit..].iter_mut().zip(hc[cbit..].iter_mut()) {
-                        gate_pair(gate, x, y);
-                    }
+                    kernels::gate2(gate, &mut lc[cbit..], &mut hc[cbit..]);
                 }
             };
             if 2 * tbit == dim {
@@ -410,9 +409,7 @@ impl QuantumState {
             let stride = 2 * tbit;
             let run_block = |block: &mut [Complex64]| {
                 let (lo, hi) = block.split_at_mut(tbit);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    gate_pair(gate, x, y);
-                }
+                kernels::gate2(gate, lo, hi);
             };
             let run_group = |group: &mut [Complex64]| {
                 // group covers 2·cbit amplitudes; its upper half has the
@@ -490,9 +487,7 @@ impl QuantumState {
             // group spans 2·hi_bit amplitudes; its upper half has hi_bit set.
             let upper = &mut group[hi_bit..];
             for sub in upper.chunks_mut(2 * lo_bit) {
-                for a in &mut sub[lo_bit..] {
-                    *a *= phase;
-                }
+                kernels::scale(phase, &mut sub[lo_bit..]);
             }
         };
         if 2 * hi_bit == dim {
@@ -613,12 +608,7 @@ impl QuantumState {
         let control_block_bit = control.map(|c| 1usize << (c - block_qubits));
         let apply_block = |slice: &mut [Complex64], scratch: &mut [Complex64]| {
             for (i, s) in scratch.iter_mut().enumerate() {
-                let mut acc = C_ZERO;
-                let row = u.row(i);
-                for (x, y) in row.iter().zip(slice.iter()) {
-                    acc += *x * *y;
-                }
-                *s = acc;
+                *s = kernels::dot(u.row(i), slice);
             }
             slice.copy_from_slice(scratch);
         };

@@ -88,6 +88,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // Reject a bad QSC_KERNELS before binding: a typo'd tier must be a
+    // usage error, not a silently different tier serving bytes.
+    let kernels = match qsc_linalg::kernels::validate() {
+        Ok(tier) => tier,
+        Err(e) => {
+            eprintln!("qsc-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let workers = config.workers;
     let queue = config.queue_capacity;
     let cache_dir = config.cache_dir.display().to_string();
@@ -99,7 +108,8 @@ fn main() -> ExitCode {
         }
     };
     println!(
-        "qsc-serve listening on {} ({workers} workers, queue {queue}, cache {cache_dir})",
+        "qsc-serve listening on {} ({workers} workers, queue {queue}, cache {cache_dir}, \
+         kernels {kernels})",
         server.base_url()
     );
     server.join();

@@ -2,7 +2,7 @@
 //!
 //! | Endpoint | Behavior |
 //! |---|---|
-//! | `GET /v1/healthz` | liveness + version + queue depth + cache statistics (entries, hits, misses, evictions since start) |
+//! | `GET /v1/healthz` | liveness + version + queue depth + active kernel tier + cache statistics (entries, hits, misses, evictions since start) |
 //! | `POST /v1/sweeps?scale=quick\|full` | validate non-search spec → cache hit (`200`) or enqueue (`202`); full queue → `429` + `Retry-After`; invalid spec or a `"kind": "search"` spec → `400` with a precise error |
 //! | `POST /v1/searches?scale=quick\|full` | same contract for `"kind": "search"` specs — the hyper-parameter search runs through the same job queue and content-addressed cache; non-search specs → `400` pointing at `/v1/sweeps` |
 //! | `GET /v1/sweeps/:id` | job status (`queued`/`running`/`done`/`failed`), cache marker, per-cell failure kinds — search jobs poll here too (one id namespace) |
@@ -265,6 +265,10 @@ fn handle_healthz(
         ("status".into(), Value::Str("ok".into())),
         ("version".into(), Value::Str(code_version())),
         ("queue_depth".into(), Value::Num(jobs.queue_depth() as f64)),
+        (
+            "kernels".into(),
+            Value::Str(BackendConfig::kernels_tier().into()),
+        ),
         (
             "cache".into(),
             Value::Obj(vec![

@@ -282,6 +282,14 @@ fn healthz_reports_exec_backend_and_counters() {
     );
     assert!(health.body.contains("\"inflight\":0"), "{}", health.body);
     assert!(health.body.contains("\"executed\":0"), "{}", health.body);
+    // The active kernel tier is part of the health report, so served
+    // sweeps record which tier produced their bytes.
+    let tier = qsc_core::config::BackendConfig::kernels_tier();
+    assert!(
+        health.body.contains(&format!("\"kernels\":\"{tier}\"")),
+        "{}",
+        health.body
+    );
 
     // One executed request ticks the counter.
     let resp = http_request(&base, "POST", "/v1/exec", Some(&exec_request_json())).expect("exec");

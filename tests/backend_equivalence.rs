@@ -8,6 +8,13 @@
 //! gate-fusion compile pass must preserve amplitudes. Random circuits are
 //! generated from seeded RNG streams via the proptest harness, so failures
 //! are reproducible.
+//!
+//! CI additionally re-runs this whole suite once per kernel tier
+//! (`QSC_KERNELS` ∈ {scalar, portable, avx2}): because the tiers are
+//! bit-identical (pinned by `tests/kernel_equivalence.rs`), every
+//! bit-identity property here must hold unchanged whether the process is
+//! forced onto the scalar reference or dispatched onto SIMD — same
+//! amplitudes, same samples, same RNG states.
 
 use proptest::prelude::*;
 use qsc_suite::linalg::expm::expi;
@@ -407,4 +414,22 @@ fn noisy_backend_with_noise_diverges_from_ideal() {
         max_amp_diff(&a, &b) > 1e-6,
         "20% depolarizing left a 40-gate circuit untouched"
     );
+}
+
+#[test]
+fn kernel_tier_is_resolved_and_visible() {
+    // The suite's per-tier CI runs rely on QSC_KERNELS actually steering
+    // the process: the latched tier must match a forced available tier,
+    // and must be an executable tier either way. (Bit-identity between
+    // the tiers themselves is pinned by tests/kernel_equivalence.rs.)
+    use qsc_suite::linalg::kernels::{self, KernelTier};
+    let active = kernels::active();
+    assert!(active.is_available());
+    if let Ok(forced) = std::env::var(kernels::KERNELS_ENV) {
+        match KernelTier::parse(&forced) {
+            Some(tier) if tier.is_available() => assert_eq!(active, tier),
+            Some(tier) => eprintln!("note: {tier} forced but unavailable on this CPU"),
+            None => panic!("invalid {} value `{forced}`", kernels::KERNELS_ENV),
+        }
+    }
 }
